@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at full scale
+(800-instance launches, the three US datacenters), prints a
+paper-vs-measured comparison, and asserts the reproduction band: we match
+*shape* — who wins, by roughly what factor, where crossovers fall — not the
+authors' absolute testbed numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Append ``-s`` to see the regenerated tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with exactly one timed execution.
+
+    Experiment drivers are deterministic end-to-end simulations; repeating
+    them only re-measures the same code path, so one round suffices.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def emit():
+    """Print a regenerated table so `-s` shows it inline."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+
+    return _emit

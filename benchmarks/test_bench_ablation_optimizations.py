@@ -1,0 +1,115 @@
+"""Ablation: the paper's §5.2 "potential attack optimizations".
+
+* Multi-account scaling: more attacker accounts -> wider combined
+  footprint, but new-account quotas throttle the benefit.
+* Victim profiling: a recorded fingerprint profile lets a repeat attacker
+  focus on a small, precise subset of its fleet.
+"""
+
+from repro import units
+from repro.core.attack.campaign import ColocationCampaign
+from repro.core.attack.strategies import optimized_launch
+from repro.core.attack.targeting import VictimProfile, multi_account_footprint
+from repro.core.fingerprint import fingerprint_gen1_instances
+from repro.experiments.base import VICTIM_ACCOUNTS, default_env
+from repro.experiments.report import ComparisonRow, format_comparison
+
+from benchmarks.conftest import run_once
+
+
+def run_multi_account():
+    results = {}
+    for k in (1, 2, 3):
+        # A fresh region per arm: footprints must not accumulate across
+        # arms, and neither must billing from still-running fleets.
+        env = default_env("us-east1", seed=960)
+        clients = [env.attacker] + [env.victim(a) for a in VICTIM_ACCOUNTS]
+        union, cost, _ = multi_account_footprint(
+            clients[:k], n_services_per_account=4, launches=4
+        )
+        results[k] = (len(union), cost)
+    return results
+
+
+def test_ablation_multi_account(benchmark, emit):
+    results = run_once(benchmark, run_multi_account)
+    emit(
+        format_comparison(
+            "Ablation — footprint vs number of attacker accounts",
+            [
+                ComparisonRow(
+                    f"{k} account(s)", "-", f"{hosts} hosts / ${cost:.2f}"
+                )
+                for k, (hosts, cost) in sorted(results.items())
+            ],
+        )
+    )
+    assert results[2][0] > results[1][0]
+    assert results[3][0] >= results[2][0]
+    # Cost scales ~linearly with accounts.
+    assert results[3][1] > 2 * results[1][1]
+
+
+def run_profiling():
+    env = default_env("us-east1", seed=961)
+    attacker, victim = env.attacker, env.victim("account-2")
+    campaign = ColocationCampaign(
+        attacker=attacker,
+        victim=victim,
+        strategy=lambda c: optimized_launch(c, service_prefix="p1"),
+    )
+    result = campaign.run(n_victim_instances=100, victim_service_name="api")
+    cluster_of = result.verification.cluster_index()
+    victim_handles = [
+        h
+        for cluster in result.verification.clusters
+        for h in cluster
+        if h.instance_id.startswith("account-2/")
+    ]
+    attacker_alive = [
+        h
+        for cluster in result.verification.clusters
+        for h in cluster
+        if h.instance_id.startswith("account-1/") and h.alive
+    ]
+    tagged = fingerprint_gen1_instances(attacker_alive, p_boot=1.0)
+    profile = VictimProfile.from_campaign(
+        now=attacker.now(),
+        victim_handles=victim_handles,
+        cluster_of=cluster_of,
+        attacker_fingerprints={h.instance_id: fp for h, fp in tagged},
+    )
+    for name in attacker.service_names():
+        attacker.disconnect(name)
+    victim.disconnect("api")
+    attacker.wait(2 * units.DAY)
+
+    outcome = optimized_launch(attacker, service_prefix="p2")
+    tagged2 = fingerprint_gen1_instances(outcome.handles, p_boot=1.0)
+    targets = profile.select_targets(tagged2, now=attacker.now())
+    victim_handles2 = victim.connect("api", 100)
+    orch = env.orchestrator
+    victim_hosts = {orch.true_host_of(h.instance_id) for h in victim_handles2}
+    on_target = sum(
+        1 for h in targets if orch.true_host_of(h.instance_id) in victim_hosts
+    )
+    return len(outcome.handles), len(targets), on_target
+
+
+def test_ablation_victim_profiling(benchmark, emit):
+    fleet, targets, on_target = run_once(benchmark, run_profiling)
+    emit(
+        format_comparison(
+            "Ablation — repeat attack with a victim fingerprint profile",
+            [
+                ComparisonRow("fleet size (strike 2)", "-", str(fleet)),
+                ComparisonRow("instances selected by profile", "-", str(targets)),
+                ComparisonRow(
+                    "selected truly co-located with victim", "-",
+                    f"{on_target} ({100 * on_target / max(targets, 1):.0f}%)",
+                ),
+            ],
+        )
+    )
+    assert targets < fleet / 3, "profiling must cut the monitored fleet"
+    assert on_target / max(targets, 1) > 0.7, "profiled targets are precise"

@@ -1,0 +1,99 @@
+"""§6 defense evaluation: what each mitigation buys at full scale.
+
+The paper suggests TSC masking and co-location-resistant scheduling as
+mitigations.  This bench runs the full optimized attack against an
+undefended us-east1, a TSC-emulating one, and the two scheduling defenses,
+and reports what survives.
+"""
+
+from repro.cloud.topology import REGION_PROFILES, RegionProfile
+from repro.core.attack.strategies import optimized_launch
+from repro.cloud.services import ServiceConfig
+from repro.experiments.base import default_env
+from repro.experiments.report import ComparisonRow, format_comparison
+from repro.sandbox.base import TscPolicy
+
+from benchmarks.conftest import run_once
+
+import dataclasses
+
+
+def defended_profile(defense: str) -> RegionProfile:
+    return dataclasses.replace(REGION_PROFILES["us-east1"], defense=defense)
+
+
+def attack_under(defense: str, tsc_policy: TscPolicy) -> dict:
+    from repro.analysis.metrics import pair_confusion
+
+    env = default_env(
+        profile=defended_profile(defense), seed=980, tsc_policy=tsc_policy
+    )
+    outcome = optimized_launch(env.attacker)
+    orch = env.orchestrator
+    attacker_hosts = {
+        orch.true_host_of(h.instance_id) for h in outcome.handles if h.alive
+    }
+    victim = env.victim("account-2")
+    service = victim.deploy(ServiceConfig(name="victim"))
+    handles = victim.connect(service, 100)
+    hosts = [orch.true_host_of(h.instance_id) for h in handles]
+    true_coverage = sum(1 for h in hosts if h in attacker_hosts) / len(hosts)
+    # Fingerprint quality: do fingerprints still identify hosts?
+    predicted = {
+        h.instance_id: fp for h, fp in outcome.fingerprints if h.alive
+    }
+    truth = {iid: orch.true_host_of(iid) for iid in predicted}
+    fmi = pair_confusion(predicted, truth).fmi if predicted else 0.0
+    return {
+        "true_hosts": len(attacker_hosts),
+        "fingerprint_fmi": fmi,
+        "coverage": true_coverage,
+        "cost": outcome.cost_usd,
+    }
+
+
+def test_defense_matrix(benchmark, emit):
+    def sweep():
+        return {
+            "undefended": attack_under("none", TscPolicy.NATIVE),
+            "tsc_emulation": attack_under("none", TscPolicy.EMULATED),
+            "randomized_base": attack_under("randomized_base", TscPolicy.NATIVE),
+            "tenant_isolation": attack_under("tenant_isolation", TscPolicy.NATIVE),
+        }
+
+    results = run_once(benchmark, sweep)
+
+    emit(
+        format_comparison(
+            "§6 — the optimized attack vs each mitigation (us-east1)",
+            [
+                ComparisonRow(
+                    name,
+                    "-",
+                    f"cov {100 * r['coverage']:.0f}% | "
+                    f"{r['true_hosts']} hosts | fingerprint FMI "
+                    f"{r['fingerprint_fmi']:.2f} | ${r['cost']:.0f}",
+                )
+                for name, r in results.items()
+            ],
+        )
+    )
+
+    undefended = results["undefended"]
+    assert undefended["coverage"] > 0.9
+    assert undefended["fingerprint_fmi"] > 0.99
+
+    # TSC emulation doesn't stop *placement* co-location, but it blinds
+    # the attacker: fingerprints stop corresponding to hosts.
+    masked = results["tsc_emulation"]
+    assert masked["coverage"] > 0.5  # co-location itself is unaffected...
+    assert masked["fingerprint_fmi"] < 0.5  # ...but the attacker can't see it
+
+    # Randomized base hosts keep coverage possible for a saturating
+    # attacker (it still holds many hosts) — the defense mainly destroys
+    # *predictability*, not saturation attacks.
+    assert results["randomized_base"]["true_hosts"] > 100
+
+    # Tenant isolation is the only full stop.
+    assert results["tenant_isolation"]["coverage"] == 0.0
+    assert results["tenant_isolation"]["true_hosts"] <= 75

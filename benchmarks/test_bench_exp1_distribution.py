@@ -1,0 +1,40 @@
+"""Experiment 1 (Observation 1): distribution of 800 instances over hosts.
+
+Paper: 800 instances of one service land on 75 hosts, with the majority of
+hosts running 10 or 11 instances (near-uniform).
+"""
+
+from repro.experiments import launch_behavior as lb
+from repro.experiments.report import ComparisonRow, format_comparison
+
+from benchmarks.conftest import run_once
+
+CONFIG = lb.DistributionConfig()
+
+
+def test_exp1_instance_distribution(benchmark, emit):
+    result = run_once(benchmark, lambda: lb.run_distribution(CONFIG))
+
+    emit(
+        format_comparison(
+            "Experiment 1 — 800 instances of one service",
+            [
+                ComparisonRow("hosts used", str(lb.PAPER_EXP1_HOSTS), str(result.n_hosts)),
+                ComparisonRow(
+                    "typical instances per host",
+                    "10-11",
+                    f"{result.min_per_host}-{result.max_per_host}",
+                ),
+                ComparisonRow(
+                    "hosts at the two modal counts",
+                    "majority",
+                    f"{100 * result.modal_share:.0f}%",
+                ),
+            ],
+        )
+    )
+
+    assert abs(result.n_hosts - lb.PAPER_EXP1_HOSTS) <= 5
+    assert result.min_per_host >= 9
+    assert result.max_per_host <= 12
+    assert result.modal_share > 0.5

@@ -1,0 +1,41 @@
+"""Figure 4: Gen 1 fingerprint accuracy vs. rounding precision.
+
+Paper: FMI is low at fine precisions, ~0.9999 for p_boot in [0.1 s, 1 s],
+and degrades at coarse precisions; 14 of 15 runs are perfect at 1 s.
+"""
+
+from repro.experiments import fingerprint_accuracy as fa
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = fa.AccuracyConfig(repetitions=2)  # paper: 5 reps x 3 DCs; we run 2 x 3
+
+
+def test_fig04_accuracy_sweep(benchmark, emit):
+    result = run_once(benchmark, lambda: fa.run(CONFIG))
+
+    emit(
+        format_series(
+            "Figure 4 — fingerprint accuracy vs p_boot (mean over runs)",
+            ("p_boot_s", "FMI", "precision", "recall"),
+            [
+                (p.p_boot, p.fmi_mean, p.precision_mean, p.recall_mean)
+                for p in result.points
+            ],
+        )
+    )
+
+    sweet = [result.point(0.1), result.point(1.0)]
+    assert all(p.fmi_mean > 0.995 for p in sweet), "sweet spot must be near-perfect"
+
+    fine = result.point(1e-4)
+    assert fine.recall_mean < 0.6, "fine rounding must produce false negatives"
+    assert fine.precision_mean > 0.99, "fine rounding must not collide hosts"
+
+    coarse = result.point(1e3)
+    assert coarse.precision_mean < 0.99, "coarse rounding must collide hosts"
+    assert coarse.recall_mean > 0.99, "coarse rounding has no false negatives"
+
+    # Paper: 14/15 runs perfect at 1 s; require a clear majority here.
+    assert result.perfect_runs_at_1s >= len(result.run_fmis_at_1s) - 1

@@ -1,0 +1,51 @@
+"""Figure 5: CDF of fingerprint expiration time.
+
+Paper: drift is strongly linear (min |r| = 0.9997), most fingerprints last
+days, and on average ~10% expire within about 2 days.
+"""
+
+from repro.experiments import expiration as exp
+from repro.experiments.report import ComparisonRow, format_comparison, format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = exp.ExpirationConfig()
+DAY_GRID = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+
+
+def test_fig05_expiration_cdf(benchmark, emit):
+    result = run_once(benchmark, lambda: exp.run(CONFIG))
+
+    rows = []
+    for region in result.regions:
+        cdf = region.cdf(DAY_GRID)
+        rows.extend(
+            (region.region, day, fraction) for day, fraction in zip(DAY_GRID, cdf)
+        )
+    emit(
+        format_series(
+            "Figure 5 — CDF of fingerprint expiration time",
+            ("region", "days", "fraction_expired"),
+            rows,
+        )
+    )
+    emit(
+        format_comparison(
+            "Figure 5 — headline numbers",
+            [
+                ComparisonRow("min |r| of drift fits", ">= 0.9997", f"{result.min_abs_r:.5f}"),
+                ComparisonRow(
+                    "avg days to 10% expired",
+                    f"~{exp.PAPER_DAYS_TO_10PCT_EXPIRED:g}",
+                    f"{result.mean_days_to_10pct_expired:.2f}",
+                ),
+            ],
+        )
+    )
+
+    assert result.min_abs_r >= 0.999, "drift must be strongly linear"
+    assert 0.5 < result.mean_days_to_10pct_expired < 6.0
+    for region in result.regions:
+        # Paper: most fingerprints survive multiple days.
+        assert region.cdf((2.0,))[0] < 0.5
+        assert region.n_histories >= 50  # paper: 66-79 per region

@@ -1,0 +1,33 @@
+"""Figure 6: idle instances after disconnecting from 800 instances.
+
+Paper: preserved for the first ~2 minutes, then gradually terminated;
+practically all gone ~12 minutes after disconnecting.
+"""
+
+from repro.experiments import idle_termination as it
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = it.IdleTerminationConfig()
+
+
+def test_fig06_idle_termination(benchmark, emit):
+    result = run_once(benchmark, lambda: it.run(CONFIG))
+
+    emit(
+        format_series(
+            "Figure 6 — idle instances vs time since disconnecting",
+            ("minutes", "idle_instances"),
+            [(t, n) for t, n in result.series if t == int(t)],
+        )
+    )
+
+    assert result.remaining_after(1.9) == CONFIG.instances, "grace period holds"
+    mid = result.remaining_after(7.0)
+    assert 0 < mid < CONFIG.instances, "termination is gradual"
+    assert result.remaining_after(12.5) <= 0.01 * CONFIG.instances
+    assert result.remaining_after(15.0) == 0, "documented 15-minute bound"
+    # Decay is monotone.
+    counts = [n for _t, n in result.series]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

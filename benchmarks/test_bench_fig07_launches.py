@@ -1,0 +1,52 @@
+"""Figure 7: apparent hosts across repeated cold launches (Experiment 2).
+
+Paper: each of six launches (45-minute interval) occupies a similar number
+of apparent hosts and the cumulative count barely grows — the account's
+*base hosts*.  The same pattern holds with a fresh service per launch.
+"""
+
+from repro.experiments import launch_behavior as lb
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = lb.LaunchSeriesConfig()  # 6 launches x 800 instances, 45-min interval
+
+
+def test_fig07_repeated_cold_launches(benchmark, emit):
+    result = run_once(benchmark, lambda: lb.run_launch_series(CONFIG))
+
+    emit(
+        format_series(
+            "Figure 7 — apparent hosts per launch (same service)",
+            ("launch", "apparent_hosts", "cumulative"),
+            [
+                (i + 1, per, cum)
+                for i, (per, cum) in enumerate(zip(result.per_launch, result.cumulative))
+            ],
+        )
+    )
+
+    assert len(result.per_launch) == 6
+    spread = max(result.per_launch) - min(result.per_launch)
+    assert spread <= 5, "per-launch footprint stays constant"
+    assert result.growth <= 8, "cumulative growth is minimal (base hosts)"
+
+
+def test_fig07_fresh_service_per_launch(benchmark, emit):
+    config = lb.LaunchSeriesConfig(fresh_service_per_launch=True, seed=511)
+    result = run_once(benchmark, lambda: lb.run_launch_series(config))
+
+    emit(
+        format_series(
+            "Figure 7 variant — a fresh service (new image) per launch",
+            ("launch", "apparent_hosts", "cumulative"),
+            [
+                (i + 1, per, cum)
+                for i, (per, cum) in enumerate(zip(result.per_launch, result.cumulative))
+            ],
+        )
+    )
+    # Rebuilding images does not change the footprint: base hosts are a
+    # property of the account, not of image caching.
+    assert result.growth <= 8

@@ -1,0 +1,43 @@
+"""Figure 8: apparent hosts across launches from three accounts.
+
+Paper: the cumulative apparent-host count forms a step pattern — big jumps
+when the launching account changes, minimal growth otherwise.
+"""
+
+from repro.experiments import launch_behavior as lb
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = lb.LaunchSeriesConfig(account_pattern=(1, 1, 2, 2, 3, 3), seed=512)
+
+
+def test_fig08_account_steps(benchmark, emit):
+    result = run_once(benchmark, lambda: lb.run_launch_series(CONFIG))
+
+    emit(
+        format_series(
+            "Figure 8 — apparent hosts across accounts (pattern 1,1,2,2,3,3)",
+            ("launch", "account", "apparent_hosts", "cumulative"),
+            [
+                (i + 1, acct, per, cum)
+                for i, (acct, per, cum) in enumerate(
+                    zip(result.accounts, result.per_launch, result.cumulative)
+                )
+            ],
+        )
+    )
+
+    jumps = result.growth_at_account_changes()
+    assert len(jumps) == 2, "two account changes in the pattern"
+    for jump in jumps:
+        assert jump > 50, "a new account brings a fresh base-host set"
+    # Growth within an account is minimal by comparison.
+    same_account_growth = [
+        result.cumulative[i] - result.cumulative[i - 1]
+        for i in range(1, 6)
+        if result.accounts[i] == result.accounts[i - 1]
+    ]
+    assert all(g <= 8 for g in same_account_growth)
+    # Cumulative footprint ~ 3 disjoint base sets.
+    assert result.cumulative[-1] > 2.5 * result.per_launch[0]

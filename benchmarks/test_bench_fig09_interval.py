@@ -1,0 +1,69 @@
+"""Figure 9: launches at a 10-minute interval recruit helper hosts.
+
+Paper: with a 10-minute interval both the per-launch and cumulative curves
+grow drastically, reaching ~264 hosts after six launches (+177 vs. launch
+1); a 2-minute interval adds only ~12 hosts; intervals >= 30 minutes
+behave like Figure 7.
+"""
+
+from repro import units
+from repro.experiments import launch_behavior as lb
+from repro.experiments.report import ComparisonRow, format_comparison, format_series
+
+from benchmarks.conftest import run_once
+
+
+def test_fig09_ten_minute_interval(benchmark, emit):
+    config = lb.LaunchSeriesConfig(interval=10 * units.MINUTE, seed=513)
+    result = run_once(benchmark, lambda: lb.run_launch_series(config))
+
+    emit(
+        format_series(
+            "Figure 9 — apparent hosts per launch (10-minute interval)",
+            ("launch", "apparent_hosts", "cumulative"),
+            [
+                (i + 1, per, cum)
+                for i, (per, cum) in enumerate(zip(result.per_launch, result.cumulative))
+            ],
+        )
+    )
+    emit(
+        format_comparison(
+            "Figure 9 — headline numbers",
+            [
+                ComparisonRow(
+                    "cumulative hosts after 6 launches",
+                    f"~{lb.PAPER_FIG9_CUMULATIVE_AFTER_6}",
+                    str(result.cumulative[-1]),
+                ),
+                ComparisonRow("growth vs launch 1", "~+177", f"+{result.growth}"),
+            ],
+        )
+    )
+
+    assert 200 <= result.cumulative[-1] <= 330
+    assert result.growth >= 120
+    # Both curves track each other (the difference between them is small).
+    gaps = [cum - per for per, cum in zip(result.per_launch, result.cumulative)]
+    assert max(gaps) <= 40
+
+
+def test_fig09_interval_sweep(benchmark, emit):
+    config = lb.IntervalSweepConfig()
+    results = run_once(benchmark, lambda: lb.run_interval_sweep(config))
+
+    emit(
+        format_series(
+            "Figure 9 companion — footprint growth vs launch interval",
+            ("interval_min", "growth_after_6_launches"),
+            [(minutes, results[minutes].growth) for minutes in sorted(results)],
+        )
+    )
+
+    # 2-minute interval: few instances die between launches -> ~+12 hosts.
+    assert results[2.0].growth <= 40
+    # 10 minutes is the sweet spot.
+    assert results[10.0].growth > 3 * max(results[2.0].growth, 1)
+    # >= 30 minutes: the demand window has passed; no helper recruitment.
+    assert results[45.0].growth <= 8
+    assert results[30.0].growth <= results[10.0].growth

@@ -1,0 +1,43 @@
+"""Figure 10: helper-host footprints across six services (Observation 6).
+
+Paper: the cumulative helper footprint expands after every episode (each
+service recruits hosts the previous ones did not), while the per-episode
+increase stays below the episode's own helper count (the sets overlap).
+"""
+
+from repro.experiments import helper_episodes as he
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = he.EpisodesConfig()
+
+
+def test_fig10_helper_episodes(benchmark, emit):
+    result = run_once(benchmark, lambda: he.run(CONFIG))
+
+    emit(
+        format_series(
+            "Figure 10 — helper hosts per episode (one service per episode)",
+            ("episode", "helpers", "cumulative_helpers", "newly_added"),
+            [
+                (i + 1, per, cum, add)
+                for i, (per, cum, add) in enumerate(
+                    zip(
+                        result.per_episode_helpers,
+                        result.cumulative_helpers,
+                        result.cumulative_growth_per_episode,
+                    )
+                )
+            ],
+        )
+    )
+
+    assert len(result.per_episode_helpers) == 6
+    # Every episode recruits a substantial helper set.
+    assert all(count > 100 for count in result.per_episode_helpers)
+    # The cumulative footprint grows after each episode...
+    cum = result.cumulative_helpers
+    assert all(b > a for a, b in zip(cum, cum[1:]))
+    # ...but by less than the episode's own helper count: sets overlap.
+    assert result.overlapping

@@ -1,0 +1,61 @@
+"""Figure 11a: victim instance coverage vs. number of victim instances.
+
+Paper (optimized strategy, Small victims): coverage is high everywhere and
+essentially independent of the victim fleet size — us-east1 97.7%/99.7%,
+us-central1 61.3%/90.0%, us-west1 100%/100% (Accounts 2/3 at 100
+instances).
+"""
+
+import numpy as np
+
+from repro.experiments import coverage as cov
+from repro.experiments.report import format_series, pct
+
+from benchmarks.conftest import run_once
+
+CONFIG = cov.MatrixConfig(
+    victim_counts=(20, 50, 100, 200),
+    repetitions=2,  # paper: 3
+)
+
+
+def test_fig11a_victim_count_sweep(benchmark, emit):
+    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG))
+
+    rows = []
+    for (region, account, n_victims, _size), cell in sorted(cells.items()):
+        paper = cov.PAPER_OPTIMIZED_GEN1[(region, account)]
+        rows.append((region, account, n_victims, pct(paper), pct(cell.mean)))
+    emit(
+        format_series(
+            "Figure 11a — victim coverage vs #victim instances (paper col = 100-instance row)",
+            ("region", "account", "victims", "paper", "measured"),
+            rows,
+        )
+    )
+
+    for (region, account, _n, _s), cell in cells.items():
+        paper = cov.PAPER_OPTIMIZED_GEN1[(region, account)]
+        assert abs(cell.mean - paper) < 0.2, (region, account, cell.mean, paper)
+
+    # The number of victim instances has no significant influence.
+    for region in CONFIG.regions:
+        for account in CONFIG.victim_accounts:
+            means = [
+                cells[(region, account, n, "Small")].mean
+                for n in CONFIG.victim_counts
+            ]
+            assert float(np.ptp(means)) < 0.25, (region, account, means)
+
+    # Regional ordering: central (dynamic, huge) trails east and west.
+    central = np.mean(
+        [cells[("us-central1", a, 100, "Small")].mean for a in CONFIG.victim_accounts]
+    )
+    east = np.mean(
+        [cells[("us-east1", a, 100, "Small")].mean for a in CONFIG.victim_accounts]
+    )
+    west = np.mean(
+        [cells[("us-west1", a, 100, "Small")].mean for a in CONFIG.victim_accounts]
+    )
+    assert central < east <= 1.0
+    assert central < west <= 1.0

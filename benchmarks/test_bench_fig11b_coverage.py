@@ -1,0 +1,48 @@
+"""Figure 11b: victim instance coverage vs. victim container size (Table 1).
+
+Paper: varying the victim size across Pico/Small/Medium/Large (100
+instances) does not significantly change coverage — services of the same
+account share base hosts regardless of resource specification.
+"""
+
+import numpy as np
+
+from repro.experiments import coverage as cov
+from repro.experiments.report import format_series, pct
+
+from benchmarks.conftest import run_once
+
+CONFIG = cov.MatrixConfig(
+    victim_counts=(100,),
+    victim_sizes=("Pico", "Small", "Medium", "Large"),
+    repetitions=2,  # paper: 3
+)
+
+
+def test_fig11b_victim_size_sweep(benchmark, emit):
+    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG))
+
+    rows = []
+    for (region, account, _n, size), cell in sorted(cells.items()):
+        paper = cov.PAPER_OPTIMIZED_GEN1[(region, account)]
+        rows.append((region, account, size, pct(paper), pct(cell.mean)))
+    emit(
+        format_series(
+            "Figure 11b — victim coverage vs container size (Table 1 sizes)",
+            ("region", "account", "size", "paper", "measured"),
+            rows,
+        )
+    )
+
+    for (region, account, _n, _size), cell in cells.items():
+        paper = cov.PAPER_OPTIMIZED_GEN1[(region, account)]
+        assert abs(cell.mean - paper) < 0.2, (region, account, cell.mean, paper)
+
+    # Victim size has no significant influence on coverage.
+    for region in CONFIG.regions:
+        for account in CONFIG.victim_accounts:
+            means = [
+                cells[(region, account, 100, size)].mean
+                for size in CONFIG.victim_sizes
+            ]
+            assert float(np.ptp(means)) < 0.25, (region, account, means)

@@ -1,0 +1,58 @@
+"""Figure 12: cumulative unique apparent hosts (datacenter census).
+
+Paper: 96 optimized launches from 24 services across 3 accounts discover
+474 / 1702 / 199 apparent hosts in us-east1 / us-central1 / us-west1, with
+growth flattening out; the 6-service attack occupies 59% / 53% / 82% of
+those hosts at once (904 hosts in us-central1).
+"""
+
+from repro.experiments import census as cen
+from repro.experiments.report import ComparisonRow, format_comparison
+
+from benchmarks.conftest import run_once
+
+CONFIG = cen.CensusConfig()
+
+
+def test_fig12_cluster_census(benchmark, emit):
+    summary = run_once(benchmark, lambda: cen.run(CONFIG))
+
+    rows = []
+    for region in summary.regions:
+        rows.append(
+            ComparisonRow(
+                f"{region.region}: apparent hosts",
+                str(cen.PAPER_CENSUS[region.region]),
+                str(region.total_hosts),
+            )
+        )
+        rows.append(
+            ComparisonRow(
+                f"{region.region}: attacker share at once",
+                f"{100 * cen.PAPER_ATTACKER_SHARE[region.region]:.0f}%",
+                f"{100 * region.attacker_share:.0f}%",
+            )
+        )
+    emit(format_comparison("Figure 12 — datacenter census", rows))
+
+    east = summary.by_region("us-east1")
+    central = summary.by_region("us-central1")
+    west = summary.by_region("us-west1")
+
+    # Relative sizes reproduce: central >> east > west.
+    assert central.total_hosts > 3 * east.total_hosts
+    assert east.total_hosts > 1.5 * west.total_hosts
+
+    # Absolute counts within ~25% of the paper's census.
+    for region in summary.regions:
+        paper = cen.PAPER_CENSUS[region.region]
+        assert abs(region.total_hosts - paper) / paper < 0.25, region.region
+
+    # Growth flattens as the fleet saturates.
+    assert all(region.growth_flattens for region in summary.regions)
+
+    # Attacker occupies roughly half or more of each census at once;
+    # us-central1 peaks near the paper's 904 hosts.
+    for region in summary.regions:
+        assert 0.4 < region.attacker_share <= 1.1, region.region
+    assert abs(central.attacker_hosts_at_once - cen.PAPER_MAX_HOSTS_AT_ONCE) < 200

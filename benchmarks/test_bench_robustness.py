@@ -1,0 +1,82 @@
+"""Robustness: the headline reproduction numbers across random seeds.
+
+Every other bench fixes its seed.  This one re-runs the headline metrics
+over several simulated "days" (seeds) and asserts the reproduction bands
+hold for every one of them — the calibration is a property of the model,
+not of a lucky draw.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import pair_confusion
+from repro.cloud.services import ServiceConfig
+from repro.core.attack.strategies import optimized_launch
+from repro.core.fingerprint import fingerprint_gen1_instances
+from repro.experiments.base import default_env
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+SEEDS = (1, 7, 42, 1337, 9001)
+
+
+def one_seed(seed: int) -> dict:
+    env = default_env("us-east1", seed=seed)
+    client = env.attacker
+    service = client.deploy(ServiceConfig(name="robust", max_instances=800))
+    handles = client.connect(service, 800)
+    pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+    truth = {h.instance_id: env.orchestrator.true_host_of(h.instance_id) for h in handles}
+    fmi = pair_confusion({h.instance_id: fp for h, fp in pairs}, truth).fmi
+    hosts = len(set(truth.values()))
+    client.disconnect(service)
+    client.wait(45 * 60)
+
+    # Fresh environment for the attack (independent of the probe launch).
+    attack_env = default_env("us-east1", seed=seed + 10_000)
+    outcome = optimized_launch(attack_env.attacker)
+    attacker_hosts = {
+        attack_env.orchestrator.true_host_of(h.instance_id)
+        for h in outcome.handles
+        if h.alive
+    }
+    victim = attack_env.victim("account-2")
+    victim_service = victim.deploy(ServiceConfig(name="victim"))
+    victim_handles = victim.connect(victim_service, 100)
+    coverage = sum(
+        1
+        for h in victim_handles
+        if attack_env.orchestrator.true_host_of(h.instance_id) in attacker_hosts
+    ) / len(victim_handles)
+    return {
+        "fmi": fmi,
+        "exp1_hosts": hosts,
+        "attack_hosts": len(attacker_hosts),
+        "coverage": coverage,
+        "cost": outcome.cost_usd,
+    }
+
+
+def test_headline_numbers_across_seeds(benchmark, emit):
+    results = run_once(benchmark, lambda: {s: one_seed(s) for s in SEEDS})
+
+    emit(
+        format_series(
+            "Robustness — headline metrics per seed (us-east1)",
+            ("seed", "fingerprint_FMI", "exp1_hosts", "attack_hosts", "coverage", "cost_usd"),
+            [
+                (s, r["fmi"], r["exp1_hosts"], r["attack_hosts"], r["coverage"], r["cost"])
+                for s, r in results.items()
+            ],
+        )
+    )
+
+    for seed, r in results.items():
+        assert r["fmi"] > 0.999, (seed, r)
+        assert 70 <= r["exp1_hosts"] <= 80, (seed, r)
+        assert 270 <= r["attack_hosts"] <= 340, (seed, r)
+        assert r["coverage"] > 0.9, (seed, r)
+        assert 15 < r["cost"] < 40, (seed, r)
+
+    coverages = [r["coverage"] for r in results.values()]
+    assert float(np.std(coverages)) < 0.1, "coverage must be stable across days"

@@ -1,0 +1,97 @@
+"""§4.3: verification cost — scalable vs. conventional pairwise testing.
+
+Paper, for 800 instances: pairwise needs 319,600 serialized tests (~8.9 h
+at 100 ms/test, ~$645); the fingerprint-guided method takes 1-2 minutes and
+$1-3.  SIE cannot prune anything in a FaaS environment.
+"""
+
+from repro.experiments import verification_cost as vc
+from repro.experiments.report import ComparisonRow, format_comparison
+
+from benchmarks.conftest import run_once
+
+CONFIG = vc.VerificationCostConfig()
+
+
+def test_sec43_verification_cost(benchmark, emit):
+    result = run_once(benchmark, lambda: vc.run(CONFIG))
+
+    emit(
+        format_comparison(
+            "§4.3 — verifying co-location of 800 instances",
+            [
+                ComparisonRow(
+                    "pairwise tests", f"{vc.PAPER_PAIRWISE_TESTS_800:,}",
+                    f"{result.pairwise_tests_modeled:,}",
+                ),
+                ComparisonRow(
+                    "pairwise wall time", f"{vc.PAPER_PAIRWISE_HOURS_800} h",
+                    f"{result.pairwise_seconds_modeled / 3600:.1f} h",
+                ),
+                ComparisonRow(
+                    "pairwise cost", f"${vc.PAPER_PAIRWISE_USD_800:.0f}",
+                    f"${result.pairwise_usd_modeled:.0f}",
+                ),
+                ComparisonRow(
+                    "scalable tests", "~#hosts (75) + overhead",
+                    str(result.scalable_tests),
+                ),
+                ComparisonRow(
+                    "scalable wall time", "1-2 min",
+                    f"{result.scalable_seconds / 60:.1f} min",
+                ),
+                ComparisonRow(
+                    "scalable cost", "$1-3", f"${result.scalable_usd:.2f}"
+                ),
+                ComparisonRow(
+                    "SIE eliminated", "0 (ineffective in FaaS)",
+                    str(result.sie_eliminated),
+                ),
+            ],
+        )
+    )
+
+    assert result.pairwise_tests_modeled == vc.PAPER_PAIRWISE_TESTS_800
+    assert result.pairwise_usd_modeled > 600
+    assert result.scalable_seconds / 60 < 4.0
+    assert vc.PAPER_SCALABLE_USD_800[0] * 0.3 <= result.scalable_usd <= 4.0
+    assert result.scalable_tests < result.pairwise_tests_modeled / 100
+    assert result.sie_eliminated == 0
+    assert result.scalable_hosts in range(70, 81)
+    assert result.speedup > 100
+
+
+def test_sec43_scaling_with_instance_count(benchmark, emit):
+    """Pairwise cost grows quadratically; the scalable method's cost grows
+    with the number of *hosts*, which saturates at the base-set size."""
+
+    def sweep():
+        results = {}
+        for n in (100, 200, 400, 800):
+            results[n] = vc.run(vc.VerificationCostConfig(instances=n, seed=901))
+        return results
+
+    results = run_once(benchmark, sweep)
+    emit(
+        format_comparison(
+            "§4.3 — scaling of verification cost with N",
+            [
+                ComparisonRow(
+                    f"N={n}: scalable vs pairwise tests",
+                    f"{results[n].pairwise_tests_modeled:,}",
+                    f"{results[n].scalable_tests:,}",
+                )
+                for n in sorted(results)
+            ],
+        )
+    )
+    # Pairwise is quadratic: 8x the instances, 64x the tests.
+    pairwise_ratio = (
+        results[800].pairwise_tests_modeled / results[100].pairwise_tests_modeled
+    )
+    assert pairwise_ratio > 60
+    # Scalable grows sub-quadratically (roughly linear in instances, and
+    # bounded by the occupied host count once groups are full).
+    scalable_ratio = results[800].scalable_tests / results[100].scalable_tests
+    assert scalable_ratio < pairwise_ratio / 2
+    assert results[800].scalable_tests <= 800

@@ -1,0 +1,65 @@
+"""§5.2: financial cost of the optimized attack.
+
+Paper: six services x six launches x 800 instances costs on average
+$24 / $23 / $27 in us-east1 / us-central1 / us-west1 — idle time is free,
+only launch activity bills.
+"""
+
+from repro.experiments import attack_cost as ac
+from repro.experiments.report import ComparisonRow, format_comparison
+
+from benchmarks.conftest import run_once
+
+CONFIG = ac.AttackCostConfig(repetitions=2)  # paper: 3
+
+
+def test_sec52_attack_cost(benchmark, emit):
+    result = run_once(benchmark, lambda: ac.run(CONFIG))
+
+    emit(
+        format_comparison(
+            "§5.2 — cost of the optimized co-location attack",
+            [
+                ComparisonRow(
+                    f"{region}: attack cost",
+                    f"${ac.PAPER_COST_USD[region]:.0f}",
+                    f"${result.mean_cost_usd[region]:.2f}",
+                )
+                for region in CONFIG.regions
+            ],
+        )
+    )
+
+    for region in CONFIG.regions:
+        measured = result.mean_cost_usd[region]
+        paper = ac.PAPER_COST_USD[region]
+        # Same order of magnitude, within ~2x.
+        assert paper / 2 < measured < paper * 2, (region, measured)
+    # The attack is cheap in absolute terms — tens of dollars.
+    assert all(cost < 60 for cost in result.mean_cost_usd.values())
+
+
+def test_sec52_cost_footprint_ablation(benchmark, emit):
+    """Ablation: more services / launches buy a wider footprint for more
+    money; the paper's 6x6 configuration sits on the knee of the curve."""
+    results = run_once(benchmark, lambda: ac.run_ablation(ac.AblationConfig()))
+
+    emit(
+        format_comparison(
+            "§5.2 ablation — (services, launches) -> cost / apparent hosts",
+            [
+                ComparisonRow(
+                    f"services={s}, launches={l}",
+                    "-",
+                    f"${cost:.2f} / {hosts} hosts",
+                )
+                for (s, l), (cost, hosts) in sorted(results.items())
+            ],
+        )
+    )
+
+    # Footprint grows with both knobs.
+    assert results[(6, 6)][1] > results[(1, 6)][1]
+    assert results[(6, 6)][1] > results[(6, 2)][1]
+    # Cost scales roughly linearly with services x launches.
+    assert results[(6, 6)][0] > 4 * results[(1, 2)][0]

@@ -1,0 +1,41 @@
+"""§5.2 Strategy 1: naive instance launching.
+
+Paper: despite 4,800 attacker instances, coverage is zero everywhere except
+Account 2 in us-west1 (100%, shared base hosts by luck) and Account 3 in
+us-central1 (81%).
+"""
+
+from repro.experiments import coverage as cov
+from repro.experiments.report import format_series, pct
+
+from benchmarks.conftest import run_once
+
+CONFIG = cov.MatrixConfig(strategy="naive", repetitions=2)
+
+
+def test_sec52_naive_strategy(benchmark, emit):
+    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG))
+
+    rows = []
+    for (region, account, _n, _s), cell in sorted(cells.items()):
+        paper = cov.PAPER_NAIVE_GEN1[(region, account)]
+        rows.append((region, account, pct(paper), pct(cell.mean)))
+    emit(
+        format_series(
+            "§5.2 — naive launching strategy (4,800 instances, cold services)",
+            ("region", "account", "paper", "measured"),
+            rows,
+        )
+    )
+
+    for (region, account, _n, _s), cell in cells.items():
+        paper = cov.PAPER_NAIVE_GEN1[(region, account)]
+        assert abs(cell.mean - paper) < 0.15, (region, account, cell.mean, paper)
+
+    # The decisive qualitative pattern:
+    assert cells[("us-east1", "account-2", 100, "Small")].mean == 0.0
+    assert cells[("us-east1", "account-3", 100, "Small")].mean == 0.0
+    assert cells[("us-west1", "account-3", 100, "Small")].mean == 0.0
+    assert cells[("us-west1", "account-2", 100, "Small")].mean > 0.95
+    assert cells[("us-central1", "account-3", 100, "Small")].mean > 0.6
+    assert cells[("us-central1", "account-2", 100, "Small")].mean < 0.15

@@ -1,0 +1,42 @@
+"""Extension bench: all-day surveillance of an autoscaling victim.
+
+Sustained co-location needs residency maintenance (idle instances die in
+~12 minutes); this bench holds an attacker fleet through a victim's full
+diurnal traffic cycle and reports hour-by-hour coverage and the day's bill.
+"""
+
+from repro.experiments import surveillance as sv
+from repro.experiments.report import format_series
+
+from benchmarks.conftest import run_once
+
+CONFIG = sv.SurveillanceConfig(duration_hours=12.0)
+
+
+def test_all_day_surveillance(benchmark, emit):
+    result = run_once(benchmark, lambda: sv.run(CONFIG))
+
+    emit(
+        format_series(
+            "Surveillance — coverage across the victim's day",
+            ("hour", "victim_instances", "coverage"),
+            result.series,
+        )
+    )
+    emit(
+        f"setup ${result.setup_cost_usd:.2f} + maintenance "
+        f"${result.maintenance_cost_usd:.2f} over {CONFIG.duration_hours:.0f} h "
+        f"(${result.maintenance_cost_usd / CONFIG.duration_hours:.2f}/h)"
+    )
+
+    # Coverage holds through scale-out and scale-in alike.
+    assert result.min_coverage > 0.9
+    assert result.mean_coverage > 0.95
+    # The victim fleet really breathed (peak >= 2x trough).
+    victim_counts = [n for _h, n, _c in result.series]
+    assert max(victim_counts) >= 2 * min(victim_counts)
+    # Keep-alive is far cheaper than staying connected all day
+    # (4,800 always-on Small instances would bill ~$105/day... per hour:).
+    always_on_per_hour = 4800 * 3600 * (0.000024 + 0.512 * 0.0000025)
+    measured_per_hour = result.maintenance_cost_usd / CONFIG.duration_hours
+    assert measured_per_hour < always_on_per_hour / 20

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Measuring the size of a FaaS datacenter from the outside (§5.2, Fig. 12).
+
+Uses services from multiple accounts (each starting from its own base-host
+set) primed with the optimized launching pattern, and counts cumulative
+unique apparent hosts until the growth flattens.
+
+Run:  python examples/datacenter_census.py [region]
+"""
+
+import sys
+
+from repro.core.attack.census import estimate_cluster_size
+from repro.core.attack.strategies import optimized_launch
+from repro.experiments.base import VICTIM_ACCOUNTS, default_env
+
+
+def main() -> None:
+    region = sys.argv[1] if len(sys.argv) > 1 else "us-west1"
+    env = default_env(region, seed=31)
+    clients = [env.attacker] + [env.victim(a) for a in VICTIM_ACCOUNTS]
+
+    print(f"censusing {region} with 24 services across 3 accounts...")
+    result = estimate_cluster_size(
+        clients,
+        services_per_account=8,
+        launches_per_service=4,
+        instances_per_launch=800,
+    )
+
+    print("cumulative unique apparent hosts (every 8th launch):")
+    for i in range(7, result.n_launches, 8):
+        print(f"  after launch {i + 1:>2}: {result.cumulative_unique[i]}")
+    print(f"estimated cluster size: {result.total_unique} hosts")
+
+    # How much of that can one account hold at once?
+    attack_env = default_env(region, seed=32)
+    outcome = optimized_launch(attack_env.attacker)
+    share = len(outcome.apparent_hosts) / result.total_unique
+    print(
+        f"a 6-service optimized attack occupies {len(outcome.apparent_hosts)} hosts "
+        f"at once = {100 * share:.0f}% of the census, for ${outcome.cost_usd:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

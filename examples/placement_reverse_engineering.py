@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Reverse engineering a FaaS placement policy from the outside (§5.1).
+
+Replays the paper's Experiments 1-4 against the simulated platform using
+only the black-box client API, printing the observation each experiment
+supports:
+
+  1. instance distribution over hosts (near-uniform, ~75 base hosts);
+  2. idle-instance termination (gradual, ~2-12 minutes);
+  3. footprint stability across cold launches (base hosts per account);
+  4. helper-host recruitment for hot services (short launch intervals).
+
+Run:  python examples/placement_reverse_engineering.py
+"""
+
+from collections import Counter
+
+from repro import units
+from repro.cloud.services import ServiceConfig
+from repro.core.fingerprint import fingerprint_gen1_instances
+from repro.experiments.base import default_env
+
+
+def footprint(client, name, n=800):
+    handles = client.connect(name, n)
+    return {fp for _h, fp in fingerprint_gen1_instances(handles, p_boot=1.0)}
+
+
+def experiment_1(env) -> None:
+    client = env.attacker
+    name = client.deploy(ServiceConfig(name="exp1", max_instances=800))
+    handles = client.connect(name, 800)
+    tagged = fingerprint_gen1_instances(handles, p_boot=1.0)
+    counts = Counter(fp for _h, fp in tagged)
+    per_host = Counter(counts.values())
+    print("[Exp 1] 800 instances of one service:")
+    print(f"  apparent hosts: {len(counts)}")
+    print(f"  instances-per-host histogram: {dict(sorted(per_host.items()))}")
+
+
+def experiment_2_idle(env) -> None:
+    client = env.attacker
+    name = client.deploy(ServiceConfig(name="exp2", max_instances=800))
+    handles = client.connect(name, 800)
+    client.disconnect(name)
+    print("[Exp 1b] idle instances after disconnecting:")
+    elapsed = 0.0
+    for step_minutes in (2, 4, 6, 8, 10, 12, 14):
+        client.wait(step_minutes * units.MINUTE - elapsed)
+        elapsed = step_minutes * units.MINUTE
+        alive = sum(h.alive for h in handles)
+        print(f"  t={step_minutes:>2} min: {alive:>3} alive")
+
+
+def experiment_3_base_hosts(env) -> None:
+    client = env.attacker
+    name = client.deploy(ServiceConfig(name="exp3", max_instances=800))
+    cumulative: set = set()
+    print("[Exp 2] six cold launches, 45-minute interval:")
+    for launch in range(6):
+        fps = footprint(client, name)
+        cumulative |= fps
+        print(f"  launch {launch + 1}: {len(fps)} hosts, cumulative {len(cumulative)}")
+        client.disconnect(name)
+        client.wait(45 * units.MINUTE)
+    print("  -> footprints overlap almost perfectly: per-account base hosts")
+
+
+def experiment_4_helpers(env) -> None:
+    client = env.attacker
+    name = client.deploy(ServiceConfig(name="exp4", max_instances=800))
+    cumulative: set = set()
+    print("[Exp 4] six launches, 10-minute interval (hot service):")
+    for launch in range(6):
+        fps = footprint(client, name)
+        cumulative |= fps
+        print(f"  launch {launch + 1}: {len(fps)} hosts, cumulative {len(cumulative)}")
+        client.disconnect(name)
+        client.wait(10 * units.MINUTE)
+    print("  -> the load balancer recruits helper hosts for hot services")
+
+
+def main() -> None:
+    env = default_env("us-east1", seed=11)
+    experiment_1(env)
+    env = default_env("us-east1", seed=12)
+    experiment_2_idle(env)
+    env = default_env("us-east1", seed=13)
+    experiment_3_base_hosts(env)
+    env = default_env("us-east1", seed=14)
+    experiment_4_helpers(env)
+
+
+if __name__ == "__main__":
+    main()

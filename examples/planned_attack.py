@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The full loop: infer the policy, plan the attack, execute, compare.
+
+1. Infer the placement policy from cheap black-box probes
+   (examples/policy_inference.py shows the details).
+2. Feed the estimates to the analytic planner and ask for the cheapest
+   schedule reaching a target footprint.
+3. Execute the planned schedule and compare prediction vs. reality.
+
+Run:  python examples/planned_attack.py
+"""
+
+from repro import units
+from repro.analysis.policy_inference import (
+    estimate_base_set_size,
+    estimate_recruit_rate,
+    fit_idle_policy,
+)
+from repro.core.attack.planner import AttackPlanner, PolicyModel
+from repro.core.attack.strategies import optimized_launch
+from repro.experiments.base import default_env
+from repro.experiments import idle_termination, launch_behavior
+
+
+def infer_policy() -> PolicyModel:
+    print("[1/3] inferring the placement policy black-box...")
+    idle_curve = idle_termination.run(idle_termination.IdleTerminationConfig(seed=91))
+    idle = fit_idle_policy(idle_curve.series, total_instances=800)
+    cold = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(launches=2, seed=92)
+    )
+    base = estimate_base_set_size(cold.per_launch)
+    hot = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(interval=10 * units.MINUTE, seed=93)
+    )
+    rate = estimate_recruit_rate(
+        hot.per_launch, instances_per_launch=800,
+        interval_s=10 * units.MINUTE, idle_policy=idle,
+    )
+    print(f"  base={base} hosts, idle=[{idle.grace_s / 60:.1f}, "
+          f"{idle.deadline_s / 60:.1f}] min, recruit rate={rate:.3f}")
+    return PolicyModel(
+        base_set_size=base,
+        idle=idle,
+        hot_window_s=30 * units.MINUTE,  # bracketed by the interval sweep
+        recruit_rate=rate,
+        helper_pool_cap=250,
+        candidate_pool_size=225,
+    )
+
+
+def main() -> None:
+    policy = infer_policy()
+    planner = AttackPlanner(policy)
+
+    print("[2/3] planning the cheapest schedule reaching 280 hosts...")
+    prediction = planner.plan(target_hosts=280)
+    s = prediction.schedule
+    print(f"  plan: {s.n_services} services x {s.launches} launches x "
+          f"{s.instances_per_service} instances @ {s.interval_s / 60:.0f} min")
+    print(f"  predicted: {prediction.expected_hosts:.0f} hosts, "
+          f"${prediction.cost_usd:.2f}, {prediction.duration_s / 60:.0f} min")
+
+    print("[3/3] executing the planned schedule...")
+    env = default_env("us-east1", seed=94)
+    outcome = optimized_launch(
+        env.attacker,
+        n_services=s.n_services,
+        launches=s.launches,
+        instances_per_service=s.instances_per_service,
+        interval_s=s.interval_s,
+    )
+    print(f"  measured:  {len(outcome.apparent_hosts)} hosts, "
+          f"${outcome.cost_usd:.2f}")
+    error = abs(len(outcome.apparent_hosts) - prediction.expected_hosts)
+    print(f"  prediction error: {error:.0f} hosts "
+          f"({100 * error / len(outcome.apparent_hosts):.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

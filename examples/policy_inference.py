@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quantitative black-box policy inference (extension of §5.1).
+
+The paper's Experiments 1-4 reverse engineer Cloud Run *qualitatively*.
+This example closes the loop quantitatively: it measures the orchestrator
+from the outside and prints the inferred policy parameters next to the
+simulator's true values — the kind of model an attacker needs to plan
+launch schedules without further probing.
+
+Run:  python examples/policy_inference.py
+"""
+
+from repro import units
+from repro.analysis.policy_inference import (
+    estimate_base_set_size,
+    estimate_hot_window,
+    estimate_recruit_rate,
+    fit_idle_policy,
+)
+from repro.cloud.topology import region_profile
+from repro.experiments import idle_termination, launch_behavior
+
+
+def main() -> None:
+    true = region_profile("us-east1")
+
+    print("fitting the idle-termination policy (one 800-instance launch)...")
+    idle_curve = idle_termination.run(
+        idle_termination.IdleTerminationConfig(seed=81)
+    )
+    idle = fit_idle_policy(idle_curve.series, total_instances=800)
+    print(f"  grace:    inferred {idle.grace_s / 60:.1f} min"
+          f"  (true {true.idle_grace / 60:.0f} min)")
+    print(f"  deadline: inferred {idle.deadline_s / 60:.1f} min"
+          f"  (true {true.idle_deadline / 60:.0f} min)")
+
+    print("estimating the base-host-set size (three cold launches)...")
+    cold = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(launches=3, seed=82)
+    )
+    base_size = estimate_base_set_size(cold.per_launch)
+    print(f"  base hosts: inferred {base_size}  (true {true.shard_size})")
+
+    print("bracketing the hot window (interval sweep)...")
+    sweep = launch_behavior.run_interval_sweep(
+        launch_behavior.IntervalSweepConfig(
+            intervals_minutes=(2.0, 10.0, 20.0, 30.0, 45.0), seed=83
+        )
+    )
+    growth = {interval: series.growth for interval, series in sweep.items()}
+    window = estimate_hot_window(growth)
+    print(f"  hot window: inferred ~{window:.0f} min"
+          f"  (true {true.hot_window / 60:.0f} min)")
+
+    print("estimating the helper recruitment rate (hot launch series)...")
+    hot = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(interval=10 * units.MINUTE, seed=84)
+    )
+    rate = estimate_recruit_rate(
+        hot.per_launch,
+        instances_per_launch=800,
+        interval_s=10 * units.MINUTE,
+        idle_policy=idle,
+    )
+    print(f"  recruit rate: inferred {rate:.3f} helpers/new instance"
+          f"  (true {true.helper_recruit_fraction:.3f})")
+
+
+if __name__ == "__main__":
+    main()

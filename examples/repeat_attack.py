@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Repeat attacks with victim profiling (§5.2, attack optimizations).
+
+First strike: run a full campaign, verify co-location, and record the
+fingerprints of hosts that serve victim instances (the victim's likely
+base hosts).  Second strike, days later: launch again and use the profile
+to focus side-channel effort on the handful of attacker instances that sit
+on profiled hosts — instead of monitoring thousands.
+
+Run:  python examples/repeat_attack.py
+"""
+
+from repro import units
+from repro.core.attack.campaign import ColocationCampaign
+from repro.core.attack.strategies import optimized_launch
+from repro.core.attack.targeting import VictimProfile
+from repro.core.fingerprint import fingerprint_gen1_instances
+from repro.experiments.base import default_env
+
+
+def main() -> None:
+    env = default_env("us-east1", seed=61)
+    attacker = env.attacker
+    victim = env.victim("account-2")
+
+    # --- First strike: full campaign with verification. ---
+    campaign = ColocationCampaign(
+        attacker=attacker,
+        victim=victim,
+        strategy=lambda c: optimized_launch(c, service_prefix="strike1"),
+    )
+    result = campaign.run(n_victim_instances=100, victim_service_name="victim-api")
+    print(f"strike 1: coverage {100 * result.coverage:.1f}%, "
+          f"{result.shared_hosts} shared hosts")
+
+    # Record the victim's host fingerprints from the verified clusters: the
+    # attacker fingerprints its own instances (cheap) and keeps those whose
+    # verified cluster also contains a victim instance.
+    cluster_of = result.verification.cluster_index()
+    victim_handles = [
+        h for cluster in result.verification.clusters for h in cluster
+        if h.instance_id.startswith("account-2/")
+    ]
+    attacker_alive = [
+        h for cluster in result.verification.clusters for h in cluster
+        if h.instance_id.startswith("account-1/") and h.alive
+    ]
+    tagged = fingerprint_gen1_instances(attacker_alive, p_boot=1.0)
+    profile = VictimProfile.from_campaign(
+        now=attacker.now(),
+        victim_handles=victim_handles,
+        cluster_of=cluster_of,
+        attacker_fingerprints={h.instance_id: fp for h, fp in tagged},
+    )
+    print(f"profiled {len(profile.fingerprints)} victim host fingerprints")
+
+    # --- Days pass; everyone's instances die. ---
+    for name in attacker.service_names():
+        attacker.disconnect(name)
+    victim.disconnect("victim-api")
+    attacker.wait(2 * units.DAY)
+
+    # --- Second strike: launch, then focus on profiled hosts only. ---
+    outcome = optimized_launch(attacker, service_prefix="strike2")
+    tagged2 = fingerprint_gen1_instances(outcome.handles, p_boot=1.0)
+    targets = profile.select_targets(tagged2, now=attacker.now())
+    print(
+        f"strike 2: {len(outcome.handles)} instances launched, "
+        f"{len(targets)} sit on profiled victim hosts "
+        f"({100 * len(targets) / len(outcome.handles):.1f}% of the fleet)"
+    )
+
+    # Validate against the oracle: how many targets truly share a host with
+    # the victim's relaunched fleet?
+    victim_handles2 = victim.connect("victim-api", 100)
+    orch = env.orchestrator
+    victim_hosts = {orch.true_host_of(h.instance_id) for h in victim_handles2}
+    on_target = sum(
+        1 for h in targets if orch.true_host_of(h.instance_id) in victim_hosts
+    )
+    print(
+        f"targeting precision: {on_target}/{len(targets)} focused instances "
+        f"are truly co-located with the victim"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Attacking a victim with realistic, traffic-driven autoscaling.
+
+The paper's evaluation pins victim fleets at fixed sizes; real victims
+breathe with their traffic (§2.2 autoscaling).  Here the victim is a
+login service whose instance count follows a diurnal load with a lunchtime
+burst, driven by the platform autoscaler — and the attacker's primed
+footprint still covers it at every point of the day.
+
+Run:  python examples/victim_workload.py
+"""
+
+from repro import units
+from repro.cloud.autoscaler import Autoscaler
+from repro.cloud.services import ServiceConfig
+from repro.cloud.workloads import BurstLoad, DiurnalLoad
+from repro.core.attack.strategies import optimized_launch
+from repro.experiments.base import default_env
+
+
+class LunchRush:
+    """Diurnal base traffic plus a lunchtime burst."""
+
+    def __init__(self) -> None:
+        self.diurnal = DiurnalLoad(trough=10, peak=60, period_s=units.DAY)
+        self.burst = BurstLoad(
+            base=0, burst=40,
+            burst_start_s=0.5 * units.HOUR, burst_duration_s=1 * units.HOUR,
+        )
+
+    def concurrency_at(self, elapsed_s: float) -> int:
+        return self.diurnal.concurrency_at(elapsed_s) + self.burst.concurrency_at(
+            elapsed_s
+        )
+
+
+def main() -> None:
+    env = default_env("us-east1", seed=71)
+
+    # The attacker primes its fleet first and stays resident.
+    outcome = optimized_launch(env.attacker)
+    attacker_hosts = {
+        env.orchestrator.true_host_of(h.instance_id)
+        for h in outcome.handles
+        if h.alive
+    }
+    print(f"attacker resident on {len(attacker_hosts)} hosts (${outcome.cost_usd:.2f})")
+
+    # The victim's service scales with its traffic.
+    victim_service = env.orchestrator.deploy_service(
+        "account-2", ServiceConfig(name="login", max_instances=200)
+    )
+    scaler = Autoscaler(env.orchestrator, victim_service, evaluation_period_s=60.0)
+    trace = scaler.drive(LunchRush(), duration_s=2 * units.HOUR)
+
+    print("victim autoscaling over two hours (sampled every 15 min):")
+    for point in trace.points[::15]:
+        victims = env.orchestrator.alive_instances(victim_service)
+        covered = sum(1 for i in victims if i.host_id in attacker_hosts)
+        active = [i for i in victims if i.state.value == "active"]
+        print(
+            f"  t={point.elapsed_s / 60:>5.0f} min  demand={point.demanded_concurrency:>3} "
+            f"active={point.active_instances:>3}  covered "
+            f"{covered}/{len(victims)} instances"
+        )
+
+    print(f"peak {trace.peak_instances} / trough {trace.trough_instances} instances")
+    victims = env.orchestrator.alive_instances(victim_service)
+    covered = sum(1 for i in victims if i.host_id in attacker_hosts)
+    print(
+        f"end of window: attacker co-located with {covered}/{len(victims)} "
+        f"victim instances ({100 * covered / len(victims):.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim so `python setup.py develop` works on old tooling.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

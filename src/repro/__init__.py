@@ -1,0 +1,61 @@
+"""EAAO reproduction: co-location attacks on public cloud FaaS.
+
+A production-quality reproduction of "Everywhere All at Once: Co-Location
+Attacks on Public Cloud FaaS" (Zhao, Morrison, Fletcher, Torrellas --
+ASPLOS 2024) on a simulated Cloud Run-style substrate.
+
+Layers
+------
+``repro.simtime``
+    Deterministic simulated wall clock and event scheduler.
+``repro.hardware``
+    Physical hosts: CPU models, invariant TSC (with per-host frequency
+    error), timing-noise models, and the shared hardware RNG.
+``repro.sandbox``
+    Gen 1 (gVisor-style container) and Gen 2 (microVM) execution
+    environments.
+``repro.cloud``
+    The FaaS platform: orchestrator, placement policy, autoscaling,
+    billing, and the black-box client API.
+``repro.core``
+    The paper's contribution: host fingerprinting, scalable co-location
+    verification, and adversarial launching strategies.
+``repro.analysis``
+    Clustering metrics (FMI), drift fitting, distribution helpers.
+``repro.experiments``
+    Drivers regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro.experiments.base import default_env
+>>> from repro.core.attack.strategies import optimized_launch
+>>> env = default_env("us-west1", seed=1)
+>>> outcome = optimized_launch(env.attacker, n_services=2, launches=3,
+...                            instances_per_service=100)
+>>> len(outcome.apparent_hosts) > 0
+True
+"""
+
+from repro._version import __version__
+from repro.cloud import DataCenter, FaaSClient, Orchestrator
+from repro.core import (
+    Gen1Fingerprint,
+    Gen2Fingerprint,
+    PairwiseVerifier,
+    RngCovertChannel,
+    ScalableVerifier,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "DataCenter",
+    "FaaSClient",
+    "Orchestrator",
+    "Gen1Fingerprint",
+    "Gen2Fingerprint",
+    "PairwiseVerifier",
+    "RngCovertChannel",
+    "ScalableVerifier",
+    "ReproError",
+]

@@ -1,0 +1,90 @@
+"""Minimal ASCII chart rendering for terminal figure regeneration.
+
+The benchmark harness prints tables; the CLI can additionally sketch the
+figure shapes (decay curves, CDFs, step patterns) directly in the
+terminal so the reproduction is visually checkable without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def render_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render one (x, y) series as an ASCII scatter chart.
+
+    Parameters
+    ----------
+    xs / ys:
+        The data series (equal lengths, at least two points).
+    width / height:
+        Plot area size in characters.
+    title / x_label / y_label:
+        Optional labels.
+    log_x:
+        Plot against log10(x) (for sweeps spanning decades, like Fig. 4).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to plot")
+    x_values = [math.log10(x) for x in xs] if log_x else list(map(float, xs))
+    y_values = list(map(float, ys))
+
+    x_min, x_max = min(x_values), max(x_values)
+    y_min, y_max = min(y_values), max(y_values)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(x_values, y_values):
+        col = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    axis_left = f"{x_min:.4g}" if not log_x else f"1e{x_min:.0f}"
+    axis_right = f"{x_max:.4g}" if not log_x else f"1e{x_max:.0f}"
+    axis = axis_left + axis_right.rjust(width - len(axis_left))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + "  " + axis)
+    if x_label or y_label:
+        lines.append(" " * pad + f"  x: {x_label}   y: {y_label}".rstrip())
+    return "\n".join(lines)
+
+
+def render_cdf(
+    values: Sequence[float], width: int = 60, height: int = 14, title: str = ""
+) -> str:
+    """Render the empirical CDF of ``values`` as an ASCII chart."""
+    if not values:
+        raise ValueError("cannot plot a CDF of zero samples")
+    ordered = sorted(values)
+    fractions = [(i + 1) / len(ordered) for i in range(len(ordered))]
+    return render_series(
+        ordered, fractions, width=width, height=height, title=title,
+        x_label="value", y_label="CDF",
+    )

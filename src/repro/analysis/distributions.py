@@ -1,0 +1,56 @@
+"""Small distribution utilities shared by experiments and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` arrays of the empirical CDF of ``values``.
+
+    ``x`` is sorted ascending and ``F(x)`` gives the fraction of samples
+    less than or equal to each ``x``.
+    """
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from zero samples")
+    fractions = np.arange(1, array.size + 1) / array.size
+    return array, fractions
+
+
+def cdf_at(values: Sequence[float], points: Sequence[float]) -> list[float]:
+    """Evaluate the empirical CDF of ``values`` at the given ``points``."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot evaluate a CDF with zero samples")
+    return [float(np.searchsorted(array, p, side="right")) / array.size for p in points]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample of floats."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize zero samples")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        maximum=float(array.max()),
+    )

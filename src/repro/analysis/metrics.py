@@ -1,0 +1,125 @@
+"""Clustering-quality and attack-efficacy metrics.
+
+Fingerprint accuracy is scored pairwise (paper §4.4.1): every unordered pair
+of instances is a (true/false) (positive/negative) depending on whether the
+fingerprints match and whether the instances are truly co-located.  The
+Fowlkes-Mallows index ``FMI = sqrt(precision * recall)`` summarizes both
+error modes; 1.0 means perfect fingerprints.
+
+Attack efficacy is the *victim instance coverage*: the fraction of victim
+instances co-located with at least one attacker instance (§5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class PairConfusion:
+    """Pairwise confusion counts between predicted and true groupings."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when there are no positives at all."""
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there are no true pairs at all."""
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def fmi(self) -> float:
+        """Fowlkes-Mallows index: sqrt(precision * recall)."""
+        return math.sqrt(self.precision * self.recall)
+
+
+def pair_confusion(
+    predicted: Mapping[str, Hashable], truth: Mapping[str, Hashable]
+) -> PairConfusion:
+    """Compute pairwise confusion counts.
+
+    Parameters
+    ----------
+    predicted:
+        Instance id -> predicted group label (e.g. its fingerprint).
+    truth:
+        Instance id -> true group label (e.g. its verified cluster).  Must
+        cover the same instances as ``predicted``.
+
+    Notes
+    -----
+    Uses the standard O(K^2)-free contingency formulation instead of
+    enumerating all N(N-1)/2 pairs, so it scales to thousands of instances.
+    """
+    if set(predicted) != set(truth):
+        raise ValueError("predicted and truth must cover the same instances")
+    n = len(predicted)
+    contingency: dict[tuple[Hashable, Hashable], int] = {}
+    pred_sizes: dict[Hashable, int] = {}
+    true_sizes: dict[Hashable, int] = {}
+    for instance_id, pred_label in predicted.items():
+        true_label = truth[instance_id]
+        contingency[(pred_label, true_label)] = (
+            contingency.get((pred_label, true_label), 0) + 1
+        )
+        pred_sizes[pred_label] = pred_sizes.get(pred_label, 0) + 1
+        true_sizes[true_label] = true_sizes.get(true_label, 0) + 1
+
+    def pairs(count: int) -> int:
+        return count * (count - 1) // 2
+
+    tp = sum(pairs(c) for c in contingency.values())
+    predicted_pairs = sum(pairs(c) for c in pred_sizes.values())
+    true_pairs = sum(pairs(c) for c in true_sizes.values())
+    fp = predicted_pairs - tp
+    fn = true_pairs - tp
+    tn = pairs(n) - tp - fp - fn
+    return PairConfusion(
+        true_positive=tp, false_positive=fp, true_negative=tn, false_negative=fn
+    )
+
+
+def fowlkes_mallows_index(
+    predicted: Mapping[str, Hashable], truth: Mapping[str, Hashable]
+) -> float:
+    """Convenience wrapper returning only the FMI."""
+    return pair_confusion(predicted, truth).fmi
+
+
+def victim_instance_coverage(
+    victim_ids: Sequence[str],
+    attacker_ids: Sequence[str],
+    cluster_of: Mapping[str, Hashable],
+) -> float:
+    """Fraction of victim instances co-located with >= 1 attacker instance.
+
+    Parameters
+    ----------
+    victim_ids / attacker_ids:
+        Instance ids of the two parties.
+    cluster_of:
+        Instance id -> co-location cluster label (from verification).
+        Victim instances missing from the mapping count as uncovered.
+    """
+    if not victim_ids:
+        raise ValueError("coverage is undefined without victim instances")
+    attacker_clusters = {
+        cluster_of[iid] for iid in attacker_ids if iid in cluster_of
+    }
+    covered = sum(
+        1
+        for iid in victim_ids
+        if iid in cluster_of and cluster_of[iid] in attacker_clusters
+    )
+    return covered / len(victim_ids)

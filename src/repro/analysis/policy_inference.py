@@ -1,0 +1,150 @@
+"""Inferring orchestrator policy parameters from black-box observations.
+
+The paper reverse engineers Cloud Run qualitatively (Observations 1-6).
+This module pushes one step further — the natural "future work" — by
+*quantifying* the hidden policy from the same black-box measurements:
+
+* base-host-set size, from cold-launch footprints;
+* the idle grace period and termination deadline, from a Fig. 6-style
+  termination curve;
+* the load balancer's hot window, from an interval sweep (the largest
+  interval that still recruits helper hosts);
+* the helper recruitment rate (hosts recruited per newly created
+  instance), by combining a hot launch series with the fitted idle model.
+
+An attacker uses these estimates to plan launch schedules without further
+probing; :mod:`repro.experiments` uses them to close the loop and check the
+simulator's parameters are recoverable from the outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IdlePolicyEstimate:
+    """Estimated idle-instance termination policy.
+
+    Attributes
+    ----------
+    grace_s:
+        Estimated time idle instances are always preserved.
+    deadline_s:
+        Estimated time by which all idle instances are gone.
+    """
+
+    grace_s: float
+    deadline_s: float
+
+    def survival_fraction(self, idle_s: float) -> float:
+        """Expected fraction of idle instances alive after ``idle_s``.
+
+        Assumes per-instance termination times uniform on
+        ``[grace, deadline]`` — the shape a linear decay implies.
+        """
+        if idle_s <= self.grace_s:
+            return 1.0
+        if idle_s >= self.deadline_s:
+            return 0.0
+        return (self.deadline_s - idle_s) / (self.deadline_s - self.grace_s)
+
+
+def fit_idle_policy(
+    series: Sequence[tuple[float, int]], total_instances: int
+) -> IdlePolicyEstimate:
+    """Fit the idle-termination policy from a Fig. 6-style curve.
+
+    Parameters
+    ----------
+    series:
+        ``(minutes_since_disconnect, instances_alive)`` samples.
+    total_instances:
+        The initial instance count.
+
+    The grace period is the last time the full fleet was still alive; the
+    deadline is extrapolated from a linear fit of the decaying segment
+    (more robust than the first all-dead sample, which overshoots by one
+    sampling interval).
+    """
+    if len(series) < 3:
+        raise ValueError("need at least 3 samples to fit the idle policy")
+    times = np.array([t for t, _n in series], dtype=float) * 60.0
+    alive = np.array([n for _t, n in series], dtype=float)
+
+    full = times[alive >= total_instances]
+    grace = float(full.max()) if full.size else 0.0
+
+    decaying = (alive < total_instances) & (alive > 0)
+    if decaying.sum() >= 2:
+        slope, intercept = np.polyfit(times[decaying], alive[decaying], deg=1)
+        deadline = float(-intercept / slope) if slope < 0 else float(times.max())
+    else:
+        dead = times[alive <= 0]
+        deadline = float(dead.min()) if dead.size else float(times.max())
+    return IdlePolicyEstimate(grace_s=grace, deadline_s=max(deadline, grace))
+
+
+def estimate_base_set_size(cold_footprints: Sequence[int]) -> int:
+    """Estimate the per-account base-host-set size from cold launches.
+
+    Cold launches land on exactly the base hosts, so the footprint sizes
+    concentrate at the base-set size; the median rejects stragglers.
+    """
+    if not cold_footprints:
+        raise ValueError("need at least one cold-launch footprint")
+    return int(round(float(np.median(list(cold_footprints)))))
+
+
+def estimate_hot_window(
+    growth_by_interval: Mapping[float, int], noise_threshold: int = 8
+) -> float:
+    """Estimate the load balancer's demand lookback window.
+
+    Parameters
+    ----------
+    growth_by_interval:
+        Launch-interval (minutes) -> cumulative footprint growth after a
+        fixed number of repeated launches (Fig. 9's companion sweep).
+    noise_threshold:
+        Growth at or below this is considered "no recruitment" (cold
+        launches show a few hosts of churn).
+
+    Returns the midpoint between the largest interval that still recruited
+    and the smallest that did not — the attacker's best bracket for the
+    window, in minutes.
+    """
+    recruited = [i for i, g in growth_by_interval.items() if g > noise_threshold]
+    quiet = [i for i, g in growth_by_interval.items() if g <= noise_threshold]
+    if not recruited:
+        raise ValueError("no interval showed helper recruitment")
+    upper = min((i for i in quiet if i > max(recruited)), default=max(recruited))
+    return (max(recruited) + upper) / 2.0
+
+
+def estimate_recruit_rate(
+    per_launch_footprints: Sequence[int],
+    instances_per_launch: int,
+    interval_s: float,
+    idle_policy: IdlePolicyEstimate,
+) -> float:
+    """Estimate helper hosts recruited per newly created instance.
+
+    Each hot launch must re-create the instances that idled out since the
+    previous launch; the footprint growth divided by that replacement count
+    is the recruitment rate.  Averaged across the hot launches of a series.
+    """
+    if len(per_launch_footprints) < 2:
+        raise ValueError("need at least two launches to estimate recruitment")
+    survival = idle_policy.survival_fraction(interval_s)
+    replaced = instances_per_launch * (1.0 - survival)
+    if replaced <= 0:
+        raise ValueError("the interval terminates no instances; rate undefined")
+    growths = np.diff(np.asarray(per_launch_footprints, dtype=float))
+    positive = growths[growths > 0]
+    if positive.size == 0:
+        return 0.0
+    return float(positive.mean() / replaced)

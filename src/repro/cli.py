@@ -1,0 +1,73 @@
+"""Command-line interface: regenerate paper experiments from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run exp1
+    python -m repro run fig9 --scale full
+    python -m repro run all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Everywhere All at Once: Co-Location Attacks "
+            "on Public Cloud FaaS' (ASPLOS 2024) on a simulated substrate."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id from 'repro list', or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick: reduced repetitions (seconds); full: benchmark scale",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for eid, (description, _runner) in sorted(EXPERIMENTS.items()):
+            print(f"{eid:<{width}}  {description}")
+        return 0
+
+    if args.command == "run":
+        ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for eid in ids:
+            try:
+                report = run_experiment(eid, scale=args.scale)
+            except KeyError as error:
+                print(error.args[0], file=sys.stderr)
+                return 2
+            print(report)
+            print()
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

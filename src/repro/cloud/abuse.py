@@ -1,0 +1,155 @@
+"""Platform-side detection of covert-channel campaigns (§6).
+
+The paper notes providers can "detect and stop ongoing side-channel
+attacks" (CloudRadar-style defenses).  The co-location *verification* step
+has a loud signature the provider can see: one account's instances hammer
+the hardware RNG simultaneously across many hosts within a short window.
+Ordinary tenants touch the RNG rarely, briefly, and on few hosts.
+
+:class:`AbuseMonitor` samples per-host RNG pressure as simulated time
+advances, attributes it to accounts, and flags any account whose pressure
+footprint spans too many distinct hosts inside a sliding window.  With
+``enforce=True`` a flagged account's services are terminated on the spot —
+which stops the scalable verifier mid-campaign.
+
+This module is a *defense* evaluation tool: the benchmark shows the
+paper's methodology is detectable, not how to hide it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.orchestrator import Orchestrator
+
+
+@dataclass
+class PressureEvent:
+    """One sampled (account, host) RNG-pressure observation."""
+
+    at: float
+    account_id: str
+    host_id: str
+
+
+@dataclass
+class AbuseVerdict:
+    """Why an account was flagged."""
+
+    account_id: str
+    at: float
+    hosts_in_window: int
+
+
+class AbuseMonitor:
+    """Flags accounts running cross-host RNG-contention campaigns.
+
+    Parameters
+    ----------
+    orchestrator:
+        The platform to observe (hooks onto its clock).
+    sample_period_s:
+        Minimum spacing between samples.
+    window_s:
+        Sliding window over which an account's pressured-host set is
+        accumulated.
+    host_threshold:
+        Flag an account when its window footprint reaches this many
+        distinct hosts.  Benign RNG users (crypto services) touch only
+        their own few hosts; the verifier's campaign touches dozens.
+    enforce:
+        Terminate a flagged account's services immediately.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        sample_period_s: float = 0.5,
+        window_s: float = 60.0,
+        host_threshold: int = 20,
+        enforce: bool = False,
+    ) -> None:
+        if sample_period_s <= 0 or window_s <= 0:
+            raise ValueError("sample period and window must be positive")
+        if host_threshold < 2:
+            raise ValueError(f"host_threshold must be >= 2, got {host_threshold}")
+        self._orchestrator = orchestrator
+        self.sample_period_s = sample_period_s
+        self.window_s = window_s
+        self.host_threshold = host_threshold
+        self.enforce = enforce
+        self.events: list[PressureEvent] = []
+        self.verdicts: list[AbuseVerdict] = []
+        self._last_sample = float("-inf")
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Start observing (idempotent)."""
+        if not self._attached:
+            self._orchestrator.clock.add_tick_hook(self._on_tick)
+            self._attached = True
+
+    def detach(self) -> None:
+        """Stop observing."""
+        if self._attached:
+            self._orchestrator.clock.remove_tick_hook(self._on_tick)
+            self._attached = False
+
+    @property
+    def flagged_accounts(self) -> set[str]:
+        """Accounts flagged so far."""
+        return {verdict.account_id for verdict in self.verdicts}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _on_tick(self, now: float) -> None:
+        if now - self._last_sample < self.sample_period_s:
+            return
+        self._last_sample = now
+        self._sample(now)
+
+    def _sample(self, now: float) -> None:
+        for host in self._orchestrator.datacenter.hosts:
+            pressurers = host.rng_resource.current_pressurers()
+            if not pressurers:
+                continue
+            for instance_id in pressurers:
+                instance = self._orchestrator.instances.get(instance_id)
+                if instance is None:
+                    continue
+                self.events.append(
+                    PressureEvent(
+                        at=now,
+                        account_id=instance.service.account_id,
+                        host_id=host.host_id,
+                    )
+                )
+        self._evaluate(now)
+
+    def _evaluate(self, now: float) -> None:
+        cutoff = now - self.window_s
+        self.events = [e for e in self.events if e.at >= cutoff]
+        footprint: dict[str, set[str]] = {}
+        for event in self.events:
+            footprint.setdefault(event.account_id, set()).add(event.host_id)
+        for account_id, hosts in footprint.items():
+            if len(hosts) < self.host_threshold:
+                continue
+            if account_id in self.flagged_accounts:
+                continue
+            self.verdicts.append(
+                AbuseVerdict(
+                    account_id=account_id, at=now, hosts_in_window=len(hosts)
+                )
+            )
+            if self.enforce:
+                self._terminate_account(account_id)
+
+    def _terminate_account(self, account_id: str) -> None:
+        for service in list(self._orchestrator.services.values()):
+            if service.account_id == account_id:
+                self._orchestrator.kill_service(service)

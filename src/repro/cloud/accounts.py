@@ -1,0 +1,45 @@
+"""Cloud accounts and quotas.
+
+Accounts matter to the paper because the orchestrator keys its *base host*
+selection on the owning account (Observation 4): services from the same
+account share base hosts, while different accounts get different ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.billing import BillingMeter
+from repro.errors import QuotaExceededError
+
+
+@dataclass
+class Account:
+    """A standard public-cloud account.
+
+    Attributes
+    ----------
+    account_id:
+        Unique account identifier.
+    max_instances_per_service:
+        Quota cap on a single service's instance count.  New accounts are
+        often capped much lower (e.g. 10) until they build usage history
+        (paper §5.2, "Potential attack optimizations").
+    base_host_ids:
+        The account's base hosts in each region, assigned lazily by the
+        orchestrator on first deployment (``region -> host ids``).
+    """
+
+    account_id: str
+    max_instances_per_service: int = 1000
+    base_host_ids: dict[str, list[str]] = field(default_factory=dict)
+    billing: BillingMeter = field(default_factory=BillingMeter)
+
+    def check_instance_quota(self, requested: int) -> None:
+        """Raise if a service tried to scale beyond the account quota."""
+        if requested > self.max_instances_per_service:
+            raise QuotaExceededError(
+                f"account {self.account_id!r} is limited to "
+                f"{self.max_instances_per_service} instances per service "
+                f"(requested {requested})"
+            )

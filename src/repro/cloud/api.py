@@ -1,0 +1,177 @@
+"""The public, black-box FaaS client API.
+
+This is the only interface attacker- and victim-side code uses, mirroring
+the paper's threat model (§3): a standard platform user can deploy custom
+services, open connections (driving autoscaling), run arbitrary programs
+*inside* their containers, and observe nothing else.  Host identities never
+cross this boundary — guest code must infer them, which is the point of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.cloud.instance import ContainerInstance
+from repro.cloud.orchestrator import Orchestrator
+from repro.cloud.services import Service, ServiceConfig
+from repro.errors import CloudError
+from repro.sandbox.base import Sandbox
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class InstanceHandle:
+    """Client-side handle to one container instance.
+
+    The handle lets the user run guest code in the instance's sandbox and
+    capture the SIGTERM notification, but exposes no placement information.
+    """
+
+    _instance: ContainerInstance
+
+    @property
+    def instance_id(self) -> str:
+        """Opaque instance identifier."""
+        return self._instance.instance_id
+
+    @property
+    def generation(self) -> str:
+        """Execution environment generation ("gen1"/"gen2")."""
+        return self._instance.sandbox.generation
+
+    @property
+    def alive(self) -> bool:
+        """Whether the instance is still running (active or idle)."""
+        return self._instance.alive
+
+    def run(self, probe: Callable[[Sandbox], T]) -> T:
+        """Execute ``probe(sandbox)`` inside the instance and return its result.
+
+        Raises
+        ------
+        InstanceGoneError
+            If the instance has been terminated.
+        """
+        self._instance.require_alive()
+        return probe(self._instance.sandbox)
+
+    def on_sigterm(self, callback: Callable[[float], None]) -> None:
+        """Register a callback for the orchestrator's SIGTERM signal.
+
+        The callback receives the wall-clock time of the signal; the paper's
+        idle-termination experiment uses this to report termination times to
+        a collection server (Fig. 6).
+        """
+        self._instance.on_sigterm = callback
+
+
+class FaaSClient:
+    """A platform user's view of one region of the FaaS platform.
+
+    Parameters
+    ----------
+    orchestrator:
+        The region's orchestrator (the platform side).
+    account_id:
+        The account this client authenticates as; it must already be
+        registered with the orchestrator.
+    """
+
+    def __init__(self, orchestrator: Orchestrator, account_id: str) -> None:
+        if account_id not in orchestrator.accounts:
+            raise CloudError(f"account {account_id!r} is not registered")
+        self._orchestrator = orchestrator
+        self.account_id = account_id
+        self._services: dict[str, Service] = {}
+
+    @property
+    def region(self) -> str:
+        """Region name this client talks to."""
+        return self._orchestrator.datacenter.profile.name
+
+    def now(self) -> float:
+        """Current wall-clock time (an unprivileged user can always tell time)."""
+        return self._orchestrator.clock.now()
+
+    def wait(self, seconds: float) -> None:
+        """Let wall time pass (the user sleeps between launches)."""
+        if seconds > 0:
+            self._orchestrator.clock.sleep(seconds)
+
+    @property
+    def max_instances_quota(self) -> int:
+        """This account's per-service instance quota (new accounts are low)."""
+        return self._orchestrator.accounts[self.account_id].max_instances_per_service
+
+    # ------------------------------------------------------------------
+    # Service management
+    # ------------------------------------------------------------------
+    def deploy(self, config: ServiceConfig) -> str:
+        """Deploy a service; returns its name for later calls."""
+        service = self._orchestrator.deploy_service(self.account_id, config)
+        self._services[config.name] = service
+        return config.name
+
+    def rebuild_image(self, service_name: str) -> None:
+        """Rebuild the service's container image from scratch."""
+        self._orchestrator.rebuild_image(self._service(service_name))
+
+    def service_names(self) -> list[str]:
+        """Names of services deployed through this client."""
+        return sorted(self._services)
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def connect(self, service_name: str, n_connections: int) -> list[InstanceHandle]:
+        """Open ``n_connections`` connections, forcing that many instances.
+
+        Returns handles to the instances serving the connections.
+        """
+        instances = self._orchestrator.connect(self._service(service_name), n_connections)
+        return [InstanceHandle(instance) for instance in instances]
+
+    def disconnect(self, service_name: str) -> None:
+        """Close all connections; instances idle out and are later reaped."""
+        self._orchestrator.disconnect(self._service(service_name))
+
+    def kill(self, service_name: str) -> None:
+        """Force-terminate all instances of the service immediately."""
+        self._orchestrator.kill_service(self._service(service_name))
+
+    def invoke(self, service_name: str, processing_seconds: float = 0.05) -> None:
+        """Send one request to the service's public interface.
+
+        The platform routes it to an instance, which executes for
+        ``processing_seconds``.  The caller learns nothing about placement
+        — but a co-located attacker instance can observe the activity.
+        """
+        self._orchestrator.route_request(
+            self._service(service_name), processing_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # Billing
+    # ------------------------------------------------------------------
+    @property
+    def cost_usd(self) -> float:
+        """Accumulated bill for this account, including accruing activity."""
+        return self._orchestrator.account_cost_usd(self.account_id)
+
+    def reset_billing(self) -> None:
+        """Zero the account's billing meter (between experiment runs)."""
+        self._orchestrator.accounts[self.account_id].billing.reset()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _service(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise CloudError(
+                f"service {name!r} was not deployed by this client"
+            ) from None

@@ -1,0 +1,114 @@
+"""Driving a service's instance count from a request workload.
+
+Glues a :class:`~repro.cloud.workloads.RequestPattern` to the
+orchestrator's autoscaler: at a fixed evaluation cadence, the desired
+instance count is ``ceil(concurrency / per-instance concurrency)`` and the
+service is scaled to it (§2.2).  The recorded trace lets experiments study
+how victim traffic shapes the victim's host footprint over time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.orchestrator import Orchestrator
+from repro.cloud.services import Service
+from repro.cloud.workloads import RequestPattern
+
+
+@dataclass(frozen=True)
+class AutoscalePoint:
+    """One autoscaler evaluation."""
+
+    elapsed_s: float
+    demanded_concurrency: int
+    target_instances: int
+    active_instances: int
+    alive_instances: int
+
+
+@dataclass
+class AutoscaleTrace:
+    """The instance-count history of one driven service."""
+
+    points: list[AutoscalePoint] = field(default_factory=list)
+
+    @property
+    def peak_instances(self) -> int:
+        return max((p.active_instances for p in self.points), default=0)
+
+    @property
+    def trough_instances(self) -> int:
+        return min((p.active_instances for p in self.points), default=0)
+
+    def active_series(self) -> list[tuple[float, int]]:
+        """``(elapsed_s, active_instances)`` pairs for plotting."""
+        return [(p.elapsed_s, p.active_instances) for p in self.points]
+
+
+class Autoscaler:
+    """Periodically rescales one service to match a request pattern.
+
+    Parameters
+    ----------
+    orchestrator / service:
+        The platform and the managed service.
+    evaluation_period_s:
+        How often the autoscaler reevaluates demand.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        service: Service,
+        evaluation_period_s: float = 15.0,
+    ) -> None:
+        if evaluation_period_s <= 0:
+            raise ValueError(
+                f"evaluation period must be positive, got {evaluation_period_s}"
+            )
+        self._orchestrator = orchestrator
+        self._service = service
+        self.evaluation_period_s = evaluation_period_s
+
+    def target_for(self, concurrency: int) -> int:
+        """Instances needed for ``concurrency`` concurrent requests."""
+        per_instance = self._service.config.concurrency
+        return min(
+            math.ceil(concurrency / per_instance),
+            self._service.config.max_instances,
+        )
+
+    def drive(self, pattern: RequestPattern, duration_s: float) -> AutoscaleTrace:
+        """Follow ``pattern`` for ``duration_s``, returning the trace."""
+        trace = AutoscaleTrace()
+        clock = self._orchestrator.clock
+        start = clock.now()
+        elapsed = 0.0
+        while elapsed <= duration_s:
+            demanded = pattern.concurrency_at(elapsed)
+            target = self.target_for(demanded)
+            active = self._orchestrator.scale_to(self._service, target)
+            trace.points.append(
+                AutoscalePoint(
+                    elapsed_s=elapsed,
+                    demanded_concurrency=demanded,
+                    target_instances=target,
+                    active_instances=len(active),
+                    alive_instances=len(self._orchestrator.alive_instances(self._service)),
+                )
+            )
+            step_end = start + len(trace.points) * self.evaluation_period_s
+            if step_end > clock.now():
+                clock.sleep(step_end - clock.now())
+            elapsed = clock.now() - start
+        return trace
+
+    def footprint(self) -> set[str]:
+        """Ground-truth host ids currently hosting the service (simulator
+        introspection; black-box callers should fingerprint instead)."""
+        return {
+            instance.host_id
+            for instance in self._orchestrator.alive_instances(self._service)
+        }

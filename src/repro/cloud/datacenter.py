@@ -1,0 +1,139 @@
+"""A datacenter: host fleet, serving pool, and placement shards.
+
+The datacenter owns the physical substrate.  Its serving pool (the hosts
+currently accepting new FaaS instances) slowly *rotates* through the fleet,
+which is why a census across many launches keeps discovering new hosts while
+any single moment shows far fewer (paper Fig. 12).  The serving pool is
+partitioned into fixed *shards*; an account's base hosts are its shard
+(Observations 3-4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.cloud.topology import RegionProfile
+from repro.errors import CloudError
+from repro.hardware.host import HostFleetConfig, PhysicalHost, build_fleet
+from repro.simtime.clock import SimClock
+
+
+class DataCenter:
+    """One region's worth of physical hosts plus placement structure.
+
+    Parameters
+    ----------
+    profile:
+        The region's calibration profile.
+    clock:
+        Shared simulated clock (drives serving-pool rotation).
+    seed:
+        Seed for fleet synthesis and rotation; fix it for reproducibility.
+    """
+
+    def __init__(self, profile: RegionProfile, clock: SimClock, seed: int = 0) -> None:
+        self.profile = profile
+        self.clock = clock
+        self._rng = np.random.default_rng(seed)
+        fleet_config = HostFleetConfig(n_hosts=profile.n_hosts)
+        self.hosts: list[PhysicalHost] = build_fleet(
+            fleet_config, clock.now(), self._rng, id_prefix=profile.name
+        )
+        self.hosts_by_id: dict[str, PhysicalHost] = {
+            host.host_id: host for host in self.hosts
+        }
+
+        all_ids = [host.host_id for host in self.hosts]
+        pool_idx = self._rng.choice(
+            len(all_ids), size=profile.active_hosts, replace=False
+        )
+        self._serving_pool: list[str] = [all_ids[i] for i in pool_idx]
+        self._rotated_out: list[str] = [
+            host_id for host_id in all_ids if host_id not in set(self._serving_pool)
+        ]
+        # Shards are fixed at the initial pool membership: an account's base
+        # hosts stay pinned even if they later rotate out of the pool.
+        self._shards: list[list[str]] = [
+            self._serving_pool[i * profile.shard_size : (i + 1) * profile.shard_size]
+            for i in range(profile.n_shards)
+        ]
+        self._last_rotation = clock.now()
+
+    # ------------------------------------------------------------------
+    # Serving pool and rotation
+    # ------------------------------------------------------------------
+    def serving_pool(self) -> list[str]:
+        """Current serving-pool host ids (rotates over time)."""
+        self._maybe_rotate()
+        return list(self._serving_pool)
+
+    def _maybe_rotate(self) -> None:
+        now = self.clock.now()
+        period = self.profile.rotation_period
+        while now - self._last_rotation >= period:
+            self._last_rotation += period
+            self._rotate_once()
+
+    def _rotate_once(self) -> None:
+        swap = int(round(self.profile.rotation_fraction * len(self._serving_pool)))
+        swap = min(swap, len(self._rotated_out))
+        if swap <= 0:
+            return
+        out_idx = self._rng.choice(len(self._serving_pool), size=swap, replace=False)
+        in_idx = self._rng.choice(len(self._rotated_out), size=swap, replace=False)
+        out_set = {self._serving_pool[i] for i in out_idx}
+        in_set = {self._rotated_out[i] for i in in_idx}
+        self._serving_pool = [h for h in self._serving_pool if h not in out_set]
+        self._serving_pool.extend(in_set)
+        self._rotated_out = [h for h in self._rotated_out if h not in in_set]
+        self._rotated_out.extend(out_set)
+
+    # ------------------------------------------------------------------
+    # Shards and base-host assignment
+    # ------------------------------------------------------------------
+    def shard_hosts(self, shard_index: int) -> list[str]:
+        """Host ids of one placement shard."""
+        if not 0 <= shard_index < len(self._shards):
+            raise CloudError(
+                f"shard {shard_index} out of range (region has {len(self._shards)})"
+            )
+        return list(self._shards[shard_index])
+
+    def shard_for_account(self, account_id: str) -> int:
+        """Map an account to its placement shard.
+
+        Evaluation accounts are pinned by the region profile's placement
+        plan; any other account hashes deterministically.
+        """
+        pinned = self.profile.plan.account_shards.get(account_id)
+        if pinned is not None:
+            return pinned % len(self._shards)
+        digest = hashlib.sha256(
+            f"{self.profile.name}:{account_id}".encode()
+        ).digest()
+        return int.from_bytes(digest[:4], "big") % len(self._shards)
+
+    def dynamism_for_account(self, account_id: str) -> float:
+        """Per-account probability of scattering off base hosts."""
+        if not self.profile.dynamic_placement:
+            return 0.0
+        return self.profile.plan.account_dynamism.get(
+            account_id, self.profile.default_dynamism
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def host(self, host_id: str) -> PhysicalHost:
+        """Return a host by id (simulator-internal)."""
+        try:
+            return self.hosts_by_id[host_id]
+        except KeyError:
+            raise CloudError(f"unknown host {host_id!r}") from None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The datacenter's randomness source (placement, rotation)."""
+        return self._rng

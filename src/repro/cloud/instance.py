@@ -1,0 +1,104 @@
+"""Container instances and their lifecycle.
+
+The lifecycle mirrors the Cloud Run container contract (paper §2.2): an
+instance is created to serve requests, stays *active* while it has open
+connections, becomes *idle* when the last connection closes, and is sent
+SIGTERM and destroyed if it stays idle too long.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.services import Service
+from repro.errors import InstanceGoneError
+from repro.sandbox.base import Sandbox
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle state of a container instance."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class ContainerInstance:
+    """One running container instance of a service.
+
+    Attributes
+    ----------
+    instance_id:
+        Unique identifier (also the sandbox id on the host RNG).
+    service:
+        The service this instance belongs to.
+    host_id:
+        The physical host (simulator-side ground truth; never exposed to
+        guests or to the attacker-facing API).
+    sandbox:
+        The sandboxed execution environment guest code runs in.
+    created_at / last_active_at:
+        Lifecycle timestamps (simulated wall clock).
+    active_since:
+        Start of the current active period, or ``None`` while idle.
+    on_sigterm:
+        Callback invoked (with the current wall time) when the orchestrator
+        sends SIGTERM before termination; the idle-termination experiment
+        (Fig. 6) registers a reporter here.
+    """
+
+    instance_id: str
+    service: Service
+    host_id: str
+    sandbox: Sandbox
+    created_at: float
+    state: InstanceState = InstanceState.ACTIVE
+    active_since: float | None = None
+    last_active_at: float = 0.0
+    active_seconds_total: float = 0.0
+    on_sigterm: Callable[[float], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.active_since is None:
+            self.active_since = self.created_at
+        self.last_active_at = self.created_at
+
+    @property
+    def alive(self) -> bool:
+        """True until the instance has been terminated."""
+        return self.state is not InstanceState.TERMINATED
+
+    def require_alive(self) -> None:
+        """Raise :class:`InstanceGoneError` if the instance is terminated."""
+        if not self.alive:
+            raise InstanceGoneError(f"instance {self.instance_id!r} was terminated")
+
+    def go_idle(self, now: float) -> None:
+        """Transition ACTIVE -> IDLE, accumulating billable active time."""
+        self.require_alive()
+        if self.state is InstanceState.ACTIVE and self.active_since is not None:
+            self.active_seconds_total += now - self.active_since
+            self.active_since = None
+        self.state = InstanceState.IDLE
+        self.last_active_at = now
+
+    def go_active(self, now: float) -> None:
+        """Transition IDLE -> ACTIVE (a new connection arrived)."""
+        self.require_alive()
+        if self.state is InstanceState.IDLE:
+            self.active_since = now
+        self.state = InstanceState.ACTIVE
+
+    def terminate(self, now: float) -> None:
+        """Send SIGTERM and destroy the instance."""
+        if not self.alive:
+            return
+        if self.state is InstanceState.ACTIVE and self.active_since is not None:
+            self.active_seconds_total += now - self.active_since
+            self.active_since = None
+        if self.on_sigterm is not None:
+            self.on_sigterm(now)
+        self.state = InstanceState.TERMINATED

@@ -1,0 +1,94 @@
+"""Demand tracking and helper-host recruitment.
+
+This module implements the load-balancing behavior the paper reverse
+engineers in Experiment 4 (Observation 5): when a service sustains high
+demand within a ~30-minute window, the orchestrator relieves pressure on the
+account's base hosts by recruiting extra *helper hosts* for that service.
+Helper sets are per-service, grow with the number of newly created instances
+(short launch intervals terminate few instances, so few new hosts appear),
+and saturate after repeated launches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cloud.services import Service
+from repro.cloud.topology import RegionProfile
+
+
+class DemandTracker:
+    """Maintains per-service demand history for hotness decisions."""
+
+    def __init__(self, profile: RegionProfile) -> None:
+        self._profile = profile
+
+    def record_demand(self, service: Service, now: float, concurrency: int) -> None:
+        """Record that ``service`` ran ``concurrency`` concurrent instances."""
+        service.demand_events.append((now, concurrency))
+        # Trim events that can never matter again to bound memory.
+        horizon = now - 2 * self._profile.hot_window
+        service.demand_events = [
+            (t, c) for (t, c) in service.demand_events if t >= horizon
+        ]
+
+    def is_hot(self, service: Service, now: float) -> bool:
+        """True when the service saw high demand within the hot window.
+
+        A *cold* service (no qualifying demand in the past
+        ``profile.hot_window``) is placed on base hosts only; a hot one is
+        eligible for helper-host recruitment.
+        """
+        cutoff = now - self._profile.hot_window
+        return any(
+            t > cutoff and c >= self._profile.hot_min_concurrency
+            for (t, c) in service.demand_events
+        )
+
+
+class HelperHostRecruiter:
+    """Grows a hot service's helper-host pool.
+
+    Recruitment is proportional to the number of instances the launch had to
+    newly create (Observation 5's mechanism: replacing terminated idle
+    instances is what spills onto new hosts), and saturates at the profile's
+    per-service cap.
+    """
+
+    def __init__(self, profile: RegionProfile, rng: np.random.Generator) -> None:
+        self._profile = profile
+        self._rng = rng
+
+    def recruit(
+        self,
+        service: Service,
+        new_instance_count: int,
+        candidate_host_ids: list[str],
+    ) -> list[str]:
+        """Recruit helper hosts for ``service`` and return the new ones.
+
+        Parameters
+        ----------
+        service:
+            The hot service being scaled out.
+        new_instance_count:
+            Instances the orchestrator must newly create for this launch.
+        candidate_host_ids:
+            Serving-pool hosts not already used by this service (neither
+            base nor existing helpers).
+        """
+        if new_instance_count <= 0 or not candidate_host_ids:
+            return []
+        room = self._profile.helper_pool_cap - len(service.helper_host_ids)
+        if room <= 0:
+            return []
+        want = math.ceil(new_instance_count * self._profile.helper_recruit_fraction)
+        count = min(want, room, len(candidate_host_ids))
+        if count <= 0:
+            return []
+        picked_idx = self._rng.choice(len(candidate_host_ids), size=count, replace=False)
+        picked = [candidate_host_ids[i] for i in picked_idx]
+        service.helper_host_ids.extend(picked)
+        return picked

@@ -1,0 +1,380 @@
+"""The FaaS orchestrator: scaling, placement, idle reaping, billing.
+
+This is the control plane the paper reverse engineers.  It implements the
+behaviors of Observations 1-6 (§5.1):
+
+1. instances of a service spread near-uniformly across the hosts used;
+2. idle instances are preserved ~2 minutes, then gradually terminated, all
+   gone ~12 minutes after disconnecting;
+3. launches from the same account land on a preferred set of *base hosts*;
+4. different accounts get different base hosts (placement shards);
+5. a service with repeated high demand inside a 30-minute window spills
+   onto extra *helper hosts* (load balancing), proportionally to how many
+   instances had to be newly created;
+6. helper sets are per-service, overlapping across services.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.cloud.accounts import Account
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.instance import ContainerInstance, InstanceState
+from repro.cloud.loadbalancer import DemandTracker, HelperHostRecruiter
+from repro.cloud.placement import PlacementPolicy, PlacementRequest
+from repro.cloud.services import Service, ServiceConfig
+from repro.errors import CloudError
+from repro.sandbox.base import Sandbox, TscPolicy
+from repro.sandbox.gvisor import GVisorSandbox
+from repro.sandbox.microvm import MicroVMSandbox
+from repro.simtime.scheduler import EventScheduler
+
+
+class Orchestrator:
+    """Fully managed container orchestration for one datacenter region.
+
+    Parameters
+    ----------
+    datacenter:
+        The physical substrate.
+    tsc_policy:
+        Fleet-wide TSC exposure policy; set to ``TscPolicy.EMULATED`` to
+        enable the paper's §6 mitigation on every host.
+    """
+
+    def __init__(
+        self, datacenter: DataCenter, tsc_policy: TscPolicy = TscPolicy.NATIVE
+    ) -> None:
+        self.datacenter = datacenter
+        self.clock = datacenter.clock
+        self.tsc_policy = tsc_policy
+        self.scheduler = EventScheduler(self.clock)
+        self.accounts: dict[str, Account] = {}
+        self.services: dict[str, Service] = {}
+        self.instances: dict[str, ContainerInstance] = {}
+        self._rng = np.random.default_rng(datacenter.rng.integers(2**63))
+        self._placement = PlacementPolicy(self._rng)
+        self._demand = DemandTracker(datacenter.profile)
+        self._recruiter = HelperHostRecruiter(datacenter.profile, self._rng)
+        self._load_slots: dict[str, float] = {}
+        self._billed_seconds: dict[str, float] = {}
+        self._service_instances: dict[str, list[ContainerInstance]] = {}
+        self._service_host_counts: dict[str, dict[str, int]] = {}
+        self._route_counters: dict[str, int] = {}
+        self._instance_counter = itertools.count()
+        self._image_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def register_account(self, account: Account) -> None:
+        """Register an account; idempotent for the same object."""
+        existing = self.accounts.get(account.account_id)
+        if existing is not None and existing is not account:
+            raise CloudError(f"account {account.account_id!r} already registered")
+        self.accounts[account.account_id] = account
+
+    def deploy_service(self, account_id: str, config: ServiceConfig) -> Service:
+        """Deploy (or redeploy) a service; builds a fresh container image."""
+        account = self._account(account_id)
+        service = Service(
+            config=config,
+            account_id=account.account_id,
+            image_id=f"image-{next(self._image_counter):06d}",
+        )
+        key = service.qualified_name
+        if key in self.services:
+            raise CloudError(f"service {key!r} already deployed")
+        self.services[key] = service
+        return service
+
+    def rebuild_image(self, service: Service) -> None:
+        """Rebuild the service's container image (invalidates host caches)."""
+        service.image_id = f"image-{next(self._image_counter):06d}"
+
+    # ------------------------------------------------------------------
+    # Scaling (autoscaler entry points)
+    # ------------------------------------------------------------------
+    def connect(self, service: Service, n_connections: int) -> list[ContainerInstance]:
+        """Ensure ``n_connections`` concurrently active instances.
+
+        Models the paper's workload generator: with concurrency pinned to 1,
+        opening N WebSocket connections forces N concurrent instances.
+        Existing idle instances are reused first; the remainder are newly
+        created, which is what drives helper-host recruitment when the
+        service is hot.
+        """
+        return self.scale_to(service, n_connections)
+
+    def scale_to(self, service: Service, target: int) -> list[ContainerInstance]:
+        """Autoscale the service to ``target`` concurrently active instances.
+
+        Scaling *out* reuses idle instances and creates the remainder
+        (recruiting helper hosts when the service is hot); scaling *in*
+        idles the most recently created extras, which the reaper later
+        terminates (§2.2 autoscaling).
+        """
+        account = self._account(service.account_id)
+        if target > service.config.max_instances:
+            raise CloudError(
+                f"service {service.qualified_name!r} allows at most "
+                f"{service.config.max_instances} instances (requested {target})"
+            )
+        account.check_instance_quota(target)
+
+        now = self.clock.now()
+        serving_pool = self.datacenter.serving_pool()  # also triggers rotation
+        alive = self.alive_instances(service)
+        active = [i for i in alive if i.state is InstanceState.ACTIVE]
+
+        if target < len(active):
+            # Scale in: idle out the most recently created extras.
+            for instance in active[target:]:
+                self._idle_out(instance, now)
+            self._demand.record_demand(service, now, target)
+            return active[:target]
+
+        # Scale out: reuse just enough idle instances, then create the rest.
+        idle = [i for i in alive if i.state is InstanceState.IDLE]
+        for instance in idle[: target - len(active)]:
+            instance.go_active(now)
+        new_needed = max(0, target - len(active) - len(idle))
+
+        # Hotness is judged on *past* demand, before recording this launch.
+        hot = self._demand.is_hot(service, now)
+        self._demand.record_demand(service, now, target)
+
+        base_hosts = self._base_hosts(account)
+        if hot and new_needed > 0 and self.datacenter.profile.defense != "tenant_isolation":
+            # Under tenant isolation the load balancer may not spill a
+            # tenant onto shared hosts, so no helper recruitment happens.
+            known = set(base_hosts) | set(service.helper_host_ids)
+            candidates = [h for h in serving_pool if h not in known]
+            self._recruiter.recruit(service, new_needed, candidates)
+
+        if new_needed > 0:
+            self._create_instances(service, account, new_needed, serving_pool)
+            self.clock.sleep(self._startup_seconds(service, new_needed, target))
+
+        active = [i for i in self.alive_instances(service) if i.state is InstanceState.ACTIVE]
+        return active[:target] if len(active) > target else active
+
+    def disconnect(self, service: Service) -> None:
+        """Close all connections: instances idle out and are later reaped.
+
+        Each idle instance is terminated at an independent uniform time
+        between ``idle_grace`` and ``idle_deadline`` after disconnecting,
+        reproducing the gradual decay of Fig. 6.
+        """
+        now = self.clock.now()
+        for instance in self.alive_instances(service):
+            if instance.state is InstanceState.ACTIVE:
+                self._idle_out(instance, now)
+
+    def _idle_out(self, instance: ContainerInstance, now: float) -> None:
+        """Idle one instance and schedule its eventual termination."""
+        profile = self.datacenter.profile
+        instance.go_idle(now)
+        self._settle_billing(instance)
+        deadline = now + self._rng.uniform(profile.idle_grace, profile.idle_deadline)
+        self._schedule_idle_reap(instance, idle_epoch=instance.last_active_at, when=deadline)
+
+    def kill_service(self, service: Service) -> None:
+        """Immediately terminate every instance of a service."""
+        now = self.clock.now()
+        for instance in self.alive_instances(service):
+            self._terminate(instance, now)
+
+    def route_request(self, service: Service, processing_seconds: float) -> None:
+        """Deliver one request to the service (its public interface).
+
+        The request is routed round-robin to an active instance, which
+        executes for ``processing_seconds`` — observable as CPU contention
+        by co-located instances.  A service with no active instance scales
+        out by one first (scale-from-zero).
+        """
+        active = [
+            i for i in self.alive_instances(service)
+            if i.state is InstanceState.ACTIVE
+        ]
+        if not active:
+            active = self.scale_to(service, 1)
+        counter = self._route_counters.get(service.qualified_name, 0)
+        instance = active[counter % len(active)]
+        self._route_counters[service.qualified_name] = counter + 1
+        instance.sandbox.run_busy(processing_seconds)
+
+    # ------------------------------------------------------------------
+    # Introspection (ground truth for the simulator and metrics; guests
+    # and the attacker-facing client API never see host ids)
+    # ------------------------------------------------------------------
+    def alive_instances(self, service: Service) -> list[ContainerInstance]:
+        """All non-terminated instances of a service."""
+        kept = self._service_instances.get(service.qualified_name, [])
+        alive = [instance for instance in kept if instance.alive]
+        # Prune terminated instances so repeated launches stay O(alive).
+        if len(alive) != len(kept):
+            self._service_instances[service.qualified_name] = alive
+        return list(alive)
+
+    def true_host_of(self, instance_id: str) -> str:
+        """Ground-truth host of an instance (validation only)."""
+        return self.instances[instance_id].host_id
+
+    def host_load_slots(self, host_id: str) -> float:
+        """Current committed capacity slots on a host."""
+        return self._load_slots.get(host_id, 0.0)
+
+    def account_cost_usd(self, account_id: str) -> float:
+        """Account bill including accrued-but-unsettled active time."""
+        account = self._account(account_id)
+        now = self.clock.now()
+        pending = 0.0
+        rates = account.billing.rates
+        for instance in self.instances.values():
+            if (
+                instance.service.account_id != account_id
+                or not instance.alive
+                or instance.state is not InstanceState.ACTIVE
+                or instance.active_since is None
+            ):
+                continue
+            size = instance.service.config.size
+            unsettled = (
+                instance.active_seconds_total
+                + (now - instance.active_since)
+                - self._billed_seconds[instance.instance_id]
+            )
+            pending += rates.active_cost(size.vcpus, size.memory_gb, max(0.0, unsettled))
+        return account.billing.total_usd + pending
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _account(self, account_id: str) -> Account:
+        try:
+            return self.accounts[account_id]
+        except KeyError:
+            raise CloudError(f"account {account_id!r} is not registered") from None
+
+    def _base_hosts(self, account: Account) -> list[str]:
+        profile = self.datacenter.profile
+        if profile.defense == "randomized_base":
+            # §6 defense: no stable per-account hosts — a fresh sample from
+            # the serving pool on every placement decision.
+            pool = self.datacenter.serving_pool()
+            size = min(profile.shard_size, len(pool))
+            picked = self._rng.choice(len(pool), size=size, replace=False)
+            return [pool[i] for i in picked]
+        region = profile.name
+        hosts = account.base_host_ids.get(region)
+        if hosts is None:
+            shard = self.datacenter.shard_for_account(account.account_id)
+            hosts = self.datacenter.shard_hosts(shard)
+            account.base_host_ids[region] = hosts
+        return hosts
+
+    def _create_instances(
+        self,
+        service: Service,
+        account: Account,
+        count: int,
+        serving_pool: list[str],
+    ) -> list[ContainerInstance]:
+        base_hosts = self._base_hosts(account)
+        allowed = base_hosts + [
+            h for h in service.helper_host_ids if h not in set(base_hosts)
+        ]
+        host_counts = self._service_host_counts.setdefault(service.qualified_name, {})
+        isolated = self.datacenter.profile.defense == "tenant_isolation"
+        request = PlacementRequest(
+            count=count,
+            slots_per_instance=service.config.size.slots,
+            allowed_host_ids=allowed,
+            service_host_counts=host_counts,
+            scatter_probability=(
+                0.0 if isolated
+                else self.datacenter.dynamism_for_account(account.account_id)
+            ),
+            scatter_candidate_ids=[h.host_id for h in self.datacenter.hosts],
+        )
+        capacities = {h.host_id: h.capacity_slots for h in self.datacenter.hosts}
+        host_ids = self._placement.place(request, self._load_slots, capacities)
+
+        now = self.clock.now()
+        created = []
+        for host_id in host_ids:
+            host_counts[host_id] = host_counts.get(host_id, 0) + 1
+            instance_id = f"{service.qualified_name}#{next(self._instance_counter):07d}"
+            sandbox = self._make_sandbox(service, host_id, instance_id)
+            instance = ContainerInstance(
+                instance_id=instance_id,
+                service=service,
+                host_id=host_id,
+                sandbox=sandbox,
+                created_at=now,
+            )
+            self.instances[instance_id] = instance
+            self._billed_seconds[instance_id] = 0.0
+            self._service_instances.setdefault(service.qualified_name, []).append(instance)
+            created.append(instance)
+        return created
+
+    def _make_sandbox(self, service: Service, host_id: str, instance_id: str) -> Sandbox:
+        host = self.datacenter.host(host_id)
+        sandbox_rng = np.random.default_rng(self._rng.integers(2**63))
+        cls = GVisorSandbox if service.config.generation == "gen1" else MicroVMSandbox
+        return cls(host, self.clock, sandbox_rng, instance_id, tsc_policy=self.tsc_policy)
+
+    #: Gen 2 microVMs have a larger resource footprint and boot slower
+    #: than Gen 1 containers (paper §2.3).
+    GEN2_STARTUP_FACTOR = 3.0
+
+    def _startup_seconds(self, service: Service, new_count: int, target: int) -> float:
+        """Batch cold-start latency; creation slows near the 1000 cap."""
+        profile = self.datacenter.profile
+        slowdown = 1.0 + 2.0 * max(0, target - 700) / 300.0
+        seconds = (
+            profile.baseline_startup
+            + profile.per_instance_startup * new_count * slowdown
+        )
+        if service.config.generation == "gen2":
+            seconds *= self.GEN2_STARTUP_FACTOR
+        return seconds
+
+    def _schedule_idle_reap(
+        self, instance: ContainerInstance, idle_epoch: float, when: float
+    ) -> None:
+        def reap() -> None:
+            still_idle = (
+                instance.alive
+                and instance.state is InstanceState.IDLE
+                and instance.last_active_at == idle_epoch
+            )
+            if still_idle:
+                self._terminate(instance, self.clock.now())
+
+        self.scheduler.call_at(when, reap)
+
+    def _terminate(self, instance: ContainerInstance, now: float) -> None:
+        if not instance.alive:
+            return
+        instance.terminate(now)
+        self._settle_billing(instance)
+        slots = instance.service.config.size.slots
+        remaining = self._load_slots.get(instance.host_id, 0.0) - slots
+        self._load_slots[instance.host_id] = max(0.0, remaining)
+        counts = self._service_host_counts.get(instance.service.qualified_name)
+        if counts is not None and counts.get(instance.host_id, 0) > 0:
+            counts[instance.host_id] -= 1
+
+    def _settle_billing(self, instance: ContainerInstance) -> None:
+        account = self._account(instance.service.account_id)
+        owed = instance.active_seconds_total - self._billed_seconds[instance.instance_id]
+        if owed > 0:
+            size = instance.service.config.size
+            account.billing.charge_active(size.vcpus, size.memory_gb, owed)
+            self._billed_seconds[instance.instance_id] += owed

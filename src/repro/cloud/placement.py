@@ -1,0 +1,158 @@
+"""Host selection for new container instances.
+
+Implements the placement behavior observed in the paper: a typical FaaS
+orchestrator filters feasible hosts and picks the best-scoring one by
+resource utilization and load balancing (§2.2).  Observation 1 shows the
+visible outcome on Cloud Run — instances of a service spread *near-uniformly*
+across the hosts used — so the scorer here balances the *service's own*
+per-host instance count (anti-affinity-style spreading) with random
+tie-breaking, subject to per-host total-capacity limits.  Balancing on the
+service's own count rather than total host load is what makes a launch
+spread 800 instances 10-11 per host (Exp. 1) regardless of other tenants.
+
+In dynamic regions (us-central1), a per-account fraction of instances
+scatters off the allowed set onto arbitrary fleet hosts; see
+:class:`~repro.cloud.topology.AccountPlacementPlan`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NoCapacityError
+
+
+@dataclass
+class PlacementRequest:
+    """One batch placement request.
+
+    Attributes
+    ----------
+    count:
+        Number of instances to place.
+    slots_per_instance:
+        Host capacity slots each instance consumes (see
+        :meth:`repro.cloud.services.ContainerSize.slots`).
+    allowed_host_ids:
+        The service's preferred hosts (base plus recruited helpers).
+    scatter_probability:
+        Per-instance chance of being scattered onto a random fleet host
+        instead of the allowed set (0 outside dynamic regions).
+    scatter_candidate_ids:
+        Hosts eligible as scatter targets (normally the whole fleet).
+    """
+
+    count: int
+    slots_per_instance: float
+    allowed_host_ids: list[str]
+    service_host_counts: dict[str, int] | None = None
+    scatter_probability: float = 0.0
+    scatter_candidate_ids: list[str] | None = None
+
+
+class PlacementPolicy:
+    """Least-loaded near-uniform placement over an allowed host set."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def place(
+        self,
+        request: PlacementRequest,
+        load_slots: dict[str, float],
+        capacity_slots: dict[str, float],
+    ) -> list[str]:
+        """Choose a host for each requested instance.
+
+        Parameters
+        ----------
+        request:
+            The batch to place.
+        load_slots:
+            Current slot usage per host (mutated as instances are placed so
+            the batch itself spreads uniformly).
+        capacity_slots:
+            Slot capacity per host.
+
+        Returns
+        -------
+        list of host ids, one per instance.
+
+        Raises
+        ------
+        NoCapacityError
+            If no feasible host remains for some instance.
+        """
+        if not request.allowed_host_ids:
+            raise NoCapacityError("placement request has no allowed hosts")
+
+        service_counts = request.service_host_counts or {}
+        # Min-heap over (service instance count, random tiebreak, host).
+        # Counts only grow during a batch, so hosts popped as full stay full.
+        heap: list[tuple[int, float, str]] = [
+            (service_counts.get(h, 0), float(self._rng.random()), h)
+            for h in request.allowed_host_ids
+        ]
+        heapq.heapify(heap)
+        scatter_pool = request.scatter_candidate_ids or []
+
+        chosen: list[str] = []
+        for _ in range(request.count):
+            host_id: str | None = None
+            if (
+                request.scatter_probability > 0.0
+                and scatter_pool
+                and self._rng.random() < request.scatter_probability
+            ):
+                host_id = self._pick_scatter_host(
+                    scatter_pool, request.slots_per_instance, load_slots, capacity_slots
+                )
+            if host_id is None:
+                host_id = self._pop_least_used(
+                    heap, request.slots_per_instance, load_slots, capacity_slots
+                )
+            if host_id is None:
+                raise NoCapacityError(
+                    f"no host among {len(request.allowed_host_ids)} allowed and "
+                    f"{len(scatter_pool)} scatter candidates has "
+                    f"{request.slots_per_instance} free slots"
+                )
+            load_slots[host_id] = (
+                load_slots.get(host_id, 0.0) + request.slots_per_instance
+            )
+            chosen.append(host_id)
+        return chosen
+
+    def _pop_least_used(
+        self,
+        heap: list[tuple[int, float, str]],
+        slots: float,
+        load_slots: dict[str, float],
+        capacity_slots: dict[str, float],
+    ) -> str | None:
+        while heap:
+            count, tiebreak, host_id = heapq.heappop(heap)
+            load = load_slots.get(host_id, 0.0)
+            if load + slots > capacity_slots.get(host_id, 0.0):
+                continue  # permanently full for this batch
+            heapq.heappush(heap, (count + 1, tiebreak, host_id))
+            return host_id
+        return None
+
+    def _pick_scatter_host(
+        self,
+        scatter_pool: list[str],
+        slots: float,
+        load_slots: dict[str, float],
+        capacity_slots: dict[str, float],
+    ) -> str | None:
+        """Pick a random feasible scatter target (a few rejection samples)."""
+        for _ in range(16):
+            host_id = scatter_pool[int(self._rng.integers(len(scatter_pool)))]
+            load = load_slots.get(host_id, 0.0)
+            if load + slots <= capacity_slots.get(host_id, 0.0):
+                return host_id
+        return None

@@ -1,0 +1,226 @@
+"""Region topology profiles.
+
+Each :class:`RegionProfile` packages the datacenter-scale calibration inputs
+for the simulator: fleet size, serving-pool size and rotation, placement
+shards, helper-host recruitment aggressiveness, idle-termination window, and
+(for us-central1) placement dynamism.  Values are derived from the paper's
+published measurements:
+
+* observed apparent hosts (Fig. 12): 474 (us-east1), 1702 (us-central1),
+  199 (us-west1) — our fleets are slightly larger since a census never sees
+  every host;
+* ~75 hosts serve 800 instances of one account at ~10-11 each (Exp. 1);
+* 6 launches at a 10-minute interval reach ~264 hosts, a 2-minute interval
+  adds only ~12 (Exp. 4);
+* the attacker footprint at once is ~59% / 53% / 82% of the census
+  (904 hosts in us-central1);
+* us-central1 exhibits "more dynamic" placement (§5.1, Other factors).
+
+These numbers are *inputs*: the attack pipeline measures them back out
+through black-box experiments, which is the reproduction's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import CloudError
+
+
+@dataclass(frozen=True)
+class AccountPlacementPlan:
+    """Evaluation-account calibration for one region.
+
+    ``account_shards`` pins the shard index each well-known evaluation
+    account maps to (unknown accounts hash deterministically instead), and
+    ``account_dynamism`` gives the per-account probability that an instance
+    is scattered off the account's base hosts (only meaningful in regions
+    with ``dynamic_placement``).
+
+    The pins reproduce the paper's observed base-host overlaps: in
+    us-west1 accounts 1 and 2 happen to share base hosts (naive strategy
+    achieves 100% coverage), in us-central1 accounts 1 and 3 overlap
+    (naive ~81%), and in us-east1 all three accounts are disjoint (naive 0%).
+    """
+
+    account_shards: dict[str, int] = field(default_factory=dict)
+    account_dynamism: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Calibration profile of one datacenter region.
+
+    Attributes
+    ----------
+    name:
+        Region name (e.g. ``"us-east1"``).
+    n_hosts:
+        Total fleet size, including hosts currently rotated out of serving.
+    active_hosts:
+        Size of the serving pool at any instant; placement only targets
+        these (plus pinned base hosts).
+    shard_size:
+        Hosts per placement shard; an account's base hosts are exactly its
+        shard, so ``shard_size`` is also the base-set size (~75, Exp. 1).
+    helper_recruit_fraction:
+        Helper hosts recruited per newly created instance on a hot launch.
+    helper_pool_cap:
+        Maximum helper hosts one service accumulates.
+    hot_window:
+        Demand-history lookback; repeated high demand inside this window
+        makes a service "hot" (paper: <30 minutes).
+    hot_min_concurrency:
+        Minimum past concurrency for a demand event to count.
+    idle_grace / idle_deadline:
+        Idle instances are preserved for at least ``idle_grace`` and all
+        terminated by ``idle_deadline`` after disconnecting (Fig. 6: ~2 and
+        ~12 minutes).
+    rotation_period / rotation_fraction:
+        Every period, this fraction of the serving pool is swapped with
+        rotated-out hosts; drives census growth across launches (Fig. 12).
+    dynamic_placement:
+        us-central1 flag: instances scatter off base hosts with per-account
+        probability (see :class:`AccountPlacementPlan`).
+    default_dynamism:
+        Scatter probability for accounts not pinned in the plan.
+    baseline_startup / per_instance_startup:
+        Cold-start latency model for instance creation.
+    plan:
+        Evaluation-account calibration (shard pins, dynamism).
+    defense:
+        Scheduling-based co-location defense (paper §6): ``"none"``
+        (default), ``"randomized_base"`` (base hosts re-sampled per launch,
+        destroying the stable footprints of Observation 3), or
+        ``"tenant_isolation"`` (each account confined to an exclusive host
+        partition, making cross-account co-location impossible at the cost
+        of fleet utilization).
+    """
+
+    name: str
+    n_hosts: int
+    active_hosts: int
+    shard_size: int = 75
+    helper_recruit_fraction: float = 0.064
+    helper_pool_cap: int = 250
+    hot_window: float = 30 * units.MINUTE
+    hot_min_concurrency: int = 200
+    idle_grace: float = 2 * units.MINUTE
+    idle_deadline: float = 12 * units.MINUTE
+    rotation_period: float = 20 * units.MINUTE
+    rotation_fraction: float = 0.02
+    dynamic_placement: bool = False
+    default_dynamism: float = 0.0
+    baseline_startup: float = 1.5
+    per_instance_startup: float = 0.02
+    plan: AccountPlacementPlan = field(default_factory=AccountPlacementPlan)
+    defense: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.defense not in ("none", "randomized_base", "tenant_isolation"):
+            raise CloudError(
+                f"{self.name}: unknown defense {self.defense!r}; expected "
+                "'none', 'randomized_base', or 'tenant_isolation'"
+            )
+        if self.active_hosts > self.n_hosts:
+            raise CloudError(
+                f"{self.name}: active_hosts ({self.active_hosts}) cannot exceed "
+                f"n_hosts ({self.n_hosts})"
+            )
+        if self.shard_size > self.active_hosts:
+            raise CloudError(
+                f"{self.name}: shard_size ({self.shard_size}) cannot exceed "
+                f"active_hosts ({self.active_hosts})"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of whole placement shards in the serving pool."""
+        return self.active_hosts // self.shard_size
+
+
+#: The three evaluated regions plus a small profile for fast tests.
+REGION_PROFILES: dict[str, RegionProfile] = {
+    "us-east1": RegionProfile(
+        name="us-east1",
+        n_hosts=520,
+        active_hosts=300,
+        rotation_fraction=0.03,
+        plan=AccountPlacementPlan(
+            account_shards={"account-1": 0, "account-2": 1, "account-3": 2},
+        ),
+    ),
+    "us-central1": RegionProfile(
+        name="us-central1",
+        n_hosts=1850,
+        active_hosts=975,
+        helper_recruit_fraction=0.082,
+        helper_pool_cap=300,
+        dynamic_placement=True,
+        default_dynamism=0.35,
+        plan=AccountPlacementPlan(
+            account_shards={"account-1": 2, "account-2": 9, "account-3": 2},
+            account_dynamism={
+                "account-1": 0.02,
+                "account-2": 0.65,
+                "account-3": 0.18,
+            },
+        ),
+    ),
+    "us-west1": RegionProfile(
+        name="us-west1",
+        n_hosts=215,
+        active_hosts=165,
+        helper_recruit_fraction=0.06,
+        plan=AccountPlacementPlan(
+            account_shards={"account-1": 0, "account-2": 0, "account-3": 1},
+        ),
+    ),
+    # The remaining six US Cloud Run regions.  The paper reports that all
+    # nine US datacenters behave like us-east1 except us-central1 (§5.1,
+    # "Other factors"); sizes here are plausible interpolations, not
+    # published measurements — only the three profiles above are calibrated
+    # against the paper's numbers.
+    "us-east4": RegionProfile(
+        name="us-east4",
+        n_hosts=430,
+        active_hosts=300,
+        plan=AccountPlacementPlan(
+            account_shards={"account-1": 0, "account-2": 1, "account-3": 2},
+        ),
+    ),
+    "us-east5": RegionProfile(name="us-east5", n_hosts=260, active_hosts=150),
+    "us-west2": RegionProfile(name="us-west2", n_hosts=310, active_hosts=225),
+    "us-west3": RegionProfile(name="us-west3", n_hosts=180, active_hosts=150),
+    "us-west4": RegionProfile(name="us-west4", n_hosts=240, active_hosts=150),
+    "us-south1": RegionProfile(name="us-south1", n_hosts=200, active_hosts=150),
+    # A deliberately small region so unit tests stay fast.
+    "test-region1": RegionProfile(
+        name="test-region1",
+        n_hosts=60,
+        active_hosts=40,
+        shard_size=10,
+        helper_recruit_fraction=0.2,
+        helper_pool_cap=30,
+        hot_min_concurrency=10,
+        plan=AccountPlacementPlan(
+            account_shards={"account-1": 0, "account-2": 1, "account-3": 2},
+        ),
+    ),
+}
+
+
+def region_profile(name: str) -> RegionProfile:
+    """Look up a region profile by name.
+
+    Raises
+    ------
+    CloudError
+        If the region is unknown.
+    """
+    try:
+        return REGION_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(REGION_PROFILES))
+        raise CloudError(f"unknown region {name!r}; known regions: {known}") from None

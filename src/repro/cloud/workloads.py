@@ -1,0 +1,161 @@
+"""Request-workload models that drive autoscaling.
+
+FaaS victims are web services whose instance counts follow their traffic
+(paper §2.2): the orchestrator scales out on request surges and scales in
+when demand declines.  These patterns generate the *desired concurrent
+requests* over time; :class:`~repro.cloud.autoscaler.Autoscaler` turns them
+into instance counts.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro import units
+
+
+class RequestPattern(abc.ABC):
+    """A time-varying request-concurrency demand."""
+
+    @abc.abstractmethod
+    def concurrency_at(self, elapsed_s: float) -> int:
+        """Desired concurrent in-flight requests at ``elapsed_s``."""
+
+
+class ConstantLoad(RequestPattern):
+    """A flat request load."""
+
+    def __init__(self, concurrency: int) -> None:
+        if concurrency < 0:
+            raise ValueError(f"concurrency must be >= 0, got {concurrency}")
+        self.concurrency = concurrency
+
+    def concurrency_at(self, elapsed_s: float) -> int:
+        return self.concurrency
+
+
+class DiurnalLoad(RequestPattern):
+    """A day/night sinusoid between ``trough`` and ``peak`` concurrency."""
+
+    def __init__(
+        self,
+        trough: int,
+        peak: int,
+        period_s: float = 1 * units.DAY,
+        phase_s: float = 0.0,
+    ) -> None:
+        if trough > peak:
+            raise ValueError(f"trough ({trough}) cannot exceed peak ({peak})")
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.trough = trough
+        self.peak = peak
+        self.period_s = period_s
+        self.phase_s = phase_s
+
+    def concurrency_at(self, elapsed_s: float) -> int:
+        phase = 2 * math.pi * (elapsed_s + self.phase_s) / self.period_s
+        level = (1 - math.cos(phase)) / 2  # 0 at trough, 1 at peak
+        return round(self.trough + (self.peak - self.trough) * level)
+
+
+class BurstLoad(RequestPattern):
+    """A flat base load with one rectangular traffic burst."""
+
+    def __init__(
+        self, base: int, burst: int, burst_start_s: float, burst_duration_s: float
+    ) -> None:
+        if burst < base:
+            raise ValueError(f"burst ({burst}) must be >= base ({base})")
+        self.base = base
+        self.burst = burst
+        self.burst_start_s = burst_start_s
+        self.burst_duration_s = burst_duration_s
+
+    def concurrency_at(self, elapsed_s: float) -> int:
+        in_burst = (
+            self.burst_start_s <= elapsed_s < self.burst_start_s + self.burst_duration_s
+        )
+        return self.burst if in_burst else self.base
+
+
+class TraceLoad(RequestPattern):
+    """Replay a recorded concurrency trace (step-wise, with hold-last).
+
+    Parameters
+    ----------
+    times_s / concurrency:
+        Sample times (ascending, seconds from trace start) and the
+        concurrency observed at each.  Between samples the last value
+        holds; before the first sample the first value holds; after the
+        last, the last.
+    """
+
+    def __init__(self, times_s: list[float], concurrency: list[int]) -> None:
+        if len(times_s) != len(concurrency):
+            raise ValueError("times and concurrency must have equal length")
+        if not times_s:
+            raise ValueError("a trace needs at least one sample")
+        if any(b < a for a, b in zip(times_s, times_s[1:])):
+            raise ValueError("trace times must be ascending")
+        self.times_s = list(times_s)
+        self.concurrency = list(concurrency)
+
+    def concurrency_at(self, elapsed_s: float) -> int:
+        index = 0
+        for i, t in enumerate(self.times_s):
+            if t <= elapsed_s:
+                index = i
+            else:
+                break
+        return self.concurrency[index]
+
+    @classmethod
+    def bursty(
+        cls,
+        duration_s: float,
+        step_s: float,
+        base: int,
+        rng: np.random.Generator,
+        burst_probability: float = 0.05,
+        burst_scale: float = 4.0,
+    ) -> "TraceLoad":
+        """Generate a synthetic production-like trace: an AR(1) baseline
+        with occasional multiplicative bursts."""
+        steps = max(1, int(duration_s / step_s))
+        times, values = [], []
+        level = float(base)
+        for i in range(steps):
+            level = 0.8 * level + 0.2 * base + rng.normal(0, base * 0.1)
+            value = max(0.0, level)
+            if rng.random() < burst_probability:
+                value *= burst_scale
+            times.append(i * step_s)
+            values.append(int(round(value)))
+        return cls(times, values)
+
+
+class PoissonLoad(RequestPattern):
+    """Stochastic load: Little's-law concurrency with Poisson noise.
+
+    With arrival rate ``lambda`` (requests/s) and mean service time ``S``,
+    the mean concurrency is ``lambda * S``; per-step samples are Poisson
+    around it, which makes autoscaling jitter realistically.
+    """
+
+    def __init__(
+        self,
+        arrivals_per_s: float,
+        service_time_s: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if arrivals_per_s < 0 or service_time_s < 0:
+            raise ValueError("arrival rate and service time must be >= 0")
+        self.mean_concurrency = arrivals_per_s * service_time_s
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def concurrency_at(self, elapsed_s: float) -> int:
+        return int(self._rng.poisson(self.mean_concurrency))

@@ -1,0 +1,38 @@
+"""Adversarial instance-launching strategies and attack campaigns (§5.2)."""
+
+from repro.core.attack.campaign import ColocationCampaign, CoverageResult
+from repro.core.attack.census import CensusResult, estimate_cluster_size
+from repro.core.attack.planner import (
+    AttackPlanner,
+    LaunchSchedule,
+    PolicyModel,
+    SchedulePrediction,
+)
+from repro.core.attack.residency import ResidencyMaintainer, ResidencyReport
+from repro.core.attack.strategies import (
+    LaunchOutcome,
+    naive_launch,
+    optimized_launch,
+)
+from repro.core.attack.targeting import VictimProfile, multi_account_footprint
+from repro.core.attack.tracking import FingerprintHistory, HostTracker
+
+__all__ = [
+    "ColocationCampaign",
+    "CoverageResult",
+    "CensusResult",
+    "estimate_cluster_size",
+    "AttackPlanner",
+    "LaunchSchedule",
+    "PolicyModel",
+    "SchedulePrediction",
+    "ResidencyMaintainer",
+    "ResidencyReport",
+    "LaunchOutcome",
+    "naive_launch",
+    "optimized_launch",
+    "VictimProfile",
+    "multi_account_footprint",
+    "FingerprintHistory",
+    "HostTracker",
+]

@@ -1,0 +1,194 @@
+"""Planning launch schedules from an inferred placement policy.
+
+Closes the reverse-engineering loop of §5: once the attacker has estimated
+the policy parameters (base-set size, idle window, hot window, helper
+recruitment rate — see :mod:`repro.analysis.policy_inference`), it can
+*predict* the footprint, cost, and duration of a candidate launching
+schedule analytically, and pick the best schedule without burning money on
+trial campaigns.
+
+Model
+-----
+Per service, launch ``L`` times at interval ``tau`` with ``N`` instances:
+
+* launch 1 (cold) lands on the ``B`` base hosts;
+* each later launch replaces the instances that idled out —
+  ``N * (1 - survival(tau))`` of them — and recruits
+  ``rate * replaced`` helper hosts, up to the per-service cap;
+* ``tau`` must stay inside the hot window or no recruitment happens at
+  all, and should not be shorter than the idle grace period (nothing
+  terminates, nothing is replaced).
+
+Helper sets of ``S`` services are independent samples from the candidate
+pool ``P`` (the serving fleet minus base hosts), so the expected union is
+``P * (1 - (1 - h/P)^S)`` for per-service helper count ``h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.policy_inference import IdlePolicyEstimate
+from repro.cloud.billing import PricingRates, TIER1_RATES
+from repro.cloud.services import SMALL, ContainerSize
+
+
+@dataclass(frozen=True)
+class PolicyModel:
+    """The attacker's estimate of the orchestrator's policy."""
+
+    base_set_size: int
+    idle: IdlePolicyEstimate
+    hot_window_s: float
+    recruit_rate: float
+    helper_pool_cap: int = 250
+    candidate_pool_size: int = 250
+
+
+@dataclass(frozen=True)
+class LaunchSchedule:
+    """A candidate attack schedule."""
+
+    n_services: int
+    launches: int
+    instances_per_service: int
+    interval_s: float
+
+
+@dataclass(frozen=True)
+class SchedulePrediction:
+    """Analytic prediction for one schedule."""
+
+    schedule: LaunchSchedule
+    helpers_per_service: float
+    expected_hosts: float
+    duration_s: float
+    cost_usd: float
+
+    @property
+    def hosts_per_usd(self) -> float:
+        """Footprint efficiency (the planner's objective)."""
+        return self.expected_hosts / self.cost_usd if self.cost_usd > 0 else 0.0
+
+
+class AttackPlanner:
+    """Predicts and optimizes launch schedules under a policy model.
+
+    Parameters
+    ----------
+    policy:
+        The inferred policy parameters.
+    size:
+        Attacker container size (cost model input).
+    rates:
+        Region pricing.
+    active_seconds_per_launch:
+        Billable activity per instance per launch (startup + probing).
+    """
+
+    def __init__(
+        self,
+        policy: PolicyModel,
+        size: ContainerSize = SMALL,
+        rates: PricingRates = TIER1_RATES,
+        active_seconds_per_launch: float = 30.0,
+    ) -> None:
+        self.policy = policy
+        self.size = size
+        self.rates = rates
+        self.active_seconds_per_launch = active_seconds_per_launch
+
+    def predict(self, schedule: LaunchSchedule) -> SchedulePrediction:
+        """Predict footprint, duration, and cost of a schedule."""
+        policy = self.policy
+        recruiting = schedule.interval_s < policy.hot_window_s
+        replaced = schedule.instances_per_service * (
+            1.0 - policy.idle.survival_fraction(schedule.interval_s)
+        )
+        per_launch = policy.recruit_rate * replaced if recruiting else 0.0
+        helpers = min(
+            per_launch * max(0, schedule.launches - 1), policy.helper_pool_cap
+        )
+
+        pool = max(policy.candidate_pool_size, 1)
+        union_fraction = 1.0 - (1.0 - min(helpers, pool) / pool) ** schedule.n_services
+        expected_hosts = policy.base_set_size + pool * union_fraction
+
+        duration = max(0, schedule.launches - 1) * schedule.interval_s
+        activations = (
+            schedule.n_services * schedule.launches * schedule.instances_per_service
+        )
+        cost = activations * self.rates.active_cost(
+            self.size.vcpus, self.size.memory_gb, self.active_seconds_per_launch
+        )
+        return SchedulePrediction(
+            schedule=schedule,
+            helpers_per_service=helpers,
+            expected_hosts=expected_hosts,
+            duration_s=duration,
+            cost_usd=cost,
+        )
+
+    def best_interval(
+        self, candidates_s: tuple[float, ...] = tuple(
+            m * units.MINUTE for m in (2, 5, 8, 10, 12, 15, 20, 25)
+        )
+    ) -> float:
+        """The interval maximizing replacements while staying hot.
+
+        The sweet spot is at or just past the idle deadline (everything
+        idles out, maximum replacements) but strictly inside the hot
+        window — the quantitative version of the paper's 10-minute pick.
+        """
+        viable = [c for c in candidates_s if c < self.policy.hot_window_s]
+        if not viable:
+            raise ValueError("no candidate interval lies inside the hot window")
+        probe = LaunchSchedule(
+            n_services=1, launches=2, instances_per_service=100, interval_s=0.0
+        )
+
+        def helpers_for(interval: float) -> tuple[float, float]:
+            schedule = LaunchSchedule(
+                probe.n_services, probe.launches, probe.instances_per_service, interval
+            )
+            # Maximize recruitment; break ties toward shorter campaigns.
+            return (self.predict(schedule).helpers_per_service, -interval)
+
+        return max(viable, key=helpers_for)
+
+    def plan(
+        self,
+        target_hosts: float,
+        max_services: int = 12,
+        launches_grid: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
+        instances_per_service: int = 800,
+    ) -> SchedulePrediction:
+        """Cheapest schedule predicted to reach ``target_hosts``.
+
+        Raises
+        ------
+        ValueError
+            If no schedule within the search space reaches the target.
+        """
+        interval = self.best_interval()
+        best: SchedulePrediction | None = None
+        for n_services in range(1, max_services + 1):
+            for launches in launches_grid:
+                prediction = self.predict(
+                    LaunchSchedule(
+                        n_services=n_services,
+                        launches=launches,
+                        instances_per_service=instances_per_service,
+                        interval_s=interval,
+                    )
+                )
+                if prediction.expected_hosts < target_hosts:
+                    continue
+                if best is None or prediction.cost_usd < best.cost_usd:
+                    best = prediction
+        if best is None:
+            raise ValueError(
+                f"no schedule reaches {target_hosts} hosts within the search space"
+            )
+        return best

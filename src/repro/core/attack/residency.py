@@ -1,0 +1,120 @@
+"""Keeping attacker instances resident over long periods.
+
+A primed fleet solves co-location *now*, but Cloud Run reaps idle
+instances within ~12 minutes (Fig. 6), and keeping them actively connected
+bills every second.  The cheap way to hold ground is a *keep-alive loop*:
+let instances idle (free) and reconnect each service briefly before the
+idle grace period can expire, paying only for the refresh blips.
+
+This is the attacker-side counterpart of the victim's own longevity: a
+victim under steady traffic keeps its hosts for hours, so an attacker who
+wants to monitor it all day must stay resident just as long.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.cloud.api import FaaSClient, InstanceHandle
+
+
+@dataclass
+class ResidencyReport:
+    """What a keep-alive campaign achieved.
+
+    Attributes
+    ----------
+    duration_s:
+        How long residency was maintained.
+    refreshes:
+        Keep-alive rounds performed.
+    survival_by_round:
+        Fraction of the original fleet still alive after each refresh.
+    cost_usd:
+        Billing for the maintenance period (excluding the initial launch).
+    """
+
+    duration_s: float = 0.0
+    refreshes: int = 0
+    survival_by_round: list[float] = field(default_factory=list)
+    cost_usd: float = 0.0
+
+    @property
+    def final_survival(self) -> float:
+        return self.survival_by_round[-1] if self.survival_by_round else 0.0
+
+    @property
+    def cost_per_hour_usd(self) -> float:
+        hours = self.duration_s / units.HOUR
+        return self.cost_usd / hours if hours > 0 else 0.0
+
+
+class ResidencyMaintainer:
+    """Keeps a set of services' instances alive via periodic reconnects.
+
+    Parameters
+    ----------
+    client:
+        The attacker's FaaS client.
+    service_names:
+        Services whose fleets to keep alive.
+    instances_per_service:
+        Connection count used on each refresh.
+    refresh_period_s:
+        Time between refreshes.  Must undercut the platform's idle grace
+        period or instances start dying between refreshes; the default
+        matches Cloud Run's ~2-minute grace with some margin.
+    hold_s:
+        How long each refresh stays connected (the billable blip).
+    """
+
+    def __init__(
+        self,
+        client: FaaSClient,
+        service_names: list[str],
+        instances_per_service: int,
+        refresh_period_s: float = 100.0,
+        hold_s: float = 1.0,
+    ) -> None:
+        if refresh_period_s <= 0:
+            raise ValueError(f"refresh period must be positive: {refresh_period_s!r}")
+        if not service_names:
+            raise ValueError("need at least one service to maintain")
+        self.client = client
+        self.service_names = list(service_names)
+        self.instances_per_service = instances_per_service
+        self.refresh_period_s = refresh_period_s
+        self.hold_s = hold_s
+
+    def maintain(self, duration_s: float) -> ResidencyReport:
+        """Run the keep-alive loop for ``duration_s``.
+
+        The services are released (disconnected) between refreshes so idle
+        time stays free; each refresh re-pins the surviving instances and
+        replaces any that were reaped.
+        """
+        report = ResidencyReport()
+        cost0 = self.client.cost_usd
+        baseline: list[InstanceHandle] = []
+        start = self.client.now()
+        elapsed = 0.0
+        while elapsed < duration_s:
+            handles: list[InstanceHandle] = []
+            for name in self.service_names:
+                handles.extend(
+                    self.client.connect(name, self.instances_per_service)
+                )
+                self.client.wait(self.hold_s)
+                self.client.disconnect(name)
+            if not baseline:
+                baseline = handles
+            report.refreshes += 1
+            alive = sum(1 for h in baseline if h.alive)
+            report.survival_by_round.append(alive / len(baseline))
+            remaining = start + report.refreshes * self.refresh_period_s
+            self.client.wait(max(0.0, remaining - self.client.now()))
+            elapsed = self.client.now() - start
+        report.duration_s = elapsed
+        report.cost_usd = self.client.cost_usd - cost0
+        return report

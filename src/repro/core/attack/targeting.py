@@ -1,0 +1,141 @@
+"""Repeat-attack optimizations (§5.2, "Potential attack optimizations").
+
+Two optimizations the paper sketches for attackers who strike repeatedly:
+
+* **Victim profiling.**  During the first attack, record the fingerprints
+  of hosts verified to run victim instances — these are likely the victim
+  account's *base hosts*.  In later attacks against the same victim, the
+  attacker can focus side-channel effort on its own instances whose
+  fingerprints match the profile, instead of all of them.  Because Gen 1
+  fingerprints drift (§4.4.2), matching tolerates a configurable number of
+  rounding buckets per elapsed day.
+
+* **Multi-account scaling.**  More attacker accounts mean more base-host
+  sets to explore from (the census experiment's trick).  The catch: cloud
+  providers cap new accounts to small quotas until they build usage
+  history, which :func:`multi_account_footprint` models via each account's
+  ``max_instances_per_service``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.cloud.api import FaaSClient, InstanceHandle
+from repro.core.attack.strategies import LaunchOutcome, optimized_launch
+from repro.core.fingerprint import Gen1Fingerprint
+
+
+@dataclass
+class VictimProfile:
+    """Recorded fingerprints of hosts known to serve a victim.
+
+    Attributes
+    ----------
+    recorded_at:
+        Wall time the profile was taken (drift tolerance grows from here).
+    fingerprints:
+        Gen 1 fingerprints of verified victim hosts.
+    """
+
+    recorded_at: float
+    fingerprints: set[Gen1Fingerprint] = field(default_factory=set)
+
+    @classmethod
+    def from_campaign(
+        cls,
+        now: float,
+        victim_handles: list[InstanceHandle],
+        cluster_of: dict[str, int],
+        attacker_fingerprints: dict[str, Gen1Fingerprint],
+        attacker_cluster_of: dict[str, int] | None = None,
+    ) -> "VictimProfile":
+        """Build a profile from a finished campaign's verification output.
+
+        The attacker cannot fingerprint victim instances directly; instead
+        it records the fingerprints of its *own* instances that share a
+        verified cluster with a victim instance.
+        """
+        clusters_with_victims = {
+            cluster_of[h.instance_id]
+            for h in victim_handles
+            if h.instance_id in cluster_of
+        }
+        lookup = attacker_cluster_of or cluster_of
+        profile = cls(recorded_at=now)
+        for instance_id, fingerprint in attacker_fingerprints.items():
+            if lookup.get(instance_id) in clusters_with_victims:
+                profile.fingerprints.add(fingerprint)
+        return profile
+
+    def matches(
+        self,
+        fingerprint: Gen1Fingerprint,
+        now: float,
+        drift_buckets_per_day: float = 1.0,
+    ) -> bool:
+        """Whether a later fingerprint plausibly names a profiled host.
+
+        The CPU model must match exactly; the boot bucket may differ by up
+        to ``ceil(elapsed_days * drift_buckets_per_day)`` buckets, the
+        drift envelope of §4.4.2.
+        """
+        elapsed_days = max(0.0, now - self.recorded_at) / units.DAY
+        tolerance = int(elapsed_days * drift_buckets_per_day) + 1
+        for recorded in self.fingerprints:
+            if recorded.cpu_model != fingerprint.cpu_model:
+                continue
+            if recorded.p_boot != fingerprint.p_boot:
+                continue
+            if abs(recorded.boot_bucket - fingerprint.boot_bucket) <= tolerance:
+                return True
+        return False
+
+    def select_targets(
+        self,
+        tagged: list[tuple[InstanceHandle, Gen1Fingerprint]],
+        now: float,
+        drift_buckets_per_day: float = 1.0,
+    ) -> list[InstanceHandle]:
+        """Filter a fleet down to instances on profiled (victim) hosts."""
+        return [
+            handle
+            for handle, fingerprint in tagged
+            if self.matches(fingerprint, now, drift_buckets_per_day)
+        ]
+
+
+def multi_account_footprint(
+    clients: list[FaaSClient],
+    n_services_per_account: int = 6,
+    launches: int = 6,
+    instances_per_service: int = 800,
+    interval_s: float = 10 * units.MINUTE,
+    service_prefix: str = "multi",
+) -> tuple[set, float, list[LaunchOutcome]]:
+    """Run the optimized strategy from several accounts and merge footprints.
+
+    Accounts whose quota caps ``instances_per_service`` launch at their cap
+    instead (the paper's note that new accounts are limited to small
+    quotas, making the multi-account optimization cost time and money).
+
+    Returns ``(union_of_apparent_hosts, total_cost_usd, outcomes)``.
+    """
+    union: set = set()
+    total_cost = 0.0
+    outcomes = []
+    for index, client in enumerate(clients):
+        per_service = min(instances_per_service, client.max_instances_quota)
+        outcome = optimized_launch(
+            client,
+            n_services=n_services_per_account,
+            launches=launches,
+            instances_per_service=per_service,
+            interval_s=interval_s,
+            service_prefix=f"{service_prefix}-{index}",
+        )
+        union |= outcome.apparent_hosts
+        total_cost += outcome.cost_usd
+        outcomes.append(outcome)
+    return union, total_cost, outcomes

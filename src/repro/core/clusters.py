@@ -1,0 +1,57 @@
+"""Disjoint-set bookkeeping for co-location clusters."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class DisjointSet:
+    """Union-find over hashable items, with cluster extraction.
+
+    Used by both verification strategies to accumulate "verified
+    co-located" relations and read the final clusters back out.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register an item as its own singleton cluster (idempotent)."""
+        self._parent.setdefault(item, item)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of the item's cluster."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        """Merge the clusters containing ``a`` and ``b``."""
+        self.add(a)
+        self.add(b)
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        """True when ``a`` and ``b`` are in the same cluster."""
+        return self.find(a) == self.find(b)
+
+    def clusters(self) -> list[list[Hashable]]:
+        """All clusters, each as a list of items (insertion-ordered)."""
+        by_root: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent

@@ -1,0 +1,155 @@
+"""Detecting victim activity from a co-located instance (threat model §3).
+
+Once co-located, the attacker's instance samples CPU contention on its host
+and turns the noisy level series into binary activity episodes.  Together
+with the co-location pipeline this completes the paper's step 1 → step 2
+hand-off: the attacker knows *where* the victim runs and *when* it runs;
+actual secret extraction (cache attacks etc.) is out of scope, as in the
+paper.
+
+The detector is deliberately simple — threshold + debouncing — because on
+FaaS hosts the baseline is bursty but low (idle siblings release their
+CPU), so victim request bursts stand out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.api import InstanceHandle
+
+
+@dataclass(frozen=True)
+class ActivitySample:
+    """One contention observation."""
+
+    at: float
+    level: int
+
+
+@dataclass(frozen=True)
+class ActivityEpisode:
+    """One detected burst of co-located activity."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether this episode intersects ``[start, end]``."""
+        return self.start <= end and start <= self.end
+
+
+@dataclass
+class ActivityTimeline:
+    """A monitored contention series plus its detected episodes."""
+
+    samples: list[ActivitySample] = field(default_factory=list)
+    episodes: list[ActivityEpisode] = field(default_factory=list)
+
+    def detected_at(self, when: float) -> bool:
+        """Whether ``when`` falls inside any detected episode."""
+        return any(e.start <= when <= e.end for e in self.episodes)
+
+
+class ActivityDetector:
+    """Monitors one attacker instance's host for sibling activity.
+
+    Parameters
+    ----------
+    handle:
+        The attacker's co-located instance.
+    cadence_s:
+        Sampling period.
+    threshold:
+        Contention level at or above which a sample counts as active.
+    min_consecutive:
+        Debounce: samples needed to open an episode (suppresses the
+        meter's occasional one-sample noise).
+    """
+
+    def __init__(
+        self,
+        handle: InstanceHandle,
+        cadence_s: float = 0.02,
+        threshold: int = 1,
+        min_consecutive: int = 2,
+    ) -> None:
+        if cadence_s <= 0:
+            raise ValueError(f"cadence must be positive, got {cadence_s!r}")
+        if min_consecutive < 1:
+            raise ValueError(f"min_consecutive must be >= 1, got {min_consecutive}")
+        self.handle = handle
+        self.cadence_s = cadence_s
+        self.threshold = threshold
+        self.min_consecutive = min_consecutive
+
+    def monitor(self, duration_s: float) -> ActivityTimeline:
+        """Sample for ``duration_s`` (advancing time) and detect episodes."""
+        timeline = ActivityTimeline()
+        steps = max(1, int(round(duration_s / self.cadence_s)))
+        for _ in range(steps):
+            level = self.handle.run(
+                lambda sandbox: sandbox.observe_cpu_contention()
+            )
+            at = self.handle.run(lambda sandbox: sandbox.wall_clock())
+            timeline.samples.append(ActivitySample(at=at, level=level))
+            self.handle.run(lambda sandbox: sandbox.sleep(self.cadence_s))
+        timeline.episodes = self._episodes(timeline.samples)
+        return timeline
+
+    def _episodes(self, samples: list[ActivitySample]) -> list[ActivityEpisode]:
+        episodes: list[ActivityEpisode] = []
+        run_start: float | None = None
+        run_length = 0
+        last_active_at = 0.0
+        for sample in samples:
+            if sample.level >= self.threshold:
+                if run_start is None:
+                    run_start = sample.at
+                run_length += 1
+                last_active_at = sample.at
+            else:
+                if run_start is not None and run_length >= self.min_consecutive:
+                    episodes.append(
+                        ActivityEpisode(start=run_start, end=last_active_at)
+                    )
+                run_start = None
+                run_length = 0
+        if run_start is not None and run_length >= self.min_consecutive:
+            episodes.append(ActivityEpisode(start=run_start, end=last_active_at))
+        return episodes
+
+
+def score_detection(
+    timeline: ActivityTimeline,
+    true_bursts: list[tuple[float, float]],
+) -> tuple[float, float]:
+    """Score detected episodes against ground-truth burst windows.
+
+    Returns ``(precision, recall)`` over episodes: a detected episode is
+    correct if it overlaps a true burst; a true burst is found if some
+    episode overlaps it.
+    """
+    if timeline.episodes:
+        correct = sum(
+            1
+            for episode in timeline.episodes
+            if any(episode.overlaps(s, e) for s, e in true_bursts)
+        )
+        precision = correct / len(timeline.episodes)
+    else:
+        precision = 1.0 if not true_bursts else 0.0
+    if true_bursts:
+        found = sum(
+            1
+            for s, e in true_bursts
+            if any(episode.overlaps(s, e) for episode in timeline.episodes)
+        )
+        recall = found / len(true_bursts)
+    else:
+        recall = 1.0
+    return precision, recall

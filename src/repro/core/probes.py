@@ -1,0 +1,57 @@
+"""Guest-side probe programs.
+
+These are the programs the attacker ships inside their container image.
+Each probe is a plain function taking the sandbox interface and returning a
+measurement; run them via
+:meth:`repro.cloud.api.InstanceHandle.run`.
+"""
+
+from __future__ import annotations
+
+from repro.core import fingerprint as _fingerprint
+from repro.core.frequency import FrequencyEstimate, measure_tsc_frequency, reported_tsc_frequency
+from repro.sandbox.base import Sandbox
+
+
+def gen1_fingerprint_probe(sandbox: Sandbox) -> "_fingerprint.Gen1Sample":
+    """Take one Gen 1 fingerprinting sample: ``(model, tsc, T_w, f_r)``.
+
+    The TSC and wall-clock reads are taken back to back so the derived boot
+    time is internally consistent up to syscall jitter.
+    """
+    model = sandbox.cpuid_model()
+    frequency = reported_tsc_frequency(sandbox)
+    tsc = sandbox.rdtsc()
+    wall = sandbox.wall_clock()
+    return _fingerprint.Gen1Sample(
+        cpu_model=model,
+        tsc_value=tsc,
+        wall_time=wall,
+        reported_frequency_hz=frequency,
+    )
+
+
+def gen2_fingerprint_probe(sandbox: Sandbox) -> float:
+    """Read the refined host TSC frequency (kHz) from the guest kernel."""
+    return sandbox.kernel_tsc_khz()
+
+
+def measured_frequency_probe(
+    sandbox: Sandbox, interval_s: float = 0.1, repetitions: int = 10
+) -> FrequencyEstimate:
+    """Estimate the actual TSC frequency (the §4.2 alternative method)."""
+    return measure_tsc_frequency(sandbox, interval_s=interval_s, repetitions=repetitions)
+
+
+def environment_probe(sandbox: Sandbox) -> dict[str, object]:
+    """Collect what the sandbox willingly reveals (all virtualized).
+
+    Demonstrates why naive host fingerprinting fails on a FaaS platform:
+    the sandbox hides the host CPU model in ``/proc`` and virtualizes
+    uptime, leaving hardware interaction as the only signal.
+    """
+    return {
+        "generation": sandbox.generation,
+        "proc_cpuinfo_model": sandbox.proc_cpuinfo_model(),
+        "proc_uptime": sandbox.proc_uptime(),
+    }

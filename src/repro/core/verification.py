@@ -1,0 +1,485 @@
+"""Scalable instance co-location verification (paper §4.3, Fig. 3).
+
+Conventional pairwise covert-channel testing needs O(N^2) serialized tests
+for N instances.  The paper's alternative is hierarchical group testing
+guided by host fingerprints:
+
+1. Group instances by fingerprint (likely co-located).
+2. Verify each group with n-way CTests in chunks of at most ``2m - 1``
+   instances: ``m .. 2m - 1`` positives are guaranteed to share one host.
+   Groups whose chunks all verify are merged hierarchically through their
+   representatives; inconsistent groups fall back to pairwise testing.
+   Tests of groups that are *guaranteed* host-disjoint (different CPU
+   models; any two distinct Gen 2 fingerprints) run concurrently.
+3. Hunt false negatives: one representative per verified cluster, all
+   tested at once; positives are refined pairwise and their clusters
+   merged.  (Skipped for Gen 2 fingerprints, which cannot have false
+   negatives.)
+
+In the common case of accurate fingerprints, the total number of tests is
+O(M) where M is the number of occupied hosts, and wall-clock time is the
+number of *waves* (a handful) times the per-test duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+from repro.cloud.api import InstanceHandle
+from repro.core.clusters import DisjointSet
+from repro.core.covert import CovertChannel, CTestResult
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class TaggedInstance:
+    """An instance handle plus the attacker-side placement hints.
+
+    Attributes
+    ----------
+    handle:
+        The instance.
+    fingerprint:
+        Any hashable fingerprint (Gen 1 or Gen 2).
+    model_key:
+        A key such that instances with *different* keys are guaranteed to be
+        on different hosts (the CPU model for Gen 1); used to batch tests
+        safely.  ``None`` disables cross-group batching for this instance.
+    """
+
+    handle: InstanceHandle
+    fingerprint: Hashable
+    model_key: str | None = None
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification run.
+
+    Attributes
+    ----------
+    clusters:
+        Verified co-location clusters (lists of handles); the union covers
+        every input instance.
+    n_tests / n_batches / busy_seconds:
+        Covert-channel cost of this run (batched tests share wall time).
+    fallback_groups:
+        Fingerprint groups that degenerated to pairwise testing.
+    merged_false_negatives:
+        Cluster pairs merged by the step-3 false-negative hunt.
+    """
+
+    clusters: list[list[InstanceHandle]] = field(default_factory=list)
+    n_tests: int = 0
+    n_batches: int = 0
+    busy_seconds: float = 0.0
+    fallback_groups: int = 0
+    merged_false_negatives: int = 0
+
+    def cluster_index(self) -> dict[str, int]:
+        """Map each instance id to its cluster's index."""
+        return {
+            handle.instance_id: idx
+            for idx, cluster in enumerate(self.clusters)
+            for handle in cluster
+        }
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of verified distinct hosts (clusters)."""
+        return len(self.clusters)
+
+
+class _GroupTask:
+    """Step-2 state machine for one fingerprint group.
+
+    Phases: ``chunking`` (n-way chunk tests) -> either ``merging``
+    (hierarchical representative tests) or ``fallback`` (pairwise within
+    the group, with transitivity pruning) -> ``done``.
+    """
+
+    def __init__(self, members: list[InstanceHandle], model_key: str | None) -> None:
+        self.members = members
+        self.model_key = model_key
+        self.clusters: list[list[InstanceHandle]] = []
+        self.fully_colocated = True
+        self.fell_back = False
+        self.pending_chunks: list[list[InstanceHandle]] = []
+        self.merge_level: list[InstanceHandle] = []
+        self.fallback_units: list[list[InstanceHandle]] = []
+        self.fallback_ds: DisjointSet | None = None
+        self.fallback_pairs: list[tuple[int, int]] = []
+        self.fallback_negatives: set[frozenset] = set()
+        self.phase = "chunking"
+
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    def enter_fallback(self) -> None:
+        """Degenerate to pairwise testing within the group.
+
+        Pairs are tested between *representatives of already-verified
+        units* (the chunk-phase clusters), not between raw members: two
+        units on the same host merge after a single positive test, so the
+        sweep costs ~C(units, 2) instead of C(members, 2), further pruned
+        by transitivity.
+        """
+        self.fell_back = True
+        self.phase = "fallback"
+        self.fallback_units = [list(cluster) for cluster in self.clusters if cluster]
+        self.clusters = []
+        n = len(self.fallback_units)
+        self.fallback_ds = DisjointSet(range(n))
+        self.fallback_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        self.fallback_negatives: set[frozenset] = set()
+
+    def record_fallback_negative(self, i: int, j: int) -> None:
+        """Remember that the units' current clusters are on different hosts."""
+        assert self.fallback_ds is not None
+        self.fallback_negatives.add(
+            frozenset((self.fallback_ds.find(i), self.fallback_ds.find(j)))
+        )
+
+    def merge_fallback_units(self, i: int, j: int) -> None:
+        """Union two units, migrating negative knowledge to the new root.
+
+        Host identity is an equivalence relation, so a cluster's negative
+        verdicts extend to everything merged into it.
+        """
+        assert self.fallback_ds is not None
+        old_i, old_j = self.fallback_ds.find(i), self.fallback_ds.find(j)
+        self.fallback_ds.union(i, j)
+        new_root = self.fallback_ds.find(i)
+        migrated = set()
+        for pair in self.fallback_negatives:
+            others = pair - {old_i, old_j}
+            if len(others) == len(pair):
+                migrated.add(pair)
+            elif others:
+                migrated.add(frozenset((new_root, next(iter(others)))))
+        self.fallback_negatives = migrated
+
+    def next_fallback_pair(self) -> list[InstanceHandle] | None:
+        """Next unit pair not settled by transitivity or negative memory."""
+        assert self.fallback_ds is not None
+        while self.fallback_pairs:
+            i, j = self.fallback_pairs[0]
+            root_i, root_j = self.fallback_ds.find(i), self.fallback_ds.find(j)
+            settled = root_i == root_j or (
+                frozenset((root_i, root_j)) in self.fallback_negatives
+            )
+            if settled:
+                self.fallback_pairs.pop(0)
+                continue
+            return [self.fallback_units[i][0], self.fallback_units[j][0]]
+        return None
+
+    def finish_fallback(self) -> None:
+        assert self.fallback_ds is not None
+        self.clusters = []
+        for index_cluster in self.fallback_ds.clusters():
+            block: list[InstanceHandle] = []
+            for idx in index_cluster:
+                block.extend(self.fallback_units[idx])
+            self.clusters.append(block)
+        self.phase = "done"
+
+
+class ScalableVerifier:
+    """Fingerprint-guided hierarchical co-location verifier.
+
+    Parameters
+    ----------
+    channel:
+        The covert-channel CTest provider.
+    threshold_m:
+        Contention threshold ``m``; chunks hold at most ``2m - 1``
+        instances so a positive set within one chunk is a single host.
+    assume_no_false_negatives:
+        Set for Gen 2 fingerprints: skips step 3 and batches every group
+        concurrently (distinct fingerprints guarantee distinct hosts).
+    """
+
+    def __init__(
+        self,
+        channel: CovertChannel,
+        threshold_m: int = 2,
+        assume_no_false_negatives: bool = False,
+    ) -> None:
+        if threshold_m < 2:
+            raise VerificationError(f"threshold m must be >= 2, got {threshold_m}")
+        self.channel = channel
+        self.m = threshold_m
+        self.assume_no_false_negatives = assume_no_false_negatives
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def verify(self, tagged: Sequence[TaggedInstance]) -> VerificationReport:
+        """Produce verified co-location clusters for ``tagged`` instances."""
+        report = VerificationReport()
+        tests0 = self.channel.stats.n_tests
+        busy0 = self.channel.stats.busy_seconds
+        batches0 = self.channel.stats.batches
+
+        groups = self._group_by_fingerprint(tagged)
+        clusters = self._verify_groups(groups, report)
+        if not self.assume_no_false_negatives:
+            clusters = self._merge_false_negatives(clusters, report)
+        report.clusters = clusters
+
+        report.n_tests = self.channel.stats.n_tests - tests0
+        report.busy_seconds = self.channel.stats.busy_seconds - busy0
+        report.n_batches = self.channel.stats.batches - batches0
+        return report
+
+    # ------------------------------------------------------------------
+    # Step 1: fingerprint grouping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_by_fingerprint(
+        tagged: Sequence[TaggedInstance],
+    ) -> list[tuple[str | None, list[InstanceHandle]]]:
+        by_fp: dict[Hashable, tuple[str | None, list[InstanceHandle]]] = {}
+        for item in tagged:
+            key = item.fingerprint
+            if key not in by_fp:
+                by_fp[key] = (item.model_key, [])
+            by_fp[key][1].append(item.handle)
+        return list(by_fp.values())
+
+    # ------------------------------------------------------------------
+    # Step 2: intra-group verification, wave-batched across groups
+    # ------------------------------------------------------------------
+    def _verify_groups(
+        self,
+        groups: list[tuple[str | None, list[InstanceHandle]]],
+        report: VerificationReport,
+    ) -> list[list[InstanceHandle]]:
+        tasks: list[_GroupTask] = []
+        clusters: list[list[InstanceHandle]] = []
+        for model_key, members in groups:
+            if len(members) == 1:
+                # Nothing to verify inside a singleton group; step 3 still
+                # covers potential false negatives against other clusters.
+                clusters.append(list(members))
+                continue
+            task = _GroupTask(members, model_key)
+            task.pending_chunks = _balanced_chunks(members, 2 * self.m - 1)
+            tasks.append(task)
+
+        while any(not task.done() for task in tasks):
+            requests: list[tuple[_GroupTask, list[InstanceHandle]]] = []
+            for task in tasks:
+                test = self._next_test(task)
+                if test is not None:
+                    requests.append((task, test))
+            if not requests:
+                break
+            for batch in self._plan_batches(requests):
+                results = self._run_batch([test for _task, test in batch])
+                for (task, _test), result in zip(batch, results):
+                    self._feed_result(task, result)
+
+        for task in tasks:
+            if task.fell_back:
+                report.fallback_groups += 1
+            clusters.extend(task.clusters)
+        return clusters
+
+    def _next_test(self, task: _GroupTask) -> list[InstanceHandle] | None:
+        """Return the group's next pending test, advancing its phases."""
+        if task.done():
+            return None
+        if task.phase == "chunking":
+            if task.pending_chunks:
+                return task.pending_chunks[0]
+            # All chunks resolved: decide whether to merge or finish.
+            if len(task.clusters) <= 1:
+                task.phase = "done"
+                return None
+            if not task.fully_colocated:
+                task.enter_fallback()
+            else:
+                task.phase = "merging"
+                task.merge_level = [cluster[0] for cluster in task.clusters]
+        if task.phase == "merging":
+            if len(task.merge_level) <= 1:
+                merged: list[InstanceHandle] = []
+                for cluster in task.clusters:
+                    merged.extend(cluster)
+                task.clusters = [merged]
+                task.phase = "done"
+                return None
+            return task.merge_level[: 2 * self.m - 1]
+        if task.phase == "fallback":
+            pair = task.next_fallback_pair()
+            if pair is None:
+                task.finish_fallback()
+                return None
+            return pair
+        return None
+
+    def _feed_result(self, task: _GroupTask, result: CTestResult) -> None:
+        """Apply a finished test to the group's state machine."""
+        if task.phase == "chunking":
+            task.pending_chunks.pop(0)
+            positives = [h for h, p in zip(result.handles, result.positive) if p]
+            negatives = [h for h, p in zip(result.handles, result.positive) if not p]
+            if 0 < len(positives) < self._threshold_for(result.handles):
+                # Inconsistent even after the channel-level retry; treat
+                # the whole chunk as not co-located (conservative).
+                negatives = list(result.handles)
+                positives = []
+            if positives:
+                task.clusters.append(positives)
+            task.clusters.extend([h] for h in negatives)
+            if negatives:
+                task.fully_colocated = False
+        elif task.phase == "merging":
+            if all(result.positive):
+                # The tested representatives share one host; collapse them
+                # onto the first and continue up the hierarchy.
+                survivors = task.merge_level[len(result.handles):]
+                task.merge_level = [result.handles[0]] + survivors
+            else:
+                task.enter_fallback()
+        elif task.phase == "fallback":
+            assert task.fallback_ds is not None
+            i, j = task.fallback_pairs.pop(0)
+            if all(result.positive):
+                task.merge_fallback_units(i, j)
+            else:
+                task.record_fallback_negative(i, j)
+
+    def _plan_batches(
+        self, requests: list[tuple[_GroupTask, list[InstanceHandle]]]
+    ) -> list[list[tuple[_GroupTask, list[InstanceHandle]]]]:
+        """Greedily pack group tests into concurrency-safe batches.
+
+        Two tests may share a batch when their groups are guaranteed to be
+        on different hosts: always true across groups under
+        ``assume_no_false_negatives`` (Gen 2), and true for groups with
+        different ``model_key`` otherwise (Gen 1).
+        """
+        if self.assume_no_false_negatives:
+            return [requests]
+        batches: list[tuple[set[str], list[tuple[_GroupTask, list[InstanceHandle]]]]] = []
+        for task, test in requests:
+            placed = False
+            if task.model_key is not None:
+                for keys, batch in batches:
+                    if task.model_key not in keys:
+                        batch.append((task, test))
+                        keys.add(task.model_key)
+                        placed = True
+                        break
+            if not placed:
+                keys = {task.model_key} if task.model_key is not None else set()
+                batches.append((keys, [(task, test)]))
+        return [batch for _keys, batch in batches]
+
+    def _threshold_for(self, chunk: Sequence[InstanceHandle]) -> int:
+        """Per-test contention threshold.
+
+        A test can only light up when at least ``threshold`` pressurers
+        share a host, so tests smaller than ``m`` (pairs during fallback
+        and refinement, small trailing chunks) drop to their own size —
+        never below the physical minimum of 2 (paper §4.3 adjusts the
+        threshold per test).
+        """
+        return max(2, min(self.m, len(chunk)))
+
+    def _run_batch(
+        self,
+        chunks: list[list[InstanceHandle]],
+        force_threshold: int | None = None,
+    ) -> list[CTestResult]:
+        def thresholds(batch: list[list[InstanceHandle]]) -> list[int]:
+            if force_threshold is not None:
+                return [force_threshold] * len(batch)
+            return [self._threshold_for(chunk) for chunk in batch]
+
+        results = self.channel.ctest_batch(chunks, thresholds(chunks))
+        # Retry inconsistent results (fewer positives than the threshold is
+        # physically impossible without noise).
+        limits = thresholds(chunks)
+        retried: list[int] = [
+            i
+            for i, res in enumerate(results)
+            if 0 < res.n_positive < limits[i]
+        ]
+        if retried:
+            fresh = self.channel.ctest_batch(
+                [chunks[i] for i in retried], [limits[i] for i in retried]
+            )
+            for slot, res in zip(retried, fresh):
+                results[slot] = res
+        return results
+
+    # ------------------------------------------------------------------
+    # Step 3: false-negative hunt
+    # ------------------------------------------------------------------
+    def _merge_false_negatives(
+        self,
+        clusters: list[list[InstanceHandle]],
+        report: VerificationReport,
+    ) -> list[list[InstanceHandle]]:
+        if len(clusters) <= 1:
+            return clusters
+        # The sweep uses m = 2 regardless of the step-2 threshold: a false
+        # negative may involve just two co-located representatives.
+        reps = [cluster[0] for cluster in clusters]
+        result = self._run_batch([reps], force_threshold=2)[0]
+        positives = [idx for idx, flag in enumerate(result.positive) if flag]
+        if len(positives) < 2:
+            return clusters
+
+        # Refine: pairwise tests among the positive representatives reveal
+        # which of their clusters actually share hosts.
+        ds = DisjointSet(range(len(clusters)))
+        for a in range(len(positives)):
+            for b in range(a + 1, len(positives)):
+                i, j = positives[a], positives[b]
+                if ds.same(i, j):
+                    continue
+                pair = self._run_batch([[reps[i], reps[j]]])[0]
+                if all(pair.positive):
+                    ds.union(i, j)
+                    report.merged_false_negatives += 1
+        merged: list[list[InstanceHandle]] = []
+        for index_cluster in ds.clusters():
+            block: list[InstanceHandle] = []
+            for idx in index_cluster:
+                block.extend(clusters[idx])
+            merged.append(block)
+        return merged
+
+
+def _balanced_chunks(items: list, size: int) -> list[list]:
+    """Split ``items`` into chunks of at most ``size``, avoiding singletons.
+
+    A trailing single-instance chunk is useless to a contention test (one
+    pressurer can never exceed the threshold), so the last two chunks are
+    rebalanced, e.g. 10 items at size 3 become ``3 + 3 + 2 + 2``.
+    """
+    if size < 2:
+        raise VerificationError(f"chunk size must be >= 2, got {size}")
+    chunks = [items[i : i + size] for i in range(0, len(items), size)]
+    if len(chunks) >= 2 and len(chunks[-1]) == 1:
+        chunks[-1].insert(0, chunks[-2].pop())
+    return chunks
+
+
+def tag_instances(
+    pairs: Sequence[tuple[InstanceHandle, Hashable]],
+    model_key_fn: Callable[[Hashable], str | None] | None = None,
+) -> list[TaggedInstance]:
+    """Build :class:`TaggedInstance` records from ``(handle, fingerprint)``
+    pairs, deriving the batching key via ``model_key_fn``."""
+    tagged = []
+    for handle, fingerprint in pairs:
+        key = model_key_fn(fingerprint) if model_key_fn is not None else None
+        tagged.append(TaggedInstance(handle=handle, fingerprint=fingerprint, model_key=key))
+    return tagged

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the EAAO reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """A simulated component was driven into an invalid state."""
+
+
+class ClockError(SimulationError):
+    """Simulated time was manipulated incorrectly (e.g. moved backwards)."""
+
+
+class HardwareError(SimulationError):
+    """A simulated hardware component rejected an operation."""
+
+
+class SandboxError(ReproError):
+    """A sandboxed guest attempted an operation its environment forbids."""
+
+
+class PrivilegeError(SandboxError):
+    """The guest lacks the privilege required for the requested operation."""
+
+
+class CloudError(ReproError):
+    """The simulated FaaS platform rejected a control-plane request."""
+
+
+class QuotaExceededError(CloudError):
+    """A request would exceed the account's resource quota."""
+
+
+class NoCapacityError(CloudError):
+    """The orchestrator could not find a host with spare capacity."""
+
+
+class InstanceGoneError(CloudError):
+    """An operation referenced a terminated or unknown container instance."""
+
+
+class VerificationError(ReproError):
+    """The co-location verification pipeline hit an unrecoverable state."""
+
+
+class FingerprintError(ReproError):
+    """A fingerprint could not be computed from the available probes."""

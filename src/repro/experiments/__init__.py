@@ -1,0 +1,11 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module exposes a ``run(config) -> result`` entry point plus a
+paper-reference constant, so the benchmark harness can print measured
+values side by side with the published ones.  See DESIGN.md §4 for the
+experiment index.
+"""
+
+from repro.experiments.base import SimulationEnv, default_env
+
+__all__ = ["SimulationEnv", "default_env"]

@@ -1,0 +1,76 @@
+"""Shared experiment infrastructure: one simulated region + three accounts.
+
+Every experiment builds a fresh :class:`SimulationEnv` so runs are
+independent and reproducible from their seed.  The environment mirrors the
+paper's setup (§5): Account 1 is the attacker, Accounts 2 and 3 are
+victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.accounts import Account
+from repro.cloud.api import FaaSClient
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.orchestrator import Orchestrator
+from repro.cloud.topology import RegionProfile, region_profile
+from repro.sandbox.base import TscPolicy
+from repro.simtime.clock import SimClock
+
+#: The accounts used throughout the paper's evaluation.
+ATTACKER_ACCOUNT = "account-1"
+VICTIM_ACCOUNTS = ("account-2", "account-3")
+
+
+@dataclass
+class SimulationEnv:
+    """One simulated region with the paper's three evaluation accounts."""
+
+    clock: SimClock
+    datacenter: DataCenter
+    orchestrator: Orchestrator
+    clients: dict[str, FaaSClient] = field(default_factory=dict)
+
+    @property
+    def attacker(self) -> FaaSClient:
+        """Client for the attacker account (Account 1)."""
+        return self.clients[ATTACKER_ACCOUNT]
+
+    def victim(self, account_id: str = "account-2") -> FaaSClient:
+        """Client for a victim account."""
+        return self.clients[account_id]
+
+    @property
+    def region(self) -> str:
+        return self.datacenter.profile.name
+
+
+def default_env(
+    region: str = "us-east1",
+    seed: int = 0,
+    tsc_policy: TscPolicy = TscPolicy.NATIVE,
+    profile: RegionProfile | None = None,
+) -> SimulationEnv:
+    """Build a fresh simulated region with the three evaluation accounts.
+
+    Parameters
+    ----------
+    region:
+        Region profile name (ignored when ``profile`` is given).
+    seed:
+        Master seed; different seeds model different measurement days.
+    tsc_policy:
+        Host TSC exposure (``EMULATED`` enables the §6 mitigation).
+    profile:
+        Explicit profile override (used by scaled-down tests).
+    """
+    clock = SimClock()
+    resolved = profile if profile is not None else region_profile(region)
+    datacenter = DataCenter(resolved, clock, seed=seed)
+    orchestrator = Orchestrator(datacenter, tsc_policy=tsc_policy)
+    env = SimulationEnv(clock=clock, datacenter=datacenter, orchestrator=orchestrator)
+    for account_id in (ATTACKER_ACCOUNT, *VICTIM_ACCOUNTS):
+        orchestrator.register_account(Account(account_id))
+        env.clients[account_id] = FaaSClient(orchestrator, account_id)
+    return env

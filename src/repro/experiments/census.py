@@ -1,0 +1,106 @@
+"""Figure 12 and §5.2: estimating the scale of the FaaS clusters.
+
+Deploy eight services from each of the three accounts and prime all 24 with
+optimized launches; the cumulative number of unique apparent hosts estimates
+the cluster size, and the attacker's at-once footprint over that estimate is
+the attacker's datacenter coverage.
+
+Paper reference: 474 apparent hosts in us-east1, 1702 in us-central1, 199
+in us-west1; the attacker covers 59% / 53% / 82% of them, peaking at 904
+simultaneously occupied hosts in us-central1 for ~23 USD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.core.attack.census import CensusResult, estimate_cluster_size
+from repro.core.attack.strategies import optimized_launch
+from repro.experiments.base import VICTIM_ACCOUNTS, default_env
+
+PAPER_CENSUS = {"us-east1": 474, "us-central1": 1702, "us-west1": 199}
+PAPER_ATTACKER_SHARE = {"us-east1": 0.59, "us-central1": 0.53, "us-west1": 0.82}
+PAPER_MAX_HOSTS_AT_ONCE = 904
+
+
+@dataclass(frozen=True)
+class CensusConfig:
+    """Configuration for the Fig. 12 census."""
+
+    regions: tuple[str, ...] = ("us-east1", "us-central1", "us-west1")
+    services_per_account: int = 8
+    launches_per_service: int = 4
+    instances_per_launch: int = 800
+    interval: float = 10 * units.MINUTE
+    base_seed: int = 700
+
+
+@dataclass
+class RegionCensus:
+    """Census outcome for one region."""
+
+    region: str
+    census: CensusResult
+    attacker_hosts_at_once: int
+    attacker_cost_usd: float
+
+    @property
+    def total_hosts(self) -> int:
+        return self.census.total_unique
+
+    @property
+    def attacker_share(self) -> float:
+        """Fraction of the census the attacker occupied at once."""
+        return self.attacker_hosts_at_once / self.total_hosts
+
+    @property
+    def growth_flattens(self) -> bool:
+        """True when late launches discover far fewer hosts than early ones."""
+        cumulative = self.census.cumulative_unique
+        third = max(1, len(cumulative) // 3)
+        early = cumulative[third] - cumulative[0]
+        late = cumulative[-1] - cumulative[-third - 1]
+        return late < early
+
+
+@dataclass
+class CensusSummary:
+    """Census outcomes for every region."""
+
+    regions: list[RegionCensus] = field(default_factory=list)
+
+    def by_region(self, region: str) -> RegionCensus:
+        """Look up one region's census (KeyError if absent)."""
+        for entry in self.regions:
+            if entry.region == region:
+                return entry
+        raise KeyError(region)
+
+
+def run(config: CensusConfig = CensusConfig()) -> CensusSummary:
+    """Run the census in each region, then measure the attacker footprint."""
+    summary = CensusSummary()
+    for idx, region in enumerate(config.regions):
+        env = default_env(region, seed=config.base_seed + idx)
+        clients = [env.attacker] + [env.victim(a) for a in VICTIM_ACCOUNTS]
+        census = estimate_cluster_size(
+            clients,
+            services_per_account=config.services_per_account,
+            launches_per_service=config.launches_per_service,
+            instances_per_launch=config.instances_per_launch,
+            interval_s=config.interval,
+        )
+        # Attacker footprint at once: a fresh standard optimized attack in
+        # the same region (fresh environment keeps the census unbiased).
+        attack_env = default_env(region, seed=config.base_seed + 50 + idx)
+        outcome = optimized_launch(attack_env.attacker)
+        summary.regions.append(
+            RegionCensus(
+                region=region,
+                census=census,
+                attacker_hosts_at_once=len(outcome.apparent_hosts),
+                attacker_cost_usd=outcome.cost_usd,
+            )
+        )
+    return summary

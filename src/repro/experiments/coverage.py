@@ -1,0 +1,218 @@
+"""Figure 11 and §5.2: victim instance coverage of the launching strategies.
+
+Runs attacker-vs-victim co-location campaigns across datacenters, victim
+accounts, victim fleet sizes (Fig. 11a), victim container sizes (Fig. 11b),
+strategies (naive vs. optimized), and execution environments (Gen 1/Gen 2).
+
+Paper reference (optimized strategy, Gen 1, 100 Small victims):
+
+=============  ==========  ==========
+datacenter     Account 2   Account 3
+=============  ==========  ==========
+us-east1       97.7%       99.7%
+us-central1    61.3%       90.0%
+us-west1       100.0%      100.0%
+=============  ==========  ==========
+
+The naive strategy achieves zero coverage except Account 2 in us-west1
+(100%) and Account 3 in us-central1 (81%).  Gen 2 numbers are slightly
+lower (87.3/88.7, 40.7/75.3, 96.0/97.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.services import CONTAINER_SIZES, SMALL, ContainerSize
+from repro.core.attack.campaign import ColocationCampaign
+from repro.core.attack.strategies import naive_launch, optimized_launch
+from repro.experiments.base import default_env
+
+PAPER_OPTIMIZED_GEN1 = {
+    ("us-east1", "account-2"): 0.977,
+    ("us-east1", "account-3"): 0.997,
+    ("us-central1", "account-2"): 0.613,
+    ("us-central1", "account-3"): 0.900,
+    ("us-west1", "account-2"): 1.000,
+    ("us-west1", "account-3"): 1.000,
+}
+
+PAPER_NAIVE_GEN1 = {
+    ("us-east1", "account-2"): 0.0,
+    ("us-east1", "account-3"): 0.0,
+    ("us-central1", "account-2"): 0.0,
+    ("us-central1", "account-3"): 0.81,
+    ("us-west1", "account-2"): 1.0,
+    ("us-west1", "account-3"): 0.0,
+}
+
+PAPER_OPTIMIZED_GEN2 = {
+    ("us-east1", "account-2"): 0.873,
+    ("us-east1", "account-3"): 0.887,
+    ("us-central1", "account-2"): 0.407,
+    ("us-central1", "account-3"): 0.753,
+    ("us-west1", "account-2"): 0.960,
+    ("us-west1", "account-3"): 0.973,
+}
+
+
+@dataclass(frozen=True)
+class CoverageConfig:
+    """One coverage measurement cell."""
+
+    region: str = "us-east1"
+    victim_account: str = "account-2"
+    strategy: str = "optimized"
+    generation: str = "gen1"
+    n_victim_instances: int = 100
+    victim_size: ContainerSize = SMALL
+    attacker_services: int = 6
+    attacker_launches: int = 6
+    attacker_instances: int = 800
+    repetitions: int = 3
+    ground_truth: str = "covert"
+    base_seed: int = 600
+
+
+@dataclass
+class CoverageCell:
+    """Aggregated coverage for one (region, account, parameters) cell."""
+
+    config: CoverageConfig
+    coverages: list[float] = field(default_factory=list)
+    attacker_hosts: list[int] = field(default_factory=list)
+    costs_usd: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.coverages))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.coverages))
+
+    @property
+    def mean_cost_usd(self) -> float:
+        return float(np.mean(self.costs_usd))
+
+    @property
+    def mean_attacker_hosts(self) -> float:
+        return float(np.mean(self.attacker_hosts))
+
+
+def _strategy_fn(config: CoverageConfig):
+    if config.strategy == "optimized":
+        return lambda client: optimized_launch(
+            client,
+            n_services=config.attacker_services,
+            launches=config.attacker_launches,
+            instances_per_service=config.attacker_instances,
+            generation=config.generation,
+        )
+    if config.strategy == "naive":
+        return lambda client: naive_launch(
+            client,
+            n_services=config.attacker_services,
+            instances_per_service=config.attacker_instances,
+            generation=config.generation,
+        )
+    raise ValueError(f"unknown strategy {config.strategy!r}")
+
+
+def run_cell(config: CoverageConfig = CoverageConfig()) -> CoverageCell:
+    """Measure victim instance coverage for one experiment cell."""
+    cell = CoverageCell(config=config)
+    for rep in range(config.repetitions):
+        env = default_env(config.region, seed=config.base_seed + rep)
+        if config.ground_truth == "oracle":
+            coverage, hosts, cost = _oracle_campaign(env, config)
+        else:
+            campaign = ColocationCampaign(
+                attacker=env.attacker,
+                victim=env.victim(config.victim_account),
+                strategy=_strategy_fn(config),
+                generation=config.generation,
+            )
+            outcome = campaign.run(
+                n_victim_instances=config.n_victim_instances,
+                victim_size=config.victim_size,
+            )
+            coverage, hosts, cost = (
+                outcome.coverage,
+                outcome.attacker_hosts,
+                outcome.attacker_cost_usd,
+            )
+        cell.coverages.append(coverage)
+        cell.attacker_hosts.append(hosts)
+        cell.costs_usd.append(cost)
+    return cell
+
+
+def _oracle_campaign(env, config: CoverageConfig) -> tuple[float, int, float]:
+    """Fast-path campaign scored against the simulator's placement map."""
+    from repro.cloud.services import ServiceConfig
+
+    strategy = _strategy_fn(config)
+    outcome = strategy(env.attacker)
+    orchestrator = env.orchestrator
+    attacker_hosts = {
+        orchestrator.true_host_of(h.instance_id) for h in outcome.handles if h.alive
+    }
+    victim = env.victim(config.victim_account)
+    service = victim.deploy(
+        ServiceConfig(
+            name="victim",
+            size=config.victim_size,
+            generation=config.generation,
+            max_instances=max(100, config.n_victim_instances),
+        )
+    )
+    handles = victim.connect(service, config.n_victim_instances)
+    victim_hosts = [orchestrator.true_host_of(h.instance_id) for h in handles]
+    coverage = sum(1 for h in victim_hosts if h in attacker_hosts) / len(victim_hosts)
+    return coverage, len(attacker_hosts), outcome.cost_usd
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """Sweep configuration for Fig. 11a/11b-style grids."""
+
+    regions: tuple[str, ...] = ("us-east1", "us-central1", "us-west1")
+    victim_accounts: tuple[str, ...] = ("account-2", "account-3")
+    strategy: str = "optimized"
+    generation: str = "gen1"
+    victim_counts: tuple[int, ...] = (100,)
+    victim_sizes: tuple[str, ...] = ("Small",)
+    repetitions: int = 3
+    ground_truth: str = "covert"
+    base_seed: int = 600
+
+
+def run_matrix(config: MatrixConfig = MatrixConfig()) -> dict[tuple, CoverageCell]:
+    """Run a grid of coverage cells.
+
+    Returns a mapping from ``(region, account, n_victims, size_name)`` to
+    the aggregated :class:`CoverageCell`.
+    """
+    cells: dict[tuple, CoverageCell] = {}
+    for region in config.regions:
+        for account in config.victim_accounts:
+            for n_victims in config.victim_counts:
+                for size_name in config.victim_sizes:
+                    cell_config = CoverageConfig(
+                        region=region,
+                        victim_account=account,
+                        strategy=config.strategy,
+                        generation=config.generation,
+                        n_victim_instances=n_victims,
+                        victim_size=CONTAINER_SIZES[size_name],
+                        repetitions=config.repetitions,
+                        ground_truth=config.ground_truth,
+                        base_seed=config.base_seed,
+                    )
+                    cells[(region, account, n_victims, size_name)] = run_cell(
+                        cell_config
+                    )
+    return cells

@@ -1,0 +1,96 @@
+"""Figure 5: fingerprint expiration time CDF (§4.4.2).
+
+Track one long-running instance per apparent host for a week, recording the
+derived boot time every hour; fit the linear drift and extrapolate when the
+rounded boot time crosses a rounding boundary.
+
+Paper reference: drift is strongly linear (minimum |r| = 0.9997 across all
+histories); most fingerprints last several days; on average ~10% expire
+within about 2 days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import units
+from repro.analysis.distributions import cdf_at
+from repro.core.attack.tracking import HostTracker
+from repro.experiments.base import default_env
+
+PAPER_MIN_ABS_R = 0.9997
+PAPER_DAYS_TO_10PCT_EXPIRED = 2.0
+
+
+@dataclass(frozen=True)
+class ExpirationConfig:
+    """Configuration for the Fig. 5 expiration study."""
+
+    regions: tuple[str, ...] = ("us-east1", "us-central1", "us-west1")
+    n_launch: int = 100
+    duration_days: float = 7.0
+    cadence_hours: float = 1.0
+    p_boot: float = 1.0
+    base_seed: int = 300
+
+
+@dataclass
+class RegionExpiration:
+    """Per-region expiration statistics."""
+
+    region: str
+    n_histories: int
+    min_abs_r: float
+    expiration_days: list[float] = field(default_factory=list)
+
+    def cdf(self, day_grid: tuple[float, ...]) -> list[float]:
+        """Fraction of fingerprints expired by each day mark."""
+        return cdf_at(self.expiration_days, list(day_grid))
+
+    @property
+    def days_to_10pct_expired(self) -> float:
+        """Time until 10% of fingerprints have expired."""
+        return float(np.percentile(self.expiration_days, 10))
+
+
+@dataclass
+class ExpirationResult:
+    """Outcome of the Fig. 5 experiment."""
+
+    regions: list[RegionExpiration] = field(default_factory=list)
+
+    @property
+    def min_abs_r(self) -> float:
+        return min(r.min_abs_r for r in self.regions)
+
+    @property
+    def mean_days_to_10pct_expired(self) -> float:
+        return float(np.mean([r.days_to_10pct_expired for r in self.regions]))
+
+
+def run(config: ExpirationConfig = ExpirationConfig()) -> ExpirationResult:
+    """Run the Fig. 5 fingerprint-expiration study."""
+    result = ExpirationResult()
+    for idx, region in enumerate(config.regions):
+        env = default_env(region, seed=config.base_seed + idx)
+        tracker = HostTracker(env.attacker, n_launch=config.n_launch)
+        histories = tracker.run(
+            duration_s=config.duration_days * units.DAY,
+            cadence_s=config.cadence_hours * units.HOUR,
+        )
+        fits = [history.fit_drift() for history in histories]
+        expirations = [
+            history.expiration_seconds(config.p_boot) / units.DAY
+            for history in histories
+        ]
+        result.regions.append(
+            RegionExpiration(
+                region=region,
+                n_histories=len(histories),
+                min_abs_r=min(abs(fit.r_value) for fit in fits),
+                expiration_days=expirations,
+            )
+        )
+    return result

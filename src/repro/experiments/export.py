@@ -1,0 +1,104 @@
+"""Exporting experiment results to JSON for external plotting.
+
+Experiment drivers return typed dataclasses; this module flattens them —
+recursively through dataclasses, mappings, sequences, and simple scalars —
+into JSON-safe structures so results can feed matplotlib/pandas pipelines
+outside this repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class ExportError(ReproError):
+    """Raised when a result contains something JSON cannot represent."""
+
+
+_MAX_DEPTH = 24
+
+
+def to_jsonable(value: Any, _depth: int = 0) -> Any:
+    """Convert an experiment result into JSON-safe plain data.
+
+    Handles dataclasses, dicts (keys coerced to strings), lists/tuples/
+    sets, floats (non-finite become strings), and passthrough scalars.
+
+    Raises
+    ------
+    ExportError
+        For unsupported objects (instance handles, sandboxes, ...), which
+        signal that a result type leaked simulator internals.
+    """
+    if _depth > _MAX_DEPTH:
+        raise ExportError("result nesting exceeds the export depth limit")
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name), _depth + 1)
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            _key_to_str(key): to_jsonable(item, _depth + 1)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item, _depth + 1) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (to_jsonable(item, _depth + 1) for item in value),
+            key=lambda x: json.dumps(x, sort_keys=True),
+        )
+    # numpy scalars expose .item(); accept them without importing numpy.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return to_jsonable(item(), _depth + 1)
+        except (TypeError, ValueError):
+            pass
+    raise ExportError(
+        f"cannot export value of type {type(value).__name__}; experiment "
+        "results must stay plain data"
+    )
+
+
+def _key_to_str(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (int, float, bool)):
+        return str(key)
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def save_result(result: Any, path: str | Path, experiment_id: str = "") -> None:
+    """Write a result to ``path`` as JSON with a small metadata envelope."""
+    payload = {
+        "format": "repro-experiment-result",
+        "experiment": experiment_id,
+        "result": to_jsonable(result),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_result(path: str | Path) -> Any:
+    """Read back the raw JSON result written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-experiment-result":
+        raise ExportError(f"{path} is not an exported experiment result")
+    return payload["result"]

@@ -1,0 +1,58 @@
+"""Co-location ground truth for experiments.
+
+The paper generates ground truth with the scalable covert-channel
+methodology (§4.3); our simulator can additionally reveal the *oracle* truth
+(the real instance-to-host map), which is useful both to validate the
+covert-channel methodology itself and to keep unit tests fast.
+
+Experiment configs select between the two with ``ground_truth="covert"``
+(the honest, black-box path — default for benchmarks) and
+``ground_truth="oracle"``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.cloud.api import InstanceHandle
+from repro.cloud.orchestrator import Orchestrator
+from repro.core.covert import RngCovertChannel
+from repro.core.fingerprint import Gen1Fingerprint
+from repro.core.verification import ScalableVerifier, TaggedInstance
+
+GROUND_TRUTH_MODES = ("covert", "oracle")
+
+
+def truth_clusters(
+    mode: str,
+    orchestrator: Orchestrator,
+    tagged_pairs: Sequence[tuple[InstanceHandle, Hashable]],
+    assume_no_false_negatives: bool = False,
+) -> dict[str, Hashable]:
+    """Return instance id -> co-location cluster label.
+
+    ``covert`` runs the scalable verifier over the covert channel (what a
+    real attacker does); ``oracle`` reads the simulator's placement map.
+    """
+    if mode == "oracle":
+        return {
+            handle.instance_id: orchestrator.true_host_of(handle.instance_id)
+            for handle, _fp in tagged_pairs
+        }
+    if mode != "covert":
+        raise ValueError(
+            f"unknown ground-truth mode {mode!r}; expected one of {GROUND_TRUTH_MODES}"
+        )
+    tagged = [
+        TaggedInstance(
+            handle=handle,
+            fingerprint=fp,
+            model_key=fp.cpu_model if isinstance(fp, Gen1Fingerprint) else None,
+        )
+        for handle, fp in tagged_pairs
+    ]
+    verifier = ScalableVerifier(
+        RngCovertChannel(), assume_no_false_negatives=assume_no_false_negatives
+    )
+    report = verifier.verify(tagged)
+    return report.cluster_index()

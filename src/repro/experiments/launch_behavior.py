@@ -1,0 +1,189 @@
+"""Experiments 1-4 of §5.1: reverse engineering the placement policy.
+
+* **Experiment 1 / Observation 1** — instance distribution: 800 instances
+  of one service land on ~75 hosts, ~10-11 instances each, near-uniform.
+* **Experiment 2 / Fig. 7** — repeated cold launches (45-minute interval):
+  per-launch apparent hosts stay ~constant and the cumulative count barely
+  grows (base hosts).  Also holds with a *different* service per launch.
+* **Experiment 3 / Fig. 8** — launches from three different accounts: the
+  cumulative apparent-host count steps up at every account change.
+* **Experiment 4 / Fig. 9** — launches at a short (10-minute) interval:
+  both curves grow sharply (helper hosts); a 2-minute interval adds almost
+  nothing; intervals >= 30 minutes behave like Fig. 7.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.cloud.services import ServiceConfig
+from repro.core.fingerprint import fingerprint_gen1_instances
+from repro.experiments.base import default_env
+from repro.experiments.ground_truth import truth_clusters
+
+PAPER_EXP1_HOSTS = 75
+PAPER_EXP1_TYPICAL_PER_HOST = (10, 11)
+PAPER_FIG9_CUMULATIVE_AFTER_6 = 264
+PAPER_FIG9_EXTRA_AT_2MIN = 12
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: instance distribution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DistributionConfig:
+    region: str = "us-east1"
+    instances: int = 800
+    ground_truth: str = "covert"
+    seed: int = 500
+
+
+@dataclass
+class DistributionResult:
+    n_hosts: int
+    per_host_counts: list[int]
+
+    @property
+    def min_per_host(self) -> int:
+        return min(self.per_host_counts)
+
+    @property
+    def max_per_host(self) -> int:
+        return max(self.per_host_counts)
+
+    @property
+    def modal_share(self) -> float:
+        """Fraction of hosts holding the two most common counts."""
+        counts = Counter(self.per_host_counts)
+        top_two = sum(n for _value, n in counts.most_common(2))
+        return top_two / len(self.per_host_counts)
+
+
+def run_distribution(config: DistributionConfig = DistributionConfig()) -> DistributionResult:
+    """Experiment 1: how 800 instances spread over hosts."""
+    env = default_env(config.region, seed=config.seed)
+    client = env.attacker
+    service = client.deploy(
+        ServiceConfig(name="exp1", max_instances=max(100, config.instances))
+    )
+    handles = client.connect(service, config.instances)
+    tagged_pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+    truth = truth_clusters(config.ground_truth, env.orchestrator, tagged_pairs)
+    counts = Counter(truth.values())
+    return DistributionResult(
+        n_hosts=len(counts), per_host_counts=sorted(counts.values())
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiments 2-4: footprints across launches
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LaunchSeriesConfig:
+    """A sequence of launches whose footprints are compared.
+
+    ``account_pattern`` gives the launching account per launch (Fig. 8 uses
+    ``(1, 1, 2, 2, 3, 3)``); ``fresh_service_per_launch`` redeploys (and
+    rebuilds the image of) a new service every launch, testing the
+    data-locality hypothesis of Experiment 2.
+    """
+
+    region: str = "us-east1"
+    launches: int = 6
+    instances: int = 800
+    interval: float = 45 * units.MINUTE
+    account_pattern: tuple[int, ...] | None = None
+    fresh_service_per_launch: bool = False
+    p_boot: float = 1.0
+    seed: int = 510
+
+
+@dataclass
+class LaunchSeriesResult:
+    """Per-launch and cumulative apparent-host counts."""
+
+    per_launch: list[int] = field(default_factory=list)
+    cumulative: list[int] = field(default_factory=list)
+    accounts: list[str] = field(default_factory=list)
+
+    @property
+    def growth(self) -> int:
+        """Cumulative growth from the first launch to the last."""
+        return self.cumulative[-1] - self.cumulative[0]
+
+    def growth_at_account_changes(self) -> list[int]:
+        """Cumulative jumps at launches where the account changed."""
+        jumps = []
+        for i in range(1, len(self.cumulative)):
+            if self.accounts[i] != self.accounts[i - 1]:
+                jumps.append(self.cumulative[i] - self.cumulative[i - 1])
+        return jumps
+
+
+def run_launch_series(config: LaunchSeriesConfig = LaunchSeriesConfig()) -> LaunchSeriesResult:
+    """Run a launch sequence and record apparent-host footprints."""
+    env = default_env(config.region, seed=config.seed)
+    pattern = config.account_pattern or tuple([1] * config.launches)
+    if len(pattern) != config.launches:
+        raise ValueError("account_pattern length must equal launches")
+
+    result = LaunchSeriesResult()
+    seen: set = set()
+    services: dict[str, str] = {}
+    for launch_idx, account_no in enumerate(pattern):
+        account_id = f"account-{account_no}"
+        client = env.clients[account_id]
+        if config.fresh_service_per_launch or account_id not in services:
+            name = client.deploy(
+                ServiceConfig(
+                    name=f"series-{launch_idx}",
+                    max_instances=max(100, config.instances),
+                )
+            )
+            client.rebuild_image(name)
+            services[account_id] = name
+        name = services[account_id]
+
+        launch_start = client.now()
+        handles = client.connect(name, config.instances)
+        tagged = fingerprint_gen1_instances(handles, p_boot=config.p_boot)
+        footprint = {fp for _, fp in tagged}
+        seen |= footprint
+        result.per_launch.append(len(footprint))
+        result.cumulative.append(len(seen))
+        result.accounts.append(account_id)
+        client.disconnect(name)
+        if launch_idx != config.launches - 1:
+            elapsed = client.now() - launch_start
+            client.wait(max(0.0, config.interval - elapsed))
+    return result
+
+
+@dataclass(frozen=True)
+class IntervalSweepConfig:
+    """Fig. 9's companion sweep: footprint growth vs. launch interval."""
+
+    region: str = "us-east1"
+    intervals_minutes: tuple[float, ...] = (2.0, 10.0, 30.0, 45.0)
+    launches: int = 6
+    instances: int = 800
+    seed: int = 520
+
+
+def run_interval_sweep(
+    config: IntervalSweepConfig = IntervalSweepConfig(),
+) -> dict[float, LaunchSeriesResult]:
+    """Run the launch series once per interval; returns interval -> result."""
+    results = {}
+    for offset, minutes in enumerate(config.intervals_minutes):
+        series = LaunchSeriesConfig(
+            region=config.region,
+            launches=config.launches,
+            instances=config.instances,
+            interval=minutes * units.MINUTE,
+            seed=config.seed + offset,
+        )
+        results[minutes] = run_launch_series(series)
+    return results

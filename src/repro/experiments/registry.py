@@ -1,0 +1,406 @@
+"""Registry mapping experiment ids to runnable report generators.
+
+Used by the CLI (``python -m repro``) and handy in notebooks:
+
+>>> from repro.experiments.registry import run_experiment
+>>> print(run_experiment("exp1", scale="quick"))    # doctest: +SKIP
+
+Each entry regenerates one table or figure of the paper and returns the
+formatted paper-vs-measured text.  ``scale="quick"`` shrinks repetition
+counts (not the 800-instance launches themselves) so every experiment
+finishes in seconds; ``scale="full"`` matches the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    attack_cost,
+    census,
+    coverage,
+    expiration,
+    fingerprint_accuracy,
+    frequency_noise,
+    gen2_accuracy,
+    helper_episodes,
+    idle_termination,
+    launch_behavior,
+    verification_cost,
+)
+from repro.experiments.base import default_env
+from repro.experiments.report import ComparisonRow, format_comparison, format_series, pct
+
+
+def _reps(scale: str, full: int, quick: int = 1) -> int:
+    return full if scale == "full" else quick
+
+
+def _fig4(scale: str) -> str:
+    from repro.analysis.asciichart import render_series
+
+    config = fingerprint_accuracy.AccuracyConfig(
+        regions=("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",),
+        repetitions=_reps(scale, 2),
+    )
+    result = fingerprint_accuracy.run(config)
+    table = format_series(
+        "Figure 4 — fingerprint accuracy vs p_boot",
+        ("p_boot_s", "FMI", "precision", "recall"),
+        [(p.p_boot, p.fmi_mean, p.precision_mean, p.recall_mean) for p in result.points],
+    )
+    chart = render_series(
+        [p.p_boot for p in result.points],
+        [p.fmi_mean for p in result.points],
+        log_x=True,
+        title="FMI vs p_boot (log x)",
+        x_label="p_boot (s)",
+        y_label="FMI",
+    )
+    return table + "\n\n" + chart
+
+
+def _fig5(scale: str) -> str:
+    config = expiration.ExpirationConfig(
+        regions=("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",),
+        duration_days=7.0 if scale == "full" else 3.0,
+        cadence_hours=1.0 if scale == "full" else 3.0,
+    )
+    result = expiration.run(config)
+    grid = (1.0, 2.0, 3.0, 5.0, 7.0)
+    rows = []
+    for region in result.regions:
+        rows.extend(
+            (region.region, d, f) for d, f in zip(grid, region.cdf(grid))
+        )
+    header = format_series(
+        "Figure 5 — CDF of fingerprint expiration time", ("region", "days", "expired"), rows
+    )
+    tail = format_comparison(
+        "Figure 5 — headline",
+        [
+            ComparisonRow("min |r|", ">= 0.9997", f"{result.min_abs_r:.5f}"),
+            ComparisonRow("days to 10% expired", "~2", f"{result.mean_days_to_10pct_expired:.2f}"),
+        ],
+    )
+    from repro.analysis.asciichart import render_cdf
+
+    clipped = [
+        min(days, 14.0)
+        for region in result.regions
+        for days in region.expiration_days
+    ]
+    chart = render_cdf(clipped, title="expiration CDF (days, clipped at 14)")
+    return header + "\n\n" + tail + "\n\n" + chart
+
+
+def _fig6(scale: str) -> str:
+    from repro.analysis.asciichart import render_series
+
+    result = idle_termination.run(idle_termination.IdleTerminationConfig())
+    table = format_series(
+        "Figure 6 — idle instances vs minutes since disconnect",
+        ("minutes", "idle"),
+        [(t, n) for t, n in result.series if t == int(t)],
+    )
+    chart = render_series(
+        [t for t, _n in result.series],
+        [n for _t, n in result.series],
+        title="idle instances vs minutes since disconnect",
+        x_label="minutes",
+        y_label="instances",
+    )
+    return table + "\n\n" + chart
+
+
+def _exp1(scale: str) -> str:
+    result = launch_behavior.run_distribution(
+        launch_behavior.DistributionConfig(
+            ground_truth="covert" if scale == "full" else "oracle"
+        )
+    )
+    return format_comparison(
+        "Experiment 1 — 800 instances of one service",
+        [
+            ComparisonRow("hosts", "75", str(result.n_hosts)),
+            ComparisonRow(
+                "instances per host", "10-11",
+                f"{result.min_per_host}-{result.max_per_host}",
+            ),
+        ],
+    )
+
+
+def _fig7(scale: str) -> str:
+    result = launch_behavior.run_launch_series(launch_behavior.LaunchSeriesConfig())
+    return format_series(
+        "Figure 7 — cold launches, 45-min interval",
+        ("launch", "hosts", "cumulative"),
+        [(i + 1, p, c) for i, (p, c) in enumerate(zip(result.per_launch, result.cumulative))],
+    )
+
+
+def _fig8(scale: str) -> str:
+    result = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(account_pattern=(1, 1, 2, 2, 3, 3))
+    )
+    return format_series(
+        "Figure 8 — three accounts, step pattern",
+        ("launch", "account", "hosts", "cumulative"),
+        [
+            (i + 1, a, p, c)
+            for i, (a, p, c) in enumerate(
+                zip(result.accounts, result.per_launch, result.cumulative)
+            )
+        ],
+    )
+
+
+def _fig9(scale: str) -> str:
+    result = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(interval=600.0)
+    )
+    return format_series(
+        "Figure 9 — hot launches, 10-min interval",
+        ("launch", "hosts", "cumulative"),
+        [(i + 1, p, c) for i, (p, c) in enumerate(zip(result.per_launch, result.cumulative))],
+    )
+
+
+def _fig10(scale: str) -> str:
+    episodes = 6 if scale == "full" else 3
+    result = helper_episodes.run(helper_episodes.EpisodesConfig(episodes=episodes))
+    return format_series(
+        "Figure 10 — helper hosts per episode",
+        ("episode", "helpers", "cumulative"),
+        [
+            (i + 1, p, c)
+            for i, (p, c) in enumerate(
+                zip(result.per_episode_helpers, result.cumulative_helpers)
+            )
+        ],
+    )
+
+
+def _coverage(scale: str, strategy: str, generation: str, paper: dict) -> str:
+    config = coverage.MatrixConfig(
+        strategy=strategy,
+        generation=generation,
+        repetitions=_reps(scale, 2),
+        ground_truth="covert" if scale == "full" else "oracle",
+    )
+    cells = coverage.run_matrix(config)
+    rows = [
+        (region, account, pct(paper[(region, account)]), pct(cell.mean))
+        for (region, account, _n, _s), cell in sorted(cells.items())
+    ]
+    return format_series(
+        f"Victim coverage — {strategy} strategy, {generation}",
+        ("region", "account", "paper", "measured"),
+        rows,
+    )
+
+
+def _fig11a(scale: str) -> str:
+    return _coverage(scale, "optimized", "gen1", coverage.PAPER_OPTIMIZED_GEN1)
+
+
+def _naive(scale: str) -> str:
+    return _coverage(scale, "naive", "gen1", coverage.PAPER_NAIVE_GEN1)
+
+
+def _gen2cov(scale: str) -> str:
+    return _coverage(scale, "optimized", "gen2", coverage.PAPER_OPTIMIZED_GEN2)
+
+
+def _fig12(scale: str) -> str:
+    regions = (
+        ("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-west1",)
+    )
+    summary = census.run(census.CensusConfig(regions=regions))
+    rows = []
+    for region in summary.regions:
+        rows.append(
+            ComparisonRow(
+                f"{region.region}: census / attacker share",
+                f"{census.PAPER_CENSUS[region.region]} / "
+                f"{100 * census.PAPER_ATTACKER_SHARE[region.region]:.0f}%",
+                f"{region.total_hosts} / {100 * region.attacker_share:.0f}%",
+            )
+        )
+    return format_comparison("Figure 12 — datacenter census", rows)
+
+
+def _sec42(scale: str) -> str:
+    regions = (
+        ("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",)
+    )
+    result = frequency_noise.run(frequency_noise.FrequencyNoiseConfig(regions=regions))
+    return format_comparison(
+        "§4.2 — measured-frequency noise",
+        [
+            ComparisonRow("hosts", "586", str(result.n_hosts)),
+            ComparisonRow(
+                "problematic fraction", "~10%", f"{100 * result.problematic_fraction:.0f}%"
+            ),
+            ComparisonRow("quiet fraction", "most", f"{100 * result.quiet_fraction:.0f}%"),
+        ],
+    )
+
+
+def _sec43(scale: str) -> str:
+    result = verification_cost.run(verification_cost.VerificationCostConfig())
+    return format_comparison(
+        "§4.3 — verification cost (800 instances)",
+        [
+            ComparisonRow("pairwise tests", "319,600", f"{result.pairwise_tests_modeled:,}"),
+            ComparisonRow("pairwise time / cost", "8.9 h / $645",
+                          f"{result.pairwise_seconds_modeled / 3600:.1f} h / "
+                          f"${result.pairwise_usd_modeled:.0f}"),
+            ComparisonRow("scalable tests", "-", str(result.scalable_tests)),
+            ComparisonRow("scalable time / cost", "1-2 min / $1-3",
+                          f"{result.scalable_seconds / 60:.1f} min / "
+                          f"${result.scalable_usd:.2f}"),
+            ComparisonRow("SIE eliminated", "0", str(result.sie_eliminated)),
+        ],
+    )
+
+
+def _sec45(scale: str) -> str:
+    config = gen2_accuracy.Gen2AccuracyConfig(
+        regions=("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",),
+        repetitions=_reps(scale, 2),
+        ground_truth="covert" if scale == "full" else "oracle",
+    )
+    result = gen2_accuracy.run(config)
+    return format_comparison(
+        "§4.5 — Gen 2 fingerprint accuracy",
+        [
+            ComparisonRow("FMI", "0.66", f"{result.fmi_mean:.2f}"),
+            ComparisonRow("precision", "0.48", f"{result.precision_mean:.2f}"),
+            ComparisonRow("recall", "1.00", f"{result.recall_mean:.2f}"),
+            ComparisonRow(
+                "hosts per fingerprint", "2.0",
+                f"{result.hosts_per_fingerprint_mean:.1f}",
+            ),
+        ],
+    )
+
+
+def _surveillance(scale: str) -> str:
+    from repro.experiments import surveillance
+
+    config = surveillance.SurveillanceConfig(
+        duration_hours=24.0 if scale == "full" else 6.0
+    )
+    result = surveillance.run(config)
+    body = format_series(
+        "Surveillance — sustained coverage of an autoscaling victim",
+        ("hour", "victim_instances", "coverage"),
+        result.series,
+    )
+    tail = format_comparison(
+        "Surveillance — cost",
+        [
+            ComparisonRow("setup", "-", f"${result.setup_cost_usd:.2f}"),
+            ComparisonRow(
+                "maintenance",
+                "-",
+                f"${result.maintenance_cost_usd:.2f} over "
+                f"{config.duration_hours:.0f} h",
+            ),
+            ComparisonRow("minimum coverage", "-", pct(result.min_coverage)),
+        ],
+    )
+    return body + "\n\n" + tail
+
+
+def _defenses(scale: str) -> str:
+    import dataclasses
+
+    from repro.cloud.topology import REGION_PROFILES
+    from repro.cloud.services import ServiceConfig
+    from repro.core.attack.strategies import optimized_launch
+    from repro.sandbox.base import TscPolicy
+
+    rows = []
+    for defense, policy in (
+        ("none", TscPolicy.NATIVE),
+        ("none", TscPolicy.EMULATED),
+        ("randomized_base", TscPolicy.NATIVE),
+        ("tenant_isolation", TscPolicy.NATIVE),
+    ):
+        profile = dataclasses.replace(REGION_PROFILES["us-east1"], defense=defense)
+        env = default_env(profile=profile, seed=990, tsc_policy=policy)
+        outcome = optimized_launch(env.attacker)
+        orch = env.orchestrator
+        attacker_hosts = {
+            orch.true_host_of(h.instance_id) for h in outcome.handles if h.alive
+        }
+        victim = env.victim("account-2")
+        victim_handles = victim.connect(
+            victim.deploy(ServiceConfig(name="victim")), 100
+        )
+        coverage = sum(
+            1
+            for h in victim_handles
+            if orch.true_host_of(h.instance_id) in attacker_hosts
+        ) / len(victim_handles)
+        label = defense if policy is TscPolicy.NATIVE else "tsc_emulation"
+        rows.append(ComparisonRow(label, "-", pct(coverage)))
+    return format_comparison("§6 — attack coverage under each defense", rows)
+
+
+def _cost(scale: str) -> str:
+    result = attack_cost.run(attack_cost.AttackCostConfig(repetitions=_reps(scale, 2)))
+    return format_comparison(
+        "§5.2 — optimized attack cost",
+        [
+            ComparisonRow(
+                region, f"${attack_cost.PAPER_COST_USD[region]:.0f}",
+                f"${result.mean_cost_usd[region]:.2f}",
+            )
+            for region in result.mean_cost_usd
+        ],
+    )
+
+
+#: Experiment id -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[str], str]]] = {
+    "fig4": ("Gen 1 fingerprint accuracy vs p_boot", _fig4),
+    "fig5": ("fingerprint expiration CDF", _fig5),
+    "fig6": ("idle instance termination", _fig6),
+    "exp1": ("instance distribution over hosts", _exp1),
+    "fig7": ("cold launches: base hosts", _fig7),
+    "fig8": ("three accounts: step pattern", _fig8),
+    "fig9": ("hot launches: helper hosts", _fig9),
+    "fig10": ("helper footprints across services", _fig10),
+    "fig11a": ("victim coverage, optimized strategy", _fig11a),
+    "fig12": ("datacenter census", _fig12),
+    "sec42": ("measured-frequency noise", _sec42),
+    "sec43": ("verification cost comparison", _sec43),
+    "sec45": ("Gen 2 fingerprint accuracy", _sec45),
+    "naive": ("victim coverage, naive strategy", _naive),
+    "gen2cov": ("victim coverage, Gen 2", _gen2cov),
+    "cost": ("attack cost per region", _cost),
+    "surveillance": ("all-day sustained co-location (extension)", _surveillance),
+    "defenses": ("§6 defense evaluation (extension)", _defenses),
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "quick") -> str:
+    """Run one registered experiment and return its formatted report.
+
+    Raises
+    ------
+    KeyError
+        For unknown experiment ids; ``EXPERIMENTS`` lists the valid ones.
+    """
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    try:
+        _description, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return runner(scale)

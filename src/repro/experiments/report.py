@@ -1,0 +1,58 @@
+"""Formatting helpers for paper-vs-measured experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured comparison line."""
+
+    label: str
+    paper: str
+    measured: str
+
+    def formatted(self, label_width: int = 44, col_width: int = 22) -> str:
+        """Render this row with aligned columns."""
+        return (
+            f"{self.label:<{label_width}} "
+            f"{self.paper:>{col_width}} "
+            f"{self.measured:>{col_width}}"
+        )
+
+
+def format_comparison(title: str, rows: Iterable[ComparisonRow]) -> str:
+    """Render a paper-vs-measured table as plain text."""
+    rows = list(rows)
+    label_width = max([len(r.label) for r in rows] + [len("metric")])
+    header = ComparisonRow("metric", "paper", "measured").formatted(label_width)
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    lines.extend(row.formatted(label_width) for row in rows)
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def format_series(title: str, header: tuple[str, ...], rows: Iterable[tuple]) -> str:
+    """Render a data series (figure regeneration) as plain text."""
+    widths = [max(12, len(h) + 2) for h in header]
+    head = "".join(f"{h:>{w}}" for h, w in zip(header, widths))
+    rule = "-" * len(head)
+    lines = [title, rule, head, rule]
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:>{width}.4g}")
+            else:
+                cells.append(f"{value!s:>{width}}")
+        lines.append("".join(cells))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,63 @@
+"""Per-host CPU activity, observable through execution-time contention.
+
+The paper's threat model assumes that, once co-located, "the attacker can
+detect when the victim program is running" (§3).  The physical basis is
+ordinary compute contention: a busy sibling slows the attacker's own
+probe loops.  This meter models it at host granularity — instances register
+busy periods (serving requests), and a co-located observer reads a noisy
+count of currently-busy siblings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CpuActivityMeter:
+    """Tracks which instances on a host are currently executing.
+
+    Parameters
+    ----------
+    noise_rate:
+        Per-observation probability of a spurious +-1 on the level
+        (scheduler noise, unrelated host work).
+    """
+
+    def __init__(self, noise_rate: float = 0.02) -> None:
+        if not 0.0 <= noise_rate < 1.0:
+            raise ValueError(f"noise_rate out of range: {noise_rate!r}")
+        self.noise_rate = noise_rate
+        self._busy_until: dict[str, float] = {}
+
+    def mark_busy(self, instance_id: str, now: float, duration: float) -> None:
+        """Record that ``instance_id`` executes for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration!r}")
+        current = self._busy_until.get(instance_id, now)
+        self._busy_until[instance_id] = max(current, now) + duration
+
+    def busy_count(self, now: float, exclude: str | None = None) -> int:
+        """True number of busy instances at ``now`` (simulator-side)."""
+        self._expire(now)
+        return sum(
+            1 for iid, until in self._busy_until.items()
+            if until > now and iid != exclude
+        )
+
+    def observe(
+        self, observer_id: str, now: float, rng: np.random.Generator
+    ) -> int:
+        """Contention level a co-located observer measures at ``now``.
+
+        The observer's own activity does not slow itself in this metric;
+        occasional scheduler noise perturbs the reading by one.
+        """
+        level = self.busy_count(now, exclude=observer_id)
+        if rng.random() < self.noise_rate:
+            level += 1 if rng.random() < 0.5 else -1
+        return max(0, level)
+
+    def _expire(self, now: float) -> None:
+        expired = [iid for iid, until in self._busy_until.items() if until <= now]
+        for iid in expired:
+            del self._busy_until[iid]

@@ -1,0 +1,128 @@
+"""Noise models for timing measurements and TSC frequency error.
+
+Three distinct noise sources matter for the paper's fingerprints, each at a
+very different scale:
+
+* **Per-sandbox wall-clock offset** (~0.1 ms).  gVisor's userspace kernel
+  maintains its own time state per sandbox, so two co-located containers
+  disagree slightly on the wall-clock time.  This is the noise that makes
+  very fine boot-time rounding produce false negatives and puts the Fig. 4
+  sweet spot at 100 ms - 1 s.
+
+* **Per-call jitter** (~ns on quiet hosts, ~µs on "problematic" ones).
+  Individual ``clock_gettime`` reads jitter with interrupts and context
+  switches.  Over a 100 ms measured-frequency window this maps to a standard
+  deviation below ~100 Hz on most hosts but 10 kHz - a few MHz on the ~10%
+  of problematic hosts (paper §4.2), which is what rules out the
+  measured-frequency method.
+
+* **Reported-frequency error** (~kHz, constant per host).  The actual TSC
+  frequency deviates from the reported one by a constant ``epsilon``, making
+  the reported-frequency boot time drift linearly (Eq. 4.2) and giving
+  fingerprints an expiration time (Fig. 5).  The same spread makes the
+  refined frequency (quantized to 1 kHz) a usable-but-colliding Gen 2
+  fingerprint (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class SyscallNoiseModel:
+    """Timing-noise characteristics of one host's sandboxed clock reads.
+
+    Attributes
+    ----------
+    call_jitter_sigma_s:
+        Standard deviation of per-call Gaussian jitter, in seconds.
+    call_outlier_probability:
+        Chance that a call hits an interrupt/context switch and picks up
+        extra (exponential) delay.
+    call_outlier_scale_s:
+        Mean of the exponential outlier component.
+    sandbox_offset_sigma_s:
+        Standard deviation of the constant per-sandbox wall-clock offset.
+    sandbox_offset_outlier_probability:
+        Chance a sandbox boots with a large (millisecond-scale) offset.
+    sandbox_offset_outlier_scale_s:
+        Mean magnitude of the large-offset component.
+    """
+
+    call_jitter_sigma_s: float = 3e-9
+    call_outlier_probability: float = 0.003
+    call_outlier_scale_s: float = 30e-9
+    sandbox_offset_sigma_s: float = 0.12 * units.MILLISECOND
+    sandbox_offset_outlier_probability: float = 0.015
+    sandbox_offset_outlier_scale_s: float = 1.5 * units.MILLISECOND
+
+    def sample_call_jitter(self, rng: np.random.Generator) -> float:
+        """Draw the jitter of one system-call clock read, in seconds."""
+        jitter = rng.normal(0.0, self.call_jitter_sigma_s)
+        if rng.random() < self.call_outlier_probability:
+            jitter += rng.exponential(self.call_outlier_scale_s)
+        return float(jitter)
+
+    def sample_sandbox_offset(self, rng: np.random.Generator) -> float:
+        """Draw the constant wall-clock offset of one sandbox, in seconds."""
+        offset = rng.normal(0.0, self.sandbox_offset_sigma_s)
+        if rng.random() < self.sandbox_offset_outlier_probability:
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            offset += sign * rng.exponential(self.sandbox_offset_outlier_scale_s)
+        return float(offset)
+
+
+def quiet_noise_model() -> SyscallNoiseModel:
+    """Noise model for a typical, well-behaved host.
+
+    Calibrated so that measuring the TSC frequency over ~100 ms windows
+    yields standard deviations below ~100 Hz after 10 repetitions, matching
+    the paper's observation for ~90% of Cloud Run hosts.
+    """
+    return SyscallNoiseModel()
+
+
+def problematic_noise_model() -> SyscallNoiseModel:
+    """Noise model for the ~10% of hosts with unstable timing.
+
+    On these hosts the paper observed measured-frequency standard deviations
+    from 10 kHz up to a few MHz even after 100 repetitions; microsecond-scale
+    call jitter with heavy outliers reproduces that range.
+    """
+    return SyscallNoiseModel(
+        call_jitter_sigma_s=2.0 * units.MICROSECOND,
+        call_outlier_probability=0.10,
+        call_outlier_scale_s=20.0 * units.MICROSECOND,
+    )
+
+
+@dataclass(frozen=True)
+class TscErrorModel:
+    """Distribution of the constant reported-vs-actual TSC frequency error.
+
+    ``epsilon = f_reported - f_actual`` is drawn once per host: the sign is
+    uniform and the magnitude lognormal, clipped to ``[min_abs_hz,
+    max_abs_hz]``.  The defaults are solved from the paper's Fig. 5: at a
+    1-second rounding precision roughly 10% of fingerprints expire within
+    ~2 days and roughly half survive a full week; a 2 GHz host with error
+    ``epsilon`` drifts one rounding bucket every ``p_boot * f / |epsilon|``
+    seconds.  The same spread puts an average of ~2 hosts per refined-
+    frequency bucket in a typical 800-instance footprint (Gen 2, §4.5).
+    """
+
+    median_abs_hz: float = 0.9 * units.KHZ
+    sigma_log: float = 0.91
+    min_abs_hz: float = 50.0
+    max_abs_hz: float = 3.0 * units.MHZ
+
+    def sample_epsilon(self, rng: np.random.Generator) -> float:
+        """Draw one per-host frequency error ``epsilon`` in Hz (signed)."""
+        magnitude = rng.lognormal(mean=np.log(self.median_abs_hz), sigma=self.sigma_log)
+        magnitude = float(np.clip(magnitude, self.min_abs_hz, self.max_abs_hz))
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return sign * magnitude

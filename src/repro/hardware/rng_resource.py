@@ -1,0 +1,73 @@
+"""Shared hardware random-number-generator contention resource.
+
+The paper's co-location verification uses a covert channel built on
+contention for the host's hardware RNG (RDRAND), chosen because the RNG is
+rarely used by background workloads so the false-contention rate is under 1%
+(paper §4.4.1).
+
+The model: every container instance that currently *pressures* the RNG
+registers itself here.  A pressuring instance observing the channel sees a
+contention level equal to the total number of co-located pressurers
+(including itself), occasionally perturbed by background activity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngContentionResource:
+    """Per-host RDRAND contention domain.
+
+    Parameters
+    ----------
+    background_rate:
+        Per-observation probability that unrelated host activity adds one
+        unit of contention (paper: "less than 1%").
+    drop_rate:
+        Per-observation probability that scheduling noise makes a pressurer
+        miss the contention it should have seen (its own unit still counts).
+    """
+
+    def __init__(self, background_rate: float = 0.005, drop_rate: float = 0.02) -> None:
+        if not 0.0 <= background_rate < 1.0:
+            raise ValueError(f"background_rate out of range: {background_rate!r}")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate out of range: {drop_rate!r}")
+        self.background_rate = background_rate
+        self.drop_rate = drop_rate
+        self._pressurers: set[str] = set()
+
+    def start_pressure(self, instance_id: str) -> None:
+        """Register ``instance_id`` as actively hammering the RNG."""
+        self._pressurers.add(instance_id)
+
+    def stop_pressure(self, instance_id: str) -> None:
+        """Unregister ``instance_id`` (no-op if it was not pressuring)."""
+        self._pressurers.discard(instance_id)
+
+    @property
+    def pressurer_count(self) -> int:
+        """Number of instances currently pressuring this host's RNG."""
+        return len(self._pressurers)
+
+    def current_pressurers(self) -> frozenset[str]:
+        """Ids of the instances currently pressuring (provider telemetry)."""
+        return frozenset(self._pressurers)
+
+    def observe(self, instance_id: str, rng: np.random.Generator) -> int:
+        """Return the contention level seen by one pressuring instance.
+
+        The observation is the number of co-located pressurers (including
+        the observer itself, which must be pressuring to measure), minus
+        occasional scheduling drops of *other* pressurers' contributions,
+        plus occasional background contention.
+        """
+        if instance_id not in self._pressurers:
+            raise ValueError(
+                f"instance {instance_id!r} must pressure the RNG before observing it"
+            )
+        others = len(self._pressurers) - 1
+        seen_others = sum(1 for _ in range(others) if rng.random() >= self.drop_rate)
+        background = 1 if rng.random() < self.background_rate else 0
+        return 1 + seen_others + background

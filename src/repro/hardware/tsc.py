@@ -1,0 +1,90 @@
+"""The invariant timestamp counter (TSC).
+
+An invariant TSC resets to zero at host boot and increments at a fixed rate
+regardless of frequency scaling (paper §2.4).  Crucially for the paper's
+Gen 1 fingerprint, the *actual* tick rate deviates from the frequency
+reported by ``cpuid``/the model name by a small constant amount, which the
+Linux kernel corrects by refining the frequency against other hardware
+clocks at boot time.
+
+This module models a TSC with:
+
+* an actual frequency ``f* = f_reported - epsilon`` fixed per host,
+* a boot time at which the counter read zero,
+* hardware-virtualization *TSC offsetting* support for Gen 2 guests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class TimestampCounter:
+    """An invariant TSC attached to one physical host.
+
+    Attributes
+    ----------
+    boot_time:
+        Host boot wall-clock time (seconds since epoch); the counter read
+        zero at this instant.
+    actual_frequency_hz:
+        The true tick rate ``f*``.  Deviates from the reported frequency by
+        a constant per-host error ``epsilon`` (paper §4.2).
+    """
+
+    boot_time: float
+    actual_frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.actual_frequency_hz <= 0:
+            raise HardwareError(
+                f"TSC frequency must be positive, got {self.actual_frequency_hz!r}"
+            )
+
+    def read(self, now: float) -> int:
+        """Return the raw TSC value at wall-clock time ``now`` (``rdtsc``).
+
+        Raises
+        ------
+        HardwareError
+            If ``now`` precedes the host's boot time — reading a counter
+            before the machine existed indicates a simulation bug.
+        """
+        if now < self.boot_time:
+            raise HardwareError(
+                f"TSC read at {now!r} before host boot at {self.boot_time!r}"
+            )
+        return int((now - self.boot_time) * self.actual_frequency_hz)
+
+    def offset_for_guest(self, guest_boot_time: float) -> int:
+        """TSC offset a hypervisor installs when booting a guest VM.
+
+        With TSC offsetting (paper §4.5), the hypervisor records the host
+        TSC value ``tsc0`` at guest boot and the guest subsequently reads
+        ``tsc - tsc0``, creating the illusion that the TSC was zero when the
+        guest booted.
+        """
+        return self.read(guest_boot_time)
+
+    def refined_frequency_hz(self, precision_hz: float = 1e3) -> float:
+        """The frequency the host kernel determines at boot time.
+
+        Linux refines the TSC frequency against other hardware clocks but
+        only to a precision of 1 kHz (paper §4.5), so co-located Gen 2
+        guests all observe the same refined value while distinct hosts may
+        collide on it.
+        """
+        if precision_hz <= 0:
+            raise HardwareError(f"refinement precision must be positive: {precision_hz!r}")
+        return round(self.actual_frequency_hz / precision_hz) * precision_hz
+
+    def uptime(self, now: float) -> float:
+        """True host uptime in seconds at wall-clock time ``now``."""
+        if now < self.boot_time:
+            raise HardwareError(
+                f"uptime queried at {now!r} before host boot at {self.boot_time!r}"
+            )
+        return now - self.boot_time

@@ -1,0 +1,213 @@
+"""Durable attacker-side state: fingerprint stores and victim profiles.
+
+The repeat-attack optimization (§5.2) spans sessions: fingerprints of
+victim hosts recorded during one campaign are reused days later.  This
+module serializes the attacker's knowledge — fingerprints, observation
+times, victim profiles, drift histories — to plain JSON so campaigns can
+be scripted across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.attack.targeting import VictimProfile
+from repro.core.attack.tracking import FingerprintHistory
+from repro.core.fingerprint import Gen1Fingerprint, Gen2Fingerprint
+from repro.errors import ReproError
+
+
+class PersistenceError(ReproError):
+    """Raised for malformed or incompatible serialized state."""
+
+
+# ----------------------------------------------------------------------
+# Fingerprint (de)serialization
+# ----------------------------------------------------------------------
+def fingerprint_to_dict(fingerprint: Gen1Fingerprint | Gen2Fingerprint) -> dict:
+    """Serialize either fingerprint kind to a tagged JSON-able dict."""
+    if isinstance(fingerprint, Gen1Fingerprint):
+        return {
+            "kind": "gen1",
+            "cpu_model": fingerprint.cpu_model,
+            "boot_bucket": fingerprint.boot_bucket,
+            "p_boot": fingerprint.p_boot,
+        }
+    if isinstance(fingerprint, Gen2Fingerprint):
+        return {"kind": "gen2", "tsc_khz": fingerprint.tsc_khz}
+    raise PersistenceError(f"cannot serialize {type(fingerprint).__name__}")
+
+
+def fingerprint_from_dict(payload: dict) -> Gen1Fingerprint | Gen2Fingerprint:
+    """Inverse of :func:`fingerprint_to_dict`."""
+    try:
+        kind = payload["kind"]
+        if kind == "gen1":
+            return Gen1Fingerprint(
+                cpu_model=payload["cpu_model"],
+                boot_bucket=int(payload["boot_bucket"]),
+                p_boot=float(payload["p_boot"]),
+            )
+        if kind == "gen2":
+            return Gen2Fingerprint(tsc_khz=int(payload["tsc_khz"]))
+    except (KeyError, TypeError, ValueError) as error:
+        raise PersistenceError(f"malformed fingerprint payload: {payload!r}") from error
+    raise PersistenceError(f"unknown fingerprint kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Victim profiles
+# ----------------------------------------------------------------------
+def victim_profile_to_dict(profile: VictimProfile) -> dict:
+    """Serialize a victim profile (Gen 1 fingerprints + timestamp)."""
+    return {
+        "recorded_at": profile.recorded_at,
+        "fingerprints": [fingerprint_to_dict(fp) for fp in profile.fingerprints],
+    }
+
+
+def victim_profile_from_dict(payload: dict) -> VictimProfile:
+    """Inverse of :func:`victim_profile_to_dict`."""
+    try:
+        fingerprints = {
+            fingerprint_from_dict(item) for item in payload["fingerprints"]
+        }
+        recorded_at = float(payload["recorded_at"])
+    except (KeyError, TypeError) as error:
+        raise PersistenceError(f"malformed victim profile: {payload!r}") from error
+    bad = [fp for fp in fingerprints if not isinstance(fp, Gen1Fingerprint)]
+    if bad:
+        raise PersistenceError("victim profiles hold Gen 1 fingerprints only")
+    return VictimProfile(recorded_at=recorded_at, fingerprints=fingerprints)
+
+
+# ----------------------------------------------------------------------
+# Drift histories
+# ----------------------------------------------------------------------
+def history_to_dict(history: FingerprintHistory) -> dict:
+    """Serialize one host's drift history."""
+    return {"wall_times": history.wall_times, "boot_times": history.boot_times}
+
+
+def history_from_dict(payload: dict) -> FingerprintHistory:
+    """Inverse of :func:`history_to_dict`."""
+    try:
+        return FingerprintHistory(
+            wall_times=[float(t) for t in payload["wall_times"]],
+            boot_times=[float(b) for b in payload["boot_times"]],
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise PersistenceError(f"malformed history: {payload!r}") from error
+
+
+# ----------------------------------------------------------------------
+# The fingerprint store
+# ----------------------------------------------------------------------
+@dataclass
+class Observation:
+    """One stored fingerprint observation."""
+
+    label: str
+    fingerprint: Gen1Fingerprint | Gen2Fingerprint
+    observed_at: float
+
+
+@dataclass
+class FingerprintStore:
+    """A file-backed collection of labeled fingerprint observations.
+
+    Labels are free-form attacker bookkeeping: a campaign id, a victim
+    account, a region.  Typical life cycle::
+
+        store = FingerprintStore()
+        store.add("victim-api@us-east1", fingerprint, observed_at=now)
+        store.save(path)
+        ...days later...
+        store = FingerprintStore.load(path)
+        old = store.query("victim-api@us-east1")
+    """
+
+    observations: list[Observation] = field(default_factory=list)
+
+    def add(
+        self,
+        label: str,
+        fingerprint: Gen1Fingerprint | Gen2Fingerprint,
+        observed_at: float,
+    ) -> None:
+        """Record one observation."""
+        self.observations.append(
+            Observation(label=label, fingerprint=fingerprint, observed_at=observed_at)
+        )
+
+    def add_many(
+        self,
+        label: str,
+        fingerprints: Iterable[Gen1Fingerprint | Gen2Fingerprint],
+        observed_at: float,
+    ) -> None:
+        """Record a batch of observations under one label."""
+        for fingerprint in fingerprints:
+            self.add(label, fingerprint, observed_at)
+
+    def labels(self) -> list[str]:
+        """All distinct labels, sorted."""
+        return sorted({obs.label for obs in self.observations})
+
+    def query(self, label: str) -> list[Observation]:
+        """All observations under ``label`` (insertion order)."""
+        return [obs for obs in self.observations if obs.label == label]
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    # -- file I/O -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the store to ``path`` as JSON."""
+        payload = {
+            "format": "repro-fingerprint-store",
+            "version": 1,
+            "observations": [
+                {
+                    "label": obs.label,
+                    "observed_at": obs.observed_at,
+                    "fingerprint": fingerprint_to_dict(obs.fingerprint),
+                }
+                for obs in self.observations
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FingerprintStore":
+        """Read a store previously written by :meth:`save`.
+
+        Raises
+        ------
+        PersistenceError
+            If the file is not a compatible store.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise PersistenceError(f"cannot read store at {path}: {error}") from error
+        if payload.get("format") != "repro-fingerprint-store":
+            raise PersistenceError(f"{path} is not a fingerprint store")
+        if payload.get("version") != 1:
+            raise PersistenceError(
+                f"unsupported store version {payload.get('version')!r}"
+            )
+        store = cls()
+        for item in payload.get("observations", []):
+            try:
+                store.add(
+                    label=item["label"],
+                    fingerprint=fingerprint_from_dict(item["fingerprint"]),
+                    observed_at=float(item["observed_at"]),
+                )
+            except (KeyError, TypeError) as error:
+                raise PersistenceError(f"malformed observation: {item!r}") from error
+        return store

@@ -1,0 +1,191 @@
+"""Common sandbox interface exposed to guest probe programs.
+
+The attacker's probe code (see :mod:`repro.core.probes`) is written once
+against this interface and runs unchanged in both sandbox generations; what
+differs is which operations succeed, which are emulated, and what hardware
+state leaks through.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from repro.hardware.host import PhysicalHost
+from repro.sandbox.syscalls import SyscallLayer
+from repro.simtime.clock import SimClock
+
+
+class TscPolicy(enum.Enum):
+    """How the environment exposes the timestamp counter to guests.
+
+    ``NATIVE``
+        ``rdtsc`` executes on bare hardware (Gen 1 default) or with only a
+        constant offset applied (Gen 2 default).
+    ``EMULATED``
+        The kernel/hypervisor traps ``rdtsc`` and serves a virtualized
+        counter that starts at zero at sandbox boot and ticks at exactly the
+        reported frequency — the mitigation discussed in paper §6.  This
+        hides both the host's boot time and its true frequency, at the cost
+        of syscall-priced timer reads.
+    """
+
+    NATIVE = "native"
+    EMULATED = "emulated"
+
+
+class Sandbox(abc.ABC):
+    """Abstract sandboxed execution environment on one physical host.
+
+    Parameters
+    ----------
+    host:
+        The physical host this sandbox runs on.
+    clock:
+        Shared simulated wall clock.
+    rng:
+        Per-sandbox randomness source (jitter, scheduling noise).
+    sandbox_id:
+        Identifier used to register RNG pressure on the host.
+    tsc_policy:
+        Whether the TSC is exposed natively or emulated (mitigation).
+    """
+
+    #: Human-readable generation tag ("gen1" / "gen2").
+    generation: str = "abstract"
+
+    def __init__(
+        self,
+        host: PhysicalHost,
+        clock: SimClock,
+        rng: np.random.Generator,
+        sandbox_id: str,
+        tsc_policy: TscPolicy = TscPolicy.NATIVE,
+    ) -> None:
+        self._host = host
+        self._clock = clock
+        self._rng = rng
+        self.sandbox_id = sandbox_id
+        self.tsc_policy = tsc_policy
+        self.boot_wall_time = clock.now()
+        self.syscalls = SyscallLayer(host, clock, rng)
+
+    # ------------------------------------------------------------------
+    # Instruction-level surface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def rdtsc(self) -> int:
+        """Execute the unprivileged ``rdtsc`` instruction."""
+
+    @abc.abstractmethod
+    def cpuid_model(self) -> str:
+        """Return the CPU model string visible through ``cpuid``."""
+
+    def cpuid_tsc_frequency(self) -> float | None:
+        """TSC frequency reported by ``cpuid`` leaf 0x15, if enumerated.
+
+        Cloud Run hosts do not enumerate it (paper §4.2), so both sandbox
+        generations return ``None``; attackers fall back to the frequency
+        labeled in the model name.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Kernel/VM surface
+    # ------------------------------------------------------------------
+    def wall_clock(self) -> float:
+        """Read the wall clock through a (noisy) system call."""
+        return self.syscalls.clock_gettime()
+
+    def sleep(self, duration: float) -> None:
+        """Sleep for ``duration`` seconds of wall time (plus jitter)."""
+        self.syscalls.nanosleep(duration)
+
+    @abc.abstractmethod
+    def kernel_tsc_khz(self) -> float:
+        """Read the kernel's refined TSC frequency, in kHz.
+
+        Requires root inside a real kernel; only the Gen 2 guest can do it.
+
+        Raises
+        ------
+        PrivilegeError
+            In environments where the guest cannot reach a real kernel.
+        """
+
+    @abc.abstractmethod
+    def proc_uptime(self) -> float:
+        """Read ``/proc/uptime`` as visible inside the sandbox.
+
+        Both generations virtualize it, so it never exposes host uptime.
+        """
+
+    def proc_cpuinfo_model(self) -> str:
+        """Model name from the emulated ``/proc/cpuinfo`` (concealed)."""
+        return "unknown"
+
+    # ------------------------------------------------------------------
+    # Shared-hardware covert channel
+    # ------------------------------------------------------------------
+    def start_rng_pressure(self) -> None:
+        """Begin hammering the host hardware RNG (RDRAND loop)."""
+        self._host.rng_resource.start_pressure(self.sandbox_id)
+
+    def stop_rng_pressure(self) -> None:
+        """Stop hammering the host hardware RNG."""
+        self._host.rng_resource.stop_pressure(self.sandbox_id)
+
+    def observe_rng_contention(self) -> int:
+        """Sample the current RNG contention level (must be pressuring)."""
+        return self._host.rng_resource.observe(self.sandbox_id, self._rng)
+
+    def start_bus_pressure(self) -> None:
+        """Begin hammering the host memory bus (atomic-op loop)."""
+        self._host.memory_bus.start_pressure(self.sandbox_id)
+
+    def stop_bus_pressure(self) -> None:
+        """Stop hammering the host memory bus."""
+        self._host.memory_bus.stop_pressure(self.sandbox_id)
+
+    def observe_bus_contention(self) -> int:
+        """Sample memory-bus contention (must be pressuring).
+
+        Noisier than the RNG channel: ordinary tenants exercise the bus
+        constantly, so background contention is common.
+        """
+        return self._host.memory_bus.observe(self.sandbox_id, self._rng)
+
+    # ------------------------------------------------------------------
+    # CPU execution and contention (victim-activity detection)
+    # ------------------------------------------------------------------
+    def run_busy(self, duration: float) -> None:
+        """Execute CPU-bound work for ``duration`` seconds (non-blocking
+        from the simulation's point of view: the busy period is registered
+        on the host and observed as contention by co-located probes)."""
+        self._host.cpu_activity.mark_busy(self.sandbox_id, self._clock.now(), duration)
+
+    def observe_cpu_contention(self) -> int:
+        """Count currently-executing co-located siblings (noisy).
+
+        Physically: time a calibrated probe loop and infer contention from
+        the slowdown.  The observer's own work is excluded.
+        """
+        return self._host.cpu_activity.observe(
+            self.sandbox_id, self._clock.now(), self._rng
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete sandboxes
+    # ------------------------------------------------------------------
+    def _emulated_rdtsc(self) -> int:
+        """Virtualized TSC used under the EMULATED mitigation policy.
+
+        Starts at zero at sandbox boot and ticks at exactly the reported
+        frequency; the trap adds syscall-grade latency, modeled by counting
+        the read as a system call.
+        """
+        self.syscalls.call_count += 1
+        elapsed = self._clock.now() - self.boot_wall_time
+        return int(elapsed * self._host.cpu.reported_tsc_frequency_hz)

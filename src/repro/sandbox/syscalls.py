@@ -1,0 +1,65 @@
+"""Emulated system-call layer.
+
+Inside either sandbox generation, the only wall clock a guest can consult is
+reached through a system call (``clock_gettime``).  Two noise sources apply
+(see :mod:`repro.hardware.noise`):
+
+* a constant per-sandbox offset — the sandbox's userspace kernel keeps its
+  own time state, so co-located containers disagree slightly;
+* per-call jitter from interrupts and context switches, whose magnitude is a
+  property of the *host* (some hosts are "problematic", paper §4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.host import PhysicalHost
+from repro.simtime.clock import SimClock
+
+
+class SyscallLayer:
+    """Time-related system calls available inside one sandbox.
+
+    Parameters
+    ----------
+    host:
+        The physical host whose timing-noise characteristics apply.
+    clock:
+        The shared simulated wall clock.
+    rng:
+        Randomness source for jitter, owned by the sandbox instance.
+    """
+
+    def __init__(
+        self, host: PhysicalHost, clock: SimClock, rng: np.random.Generator
+    ) -> None:
+        self._host = host
+        self._clock = clock
+        self._rng = rng
+        self._sandbox_offset = host.syscall_noise.sample_sandbox_offset(rng)
+        self.call_count = 0
+
+    @property
+    def sandbox_offset(self) -> float:
+        """This sandbox's constant wall-clock offset (seconds)."""
+        return self._sandbox_offset
+
+    def clock_gettime(self) -> float:
+        """Return the wall-clock time as seen through a noisy system call.
+
+        Hosts keep accurate real-world time via NTP, so the returned value
+        carries only the sandbox offset and per-call jitter.
+        """
+        self.call_count += 1
+        jitter = self._host.syscall_noise.sample_call_jitter(self._rng)
+        return self._clock.now() + self._sandbox_offset + jitter
+
+    def nanosleep(self, duration: float) -> None:
+        """Block the guest for ``duration`` seconds of simulated time.
+
+        Wake-up is subject to the same scheduling jitter as other system
+        calls (a sleeping task is only rescheduled at the kernel's leisure).
+        """
+        overshoot = abs(self._host.syscall_noise.sample_call_jitter(self._rng))
+        self._clock.sleep(max(0.0, duration) + overshoot)

@@ -1,0 +1,85 @@
+"""A simulated wall clock.
+
+The clock only ever moves forward.  Components that need the current time
+hold a reference to a shared :class:`SimClock`; experiment drivers advance it
+explicitly (``clock.sleep(...)``), which also fires any events registered on
+an attached :class:`~repro.simtime.scheduler.EventScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ClockError
+
+#: Default simulation epoch (an arbitrary but fixed "now", in Unix seconds).
+SIM_EPOCH: float = 1_700_000_000.0
+
+
+class SimClock:
+    """A monotonically increasing simulated wall clock.
+
+    Parameters
+    ----------
+    start:
+        Initial wall-clock time, in seconds since the Unix epoch.
+
+    Examples
+    --------
+    >>> clock = SimClock()
+    >>> t0 = clock.now()
+    >>> clock.sleep(5.0)
+    >>> clock.now() - t0
+    5.0
+    """
+
+    def __init__(self, start: float = SIM_EPOCH) -> None:
+        self._now = float(start)
+        self._tick_hooks: list[Callable[[float], None]] = []
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds since the epoch."""
+        return self._now
+
+    def sleep(self, duration: float) -> None:
+        """Advance the clock by ``duration`` seconds.
+
+        Raises
+        ------
+        ClockError
+            If ``duration`` is negative.
+        """
+        if duration < 0:
+            raise ClockError(f"cannot sleep for a negative duration: {duration!r}")
+        self.advance_to(self._now + duration)
+
+    def advance_to(self, when: float) -> None:
+        """Advance the clock to the absolute time ``when``.
+
+        Raises
+        ------
+        ClockError
+            If ``when`` is in the past.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot move time backwards: now={self._now!r}, requested={when!r}"
+            )
+        self._now = float(when)
+        for hook in self._tick_hooks:
+            hook(self._now)
+
+    def add_tick_hook(self, hook: Callable[[float], None]) -> None:
+        """Register ``hook(now)`` to run after every clock advancement.
+
+        Hooks are how the event scheduler and the orchestrator's background
+        reaper observe the passage of time without polling.
+        """
+        self._tick_hooks.append(hook)
+
+    def remove_tick_hook(self, hook: Callable[[float], None]) -> None:
+        """Unregister a previously added tick hook."""
+        self._tick_hooks.remove(hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now!r})"

@@ -1,0 +1,86 @@
+"""A simple event scheduler driven by :class:`~repro.simtime.clock.SimClock`.
+
+The FaaS orchestrator uses this to schedule deferred work such as idle
+instance termination: events registered for time ``t`` fire as soon as the
+clock advances to or past ``t``, in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simtime.clock import SimClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event queued for execution at a future simulated time.
+
+    Events are ordered by ``(when, sequence)`` so that events scheduled for
+    the same instant fire in registration order.
+    """
+
+    when: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Fires callbacks as simulated time passes.
+
+    The scheduler attaches itself to the clock's tick hooks, so any
+    ``clock.sleep(...)`` automatically drains the events that became due.
+
+    Examples
+    --------
+    >>> clock = SimClock()
+    >>> sched = EventScheduler(clock)
+    >>> fired = []
+    >>> _ = sched.call_at(clock.now() + 10.0, lambda: fired.append("a"))
+    >>> clock.sleep(5.0); fired
+    []
+    >>> clock.sleep(5.0); fired
+    ['a']
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._queue: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        clock.add_tick_hook(self._on_tick)
+
+    def call_at(self, when: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` to run at absolute simulated time ``when``.
+
+        Events scheduled in the past fire on the next clock advancement.
+        Returns the event so callers may :meth:`~ScheduledEvent.cancel` it.
+        """
+        event = ScheduledEvent(when=float(when), sequence=next(self._counter), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        return self.call_at(self._clock.now() + delay, action)
+
+    def pending(self) -> int:
+        """Return the number of events still waiting to fire."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def _on_tick(self, now: float) -> None:
+        while self._queue and self._queue[0].when <= now:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                event.action()
+
+    def detach(self) -> None:
+        """Stop observing the clock (used when tearing down a simulation)."""
+        self._clock.remove_tick_hook(self._on_tick)

@@ -1,0 +1,70 @@
+"""Small unit helpers shared across the package.
+
+Simulated wall-clock time is expressed in seconds since the Unix epoch as a
+``float``.  TSC values are expressed in ticks as an ``int``.  Frequencies are
+expressed in Hz as a ``float``.  These helpers exist so that call sites read
+naturally (``MINUTE``, ``khz(4)``) instead of being littered with magic
+numbers.
+"""
+
+from __future__ import annotations
+
+#: One second, the base time unit.
+SECOND: float = 1.0
+
+#: Number of seconds in one millisecond.
+MILLISECOND: float = 1e-3
+
+#: Number of seconds in one microsecond.
+MICROSECOND: float = 1e-6
+
+#: Number of seconds in one minute.
+MINUTE: float = 60.0
+
+#: Number of seconds in one hour.
+HOUR: float = 3600.0
+
+#: Number of seconds in one day.
+DAY: float = 86400.0
+
+#: One hertz, the base frequency unit.
+HZ: float = 1.0
+
+#: Number of Hz in one kilohertz.
+KHZ: float = 1e3
+
+#: Number of Hz in one megahertz.
+MHZ: float = 1e6
+
+#: Number of Hz in one gigahertz.
+GHZ: float = 1e9
+
+
+def minutes(value: float) -> float:
+    """Convert ``value`` minutes to seconds."""
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert ``value`` hours to seconds."""
+    return value * HOUR
+
+
+def days(value: float) -> float:
+    """Convert ``value`` days to seconds."""
+    return value * DAY
+
+
+def khz(value: float) -> float:
+    """Convert ``value`` kilohertz to Hz."""
+    return value * KHZ
+
+
+def mhz(value: float) -> float:
+    """Convert ``value`` megahertz to Hz."""
+    return value * MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert ``value`` gigahertz to Hz."""
+    return value * GHZ

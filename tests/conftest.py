@@ -1,0 +1,84 @@
+"""Shared fixtures: small simulated environments that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.topology import AccountPlacementPlan, RegionProfile
+from repro.experiments.base import SimulationEnv, default_env
+from repro.hardware.cpu import cpu_catalog
+from repro.hardware.host import PhysicalHost
+from repro.hardware.tsc import TimestampCounter
+from repro.simtime.clock import SIM_EPOCH, SimClock
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    """A fresh simulated clock at the default epoch."""
+    return SimClock()
+
+
+def make_host(
+    host_id: str = "host-test",
+    boot_age_s: float = 10 * 86400.0,
+    epsilon_hz: float = 1000.0,
+    now: float = SIM_EPOCH,
+    model_index: int = 0,
+) -> PhysicalHost:
+    """Build one physical host with controlled TSC parameters."""
+    cpu = cpu_catalog()[model_index]
+    return PhysicalHost(
+        host_id=host_id,
+        cpu=cpu,
+        tsc=TimestampCounter(
+            boot_time=now - boot_age_s,
+            actual_frequency_hz=cpu.reported_tsc_frequency_hz - epsilon_hz,
+        ),
+    )
+
+
+@pytest.fixture
+def host() -> PhysicalHost:
+    """A single host booted 10 days ago with a 1 kHz frequency error."""
+    return make_host()
+
+
+def tiny_profile(**overrides) -> RegionProfile:
+    """A very small region profile for fast tests."""
+    defaults = dict(
+        name="tiny",
+        n_hosts=30,
+        active_hosts=20,
+        shard_size=5,
+        helper_recruit_fraction=0.25,
+        helper_pool_cap=12,
+        hot_min_concurrency=8,
+        plan=AccountPlacementPlan(
+            account_shards={"account-1": 0, "account-2": 1, "account-3": 2},
+        ),
+    )
+    defaults.update(overrides)
+    return RegionProfile(**defaults)
+
+
+@pytest.fixture
+def tiny_env() -> SimulationEnv:
+    """A complete simulated region small enough for unit tests."""
+    return default_env(profile=tiny_profile(), seed=42)
+
+
+@pytest.fixture
+def tiny_env_factory():
+    """Factory for tiny environments with custom seeds/profile overrides."""
+
+    def build(seed: int = 42, **profile_overrides) -> SimulationEnv:
+        return default_env(profile=tiny_profile(**profile_overrides), seed=seed)
+
+    return build

@@ -1,0 +1,101 @@
+"""Integration tests for §6's scheduling-based co-location defenses."""
+
+import pytest
+
+from repro import units
+from repro.cloud.services import ServiceConfig
+from repro.core.attack.strategies import naive_launch, optimized_launch
+from repro.core.fingerprint import fingerprint_gen1_instances
+from repro.experiments.base import default_env
+
+from tests.conftest import tiny_profile
+
+
+def env_with_defense(defense, seed=33):
+    return default_env(profile=tiny_profile(defense=defense), seed=seed)
+
+
+def footprint(client, name, n):
+    handles = client.connect(name, n)
+    return {fp for _h, fp in fingerprint_gen1_instances(handles, p_boot=1.0)}
+
+
+def coverage(env, strategy):
+    outcome = strategy(env.attacker)
+    orch = env.orchestrator
+    attacker_hosts = {
+        orch.true_host_of(h.instance_id) for h in outcome.handles if h.alive
+    }
+    victim = env.victim("account-2")
+    service = victim.deploy(ServiceConfig(name="victim"))
+    handles = victim.connect(service, 10)
+    hosts = [orch.true_host_of(h.instance_id) for h in handles]
+    return sum(1 for h in hosts if h in attacker_hosts) / len(hosts)
+
+
+def optimized(client):
+    return optimized_launch(
+        client, n_services=2, launches=4, instances_per_service=16,
+        interval_s=10 * units.MINUTE,
+    )
+
+
+class TestRandomizedBase:
+    def test_footprints_no_longer_stable(self):
+        """Observation 3 breaks: cold launches land on different hosts."""
+        env = env_with_defense("randomized_base")
+        client = env.attacker
+        name = client.deploy(ServiceConfig(name="rb"))
+        first = footprint(client, name, 15)
+        client.disconnect(name)
+        client.wait(45 * units.MINUTE)
+        second = footprint(client, name, 15)
+        # Random 5-host samples from a 20-host pool rarely coincide.
+        assert first != second
+
+    def test_profile_validation(self):
+        from repro.errors import CloudError
+
+        with pytest.raises(CloudError):
+            tiny_profile(defense="prayer")
+
+
+class TestTenantIsolation:
+    def test_no_cross_account_co_location_ever(self):
+        env = env_with_defense("tenant_isolation")
+        cov = coverage(env, optimized)
+        assert cov == 0.0
+
+    def test_same_account_still_shares_hosts(self):
+        env = env_with_defense("tenant_isolation")
+        client = env.attacker
+        a = client.deploy(ServiceConfig(name="ta"))
+        b = client.deploy(ServiceConfig(name="tb"))
+        fa = footprint(client, a, 10)
+        fb = footprint(client, b, 10)
+        assert fa & fb
+
+    def test_no_helper_recruitment(self):
+        """The load balancer cannot spill a tenant onto shared hosts."""
+        env = env_with_defense("tenant_isolation")
+        outcome = optimized(env.attacker)
+        base = set(env.datacenter.shard_hosts(0))
+        hosts = {
+            env.orchestrator.true_host_of(h.instance_id) for h in outcome.handles
+        }
+        assert hosts <= base
+
+    def test_confines_but_costs_capacity(self):
+        """The defense caps each tenant to its partition: the footprint an
+        attacker (or any tenant) can ever reach shrinks to the shard."""
+        undefended = env_with_defense("none")
+        defended = env_with_defense("tenant_isolation")
+        free = optimized(undefended.attacker)
+        caged = optimized(defended.attacker)
+        assert len(caged.apparent_hosts) < len(free.apparent_hosts)
+
+
+class TestDefenseComparison:
+    def test_tenant_isolation_beats_undefended(self):
+        assert coverage(env_with_defense("tenant_isolation"), optimized) == 0.0
+        assert coverage(env_with_defense("none"), optimized) > 0.3

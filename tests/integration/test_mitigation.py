@@ -1,0 +1,88 @@
+"""Integration tests for the §6 mitigation: TSC emulation/virtualization.
+
+When the platform masks both the TSC value and its frequency, the Gen 1
+boot-time fingerprint and the Gen 2 refined-frequency fingerprint stop
+identifying hosts — and fingerprint-guided attacks lose their advantage.
+"""
+
+from repro.cloud.services import ServiceConfig
+from repro.core.fingerprint import (
+    fingerprint_gen1_instances,
+    fingerprint_gen2_instances,
+)
+from repro.experiments.base import default_env
+from repro.sandbox.base import TscPolicy
+
+from tests.conftest import tiny_profile
+
+
+def mitigated_env(seed=21):
+    return default_env(profile=tiny_profile(), seed=seed, tsc_policy=TscPolicy.EMULATED)
+
+
+class TestGen1Mitigation:
+    def test_fingerprints_no_longer_identify_hosts(self):
+        env = mitigated_env()
+        client = env.attacker
+        name = client.deploy(ServiceConfig(name="mit1"))
+        handles = client.connect(name, 20)
+        pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+        orch = env.orchestrator
+        # Under emulation every sandbox sees a virtual counter started at
+        # its own boot, so the derived "boot time" is the launch time —
+        # identical for all instances regardless of host.  Fingerprints
+        # carry no host information: distinct hosts collapse together.
+        hosts = {orch.true_host_of(h.instance_id) for h, _fp in pairs}
+        assert len(hosts) > 2
+        boot_buckets = {fp.boot_bucket for _h, fp in pairs}
+        assert len(boot_buckets) <= 2  # everyone "booted" at launch time
+        # And the derived boot time is nowhere near any true host boot.
+        for host_id in hosts:
+            host = env.datacenter.host(host_id)
+            for _h, fp in pairs:
+                assert abs(fp.boot_time - host.boot_time) > 86400.0
+
+    def test_derived_boot_times_cluster_at_launch_time(self):
+        env = mitigated_env()
+        client = env.attacker
+        name = client.deploy(ServiceConfig(name="mit2"))
+        t_launch = client.now()
+        handles = client.connect(name, 10)
+        pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+        for _handle, fp in pairs:
+            assert abs(fp.boot_time - t_launch) < 300.0
+
+
+class TestGen2Mitigation:
+    def test_refined_frequency_masked(self):
+        env = mitigated_env()
+        client = env.attacker
+        name = client.deploy(ServiceConfig(name="mit3", generation="gen2"))
+        handles = client.connect(name, 20)
+        pairs = fingerprint_gen2_instances(handles)
+        # Every guest reads a *reported* frequency, so fingerprints carry
+        # no per-host deviation: the number of distinct values collapses to
+        # the number of distinct nominal frequencies.
+        values = {fp.tsc_khz for _h, fp in pairs}
+        reported = {
+            round(env.datacenter.host(env.orchestrator.true_host_of(h.instance_id))
+                  .cpu.reported_tsc_frequency_hz / 1e3)
+            for h in handles
+        }
+        assert values <= reported
+
+    def test_mitigated_fingerprint_lacks_discrimination(self):
+        """On unmitigated hosts, hosts with the same CPU model usually get
+        distinct refined frequencies; under mitigation they all collapse."""
+        env = mitigated_env()
+        client = env.attacker
+        name = client.deploy(ServiceConfig(name="mit4", generation="gen2"))
+        handles = client.connect(name, 20)
+        orch = env.orchestrator
+        pairs = fingerprint_gen2_instances(handles)
+        by_model: dict = {}
+        for handle, fp in pairs:
+            model = env.datacenter.host(orch.true_host_of(handle.instance_id)).cpu.name
+            by_model.setdefault(model, set()).add(fp)
+        # One fingerprint per model: zero per-host information.
+        assert all(len(fps) == 1 for fps in by_model.values())

@@ -1,0 +1,169 @@
+"""Integration tests reproducing Observations 1-6 (§5.1) at small scale.
+
+Each test is a black-box experiment against the simulated orchestrator,
+mirroring the methodology of the paper's Experiments 1-4.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import units
+from repro.cloud.services import LARGE, SMALL, ServiceConfig
+from repro.core.fingerprint import fingerprint_gen1_instances
+
+
+def footprint(client, name, n):
+    handles = client.connect(name, n)
+    return {fp for _h, fp in fingerprint_gen1_instances(handles, p_boot=1.0)}
+
+
+class TestObservation1:
+    def test_instances_share_hosts_near_uniformly(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="obs1"))
+        handles = client.connect(name, 40)
+        counts = Counter(
+            tiny_env.orchestrator.true_host_of(h.instance_id) for h in handles
+        )
+        assert len(counts) == tiny_env.datacenter.profile.shard_size
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+
+class TestObservation2:
+    def test_gradual_idle_termination(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="obs2"))
+        handles = client.connect(name, 30)
+        client.disconnect(name)
+        profile = tiny_env.datacenter.profile
+        client.wait(profile.idle_grace - 10.0)
+        alive_early = sum(h.alive for h in handles)
+        client.wait((profile.idle_deadline - profile.idle_grace) / 2)
+        alive_mid = sum(h.alive for h in handles)
+        client.wait(profile.idle_deadline)
+        alive_late = sum(h.alive for h in handles)
+        assert alive_early == 30
+        assert 0 < alive_mid < 30
+        assert alive_late == 0
+
+
+class TestObservation3:
+    def test_consistent_base_hosts_across_cold_launches(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="obs3"))
+        fps = []
+        for _ in range(3):
+            fps.append(footprint(client, name, 20))
+            client.disconnect(name)
+            client.wait(45 * units.MINUTE)
+        cumulative = set().union(*fps)
+        # Footprints overlap heavily: cumulative barely exceeds one launch.
+        assert len(cumulative) <= len(fps[0]) + 2
+
+    def test_fresh_services_same_account_share_base_hosts(self, tiny_env):
+        client = tiny_env.attacker
+        a = client.deploy(ServiceConfig(name="obs3a"))
+        fp_a = footprint(client, a, 20)
+        client.disconnect(a)
+        client.wait(45 * units.MINUTE)
+        b = client.deploy(ServiceConfig(name="obs3b"))
+        client.rebuild_image(b)
+        fp_b = footprint(client, b, 20)
+        assert len(fp_a & fp_b) >= 0.8 * len(fp_a)
+
+
+class TestObservation4:
+    def test_different_accounts_different_base_hosts(self, tiny_env):
+        fp1 = footprint(
+            tiny_env.attacker,
+            tiny_env.attacker.deploy(ServiceConfig(name="a1")),
+            20,
+        )
+        fp2 = footprint(
+            tiny_env.victim("account-2"),
+            tiny_env.victim("account-2").deploy(ServiceConfig(name="a2")),
+            20,
+        )
+        assert fp1.isdisjoint(fp2)
+
+
+class TestObservation5:
+    def test_short_interval_relaunches_recruit_helpers(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="obs5"))
+        first = footprint(client, name, 16)
+        client.disconnect(name)
+        cumulative = set(first)
+        for _ in range(3):
+            client.wait(10 * units.MINUTE)
+            fp = footprint(client, name, 16)
+            client.disconnect(name)
+            cumulative |= fp
+        assert len(cumulative) > len(first)
+
+    def test_long_interval_does_not_recruit(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="obs5b"))
+        first = footprint(client, name, 16)
+        client.disconnect(name)
+        cumulative = set(first)
+        for _ in range(3):
+            client.wait(45 * units.MINUTE)
+            fp = footprint(client, name, 16)
+            client.disconnect(name)
+            cumulative |= fp
+        assert len(cumulative) <= len(first) + 1
+
+    def test_tiny_interval_recruits_little(self, tiny_env_factory):
+        """Fig. 9 companion: a 2-minute interval barely terminates any idle
+        instances, so few replacements are created and few helpers appear."""
+
+        def growth(interval_minutes, seed=13):
+            env = tiny_env_factory(seed=seed)
+            client = env.attacker
+            name = client.deploy(ServiceConfig(name="obs5c"))
+            first = footprint(client, name, 16)
+            client.disconnect(name)
+            cumulative = set(first)
+            for _ in range(3):
+                client.wait(interval_minutes * units.MINUTE)
+                cumulative |= footprint(client, name, 16)
+                client.disconnect(name)
+            return len(cumulative) - len(first)
+
+        assert growth(2.0) < growth(10.0)
+
+
+class TestObservation6:
+    def test_services_use_overlapping_helper_sets(self, tiny_env):
+        client = tiny_env.attacker
+
+        def prime(name):
+            service = client.deploy(ServiceConfig(name=name))
+            first = footprint(client, service, 16)
+            client.disconnect(service)
+            last = first
+            for _ in range(3):
+                client.wait(10 * units.MINUTE)
+                last = footprint(client, service, 16)
+                client.disconnect(service)
+            client.wait(45 * units.MINUTE)
+            return last - first  # helper footprint
+
+        helpers_a = prime("svc-a")
+        helpers_b = prime("svc-b")
+        assert helpers_a and helpers_b
+        assert helpers_a != helpers_b  # different sets...
+        assert helpers_a & helpers_b  # ...that overlap
+
+
+class TestOtherFactors:
+    def test_sizes_share_base_hosts(self, tiny_env):
+        """§5.1: instances with different resource specs share base hosts."""
+        client = tiny_env.attacker
+        small = client.deploy(ServiceConfig(name="sz-s", size=SMALL))
+        large = client.deploy(ServiceConfig(name="sz-l", size=LARGE))
+        fp_small = footprint(client, small, 10)
+        fp_large = footprint(client, large, 10)
+        assert fp_small & fp_large

@@ -1,0 +1,62 @@
+"""Integration: the planner's analytic predictions vs. actual execution.
+
+Infers the policy black-box, plans a schedule, executes it, and checks the
+predicted footprint and cost land near the measured ones.
+"""
+
+import pytest
+
+from repro import units
+from repro.analysis.policy_inference import IdlePolicyEstimate
+from repro.core.attack.planner import AttackPlanner, LaunchSchedule, PolicyModel
+from repro.core.attack.strategies import optimized_launch
+from repro.experiments.base import default_env
+
+
+def east_policy() -> PolicyModel:
+    return PolicyModel(
+        base_set_size=75,
+        idle=IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0),
+        hot_window_s=30 * units.MINUTE,
+        recruit_rate=0.064,
+        helper_pool_cap=250,
+        candidate_pool_size=225,
+    )
+
+
+class TestPlannerVsExecution:
+    @pytest.mark.parametrize(
+        ("n_services", "launches"),
+        [(1, 6), (3, 4), (6, 6)],
+    )
+    def test_footprint_prediction_matches_execution(self, n_services, launches):
+        planner = AttackPlanner(east_policy())
+        schedule = LaunchSchedule(
+            n_services=n_services,
+            launches=launches,
+            instances_per_service=800,
+            interval_s=10 * units.MINUTE,
+        )
+        prediction = planner.predict(schedule)
+
+        env = default_env("us-east1", seed=700 + n_services)
+        outcome = optimized_launch(
+            env.attacker,
+            n_services=n_services,
+            launches=launches,
+            instances_per_service=800,
+            interval_s=schedule.interval_s,
+        )
+        measured = len(outcome.apparent_hosts)
+        assert measured == pytest.approx(prediction.expected_hosts, rel=0.20)
+
+    def test_cost_prediction_matches_execution(self):
+        planner = AttackPlanner(east_policy())
+        schedule = LaunchSchedule(
+            n_services=6, launches=6, instances_per_service=800,
+            interval_s=10 * units.MINUTE,
+        )
+        prediction = planner.predict(schedule)
+        env = default_env("us-east1", seed=710)
+        outcome = optimized_launch(env.attacker)
+        assert outcome.cost_usd == pytest.approx(prediction.cost_usd, rel=0.5)

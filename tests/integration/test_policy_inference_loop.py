@@ -1,0 +1,64 @@
+"""Closing the loop: infer the orchestrator's policy parameters black-box
+and compare them against the simulator's true profile values."""
+
+import pytest
+
+from repro import units
+from repro.analysis.policy_inference import (
+    estimate_base_set_size,
+    estimate_hot_window,
+    estimate_recruit_rate,
+    fit_idle_policy,
+)
+from repro.experiments import idle_termination, launch_behavior
+
+
+class TestPolicyInferenceLoop:
+    @pytest.fixture(scope="class")
+    def idle_estimate(self):
+        result = idle_termination.run(
+            idle_termination.IdleTerminationConfig(instances=400, seed=470)
+        )
+        return fit_idle_policy(result.series, total_instances=400)
+
+    def test_idle_window_recovered(self, idle_estimate):
+        true_grace = 2 * units.MINUTE
+        true_deadline = 12 * units.MINUTE
+        assert idle_estimate.grace_s == pytest.approx(true_grace, abs=60.0)
+        assert idle_estimate.deadline_s == pytest.approx(true_deadline, abs=90.0)
+
+    def test_base_set_size_recovered(self):
+        result = launch_behavior.run_launch_series(
+            launch_behavior.LaunchSeriesConfig(launches=3, instances=400, seed=471)
+        )
+        estimate = estimate_base_set_size(result.per_launch)
+        assert estimate == 75  # the profile's shard_size
+
+    def test_hot_window_recovered(self):
+        results = launch_behavior.run_interval_sweep(
+            launch_behavior.IntervalSweepConfig(
+                intervals_minutes=(2.0, 10.0, 20.0, 30.0, 45.0),
+                launches=3,
+                instances=400,
+                seed=472,
+            )
+        )
+        growth = {interval: series.growth for interval, series in results.items()}
+        window = estimate_hot_window(growth)
+        # True hot window: 30 minutes; the bracket must contain/abut it.
+        assert 20.0 <= window <= 37.5
+
+    def test_recruit_rate_recovered(self, idle_estimate):
+        series = launch_behavior.run_launch_series(
+            launch_behavior.LaunchSeriesConfig(
+                launches=5, instances=800, interval=10 * units.MINUTE, seed=473
+            )
+        )
+        rate = estimate_recruit_rate(
+            series.per_launch,
+            instances_per_launch=800,
+            interval_s=10 * units.MINUTE,
+            idle_policy=idle_estimate,
+        )
+        # True helper_recruit_fraction is 0.064 in us-east1.
+        assert rate == pytest.approx(0.064, rel=0.5)

@@ -1,0 +1,75 @@
+"""Integration test for the repeat-attack optimization (victim profiling)."""
+
+from repro import units
+from repro.core.attack.campaign import ColocationCampaign
+from repro.core.attack.strategies import optimized_launch
+from repro.core.attack.targeting import VictimProfile
+from repro.core.fingerprint import fingerprint_gen1_instances
+
+
+def small_strategy(prefix):
+    return lambda c: optimized_launch(
+        c,
+        n_services=2,
+        launches=4,
+        instances_per_service=16,
+        interval_s=10 * units.MINUTE,
+        service_prefix=prefix,
+    )
+
+
+class TestRepeatAttack:
+    def test_profile_focuses_second_strike(self, tiny_env):
+        attacker = tiny_env.attacker
+        victim = tiny_env.victim("account-2")
+
+        # First strike with verification.
+        campaign = ColocationCampaign(
+            attacker=attacker, victim=victim, strategy=small_strategy("s1")
+        )
+        result = campaign.run(n_victim_instances=10, victim_service_name="api")
+        assert result.coverage > 0.3, "first strike must achieve co-location"
+
+        cluster_of = result.verification.cluster_index()
+        victim_handles = [
+            h
+            for cluster in result.verification.clusters
+            for h in cluster
+            if h.instance_id.startswith("account-2/")
+        ]
+        attacker_alive = [
+            h
+            for cluster in result.verification.clusters
+            for h in cluster
+            if h.instance_id.startswith("account-1/") and h.alive
+        ]
+        tagged = fingerprint_gen1_instances(attacker_alive, p_boot=1.0)
+        profile = VictimProfile.from_campaign(
+            now=attacker.now(),
+            victim_handles=victim_handles,
+            cluster_of=cluster_of,
+            attacker_fingerprints={h.instance_id: fp for h, fp in tagged},
+        )
+        assert profile.fingerprints
+
+        # Time passes; all instances die.
+        for name in attacker.service_names():
+            attacker.disconnect(name)
+        victim.disconnect("api")
+        attacker.wait(1 * units.DAY)
+
+        # Second strike: select only instances on profiled hosts.
+        outcome = small_strategy("s2")(attacker)
+        tagged2 = fingerprint_gen1_instances(outcome.handles, p_boot=1.0)
+        targets = profile.select_targets(tagged2, now=attacker.now())
+        assert targets, "some instances must land on profiled hosts again"
+        assert len(targets) < len(outcome.handles), "profiling must narrow focus"
+
+        # Precision: targets truly sit on hosts the victim prefers.
+        victim_handles2 = victim.connect("api", 10)
+        orch = tiny_env.orchestrator
+        victim_hosts = {orch.true_host_of(h.instance_id) for h in victim_handles2}
+        on_target = sum(
+            1 for h in targets if orch.true_host_of(h.instance_id) in victim_hosts
+        )
+        assert on_target / len(targets) > 0.5

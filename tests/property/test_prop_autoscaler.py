@@ -1,0 +1,76 @@
+"""Property-based tests for request patterns and the autoscaler."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.cloud.autoscaler import Autoscaler
+from repro.cloud.services import ServiceConfig
+from repro.cloud.workloads import BurstLoad, DiurnalLoad, TraceLoad
+from repro.experiments.base import default_env
+
+from tests.conftest import tiny_profile
+
+
+@given(
+    trough=st.integers(0, 20),
+    span=st.integers(0, 30),
+    period_h=st.floats(0.5, 48.0),
+    at_h=st.floats(0.0, 96.0),
+)
+def test_diurnal_stays_in_band(trough, span, period_h, at_h):
+    load = DiurnalLoad(trough=trough, peak=trough + span, period_s=period_h * units.HOUR)
+    level = load.concurrency_at(at_h * units.HOUR)
+    assert trough <= level <= trough + span
+
+
+@given(
+    times=st.lists(st.floats(0.0, 1e5), min_size=1, max_size=20),
+    at=st.floats(0.0, 2e5),
+)
+def test_trace_always_returns_a_sample_value(times, at):
+    times = sorted(times)
+    values = list(range(len(times)))
+    trace = TraceLoad(times, values)
+    assert trace.concurrency_at(at) in values
+
+
+@given(
+    base=st.integers(0, 10),
+    extra=st.integers(0, 10),
+    start=st.floats(0.0, 1e4),
+    duration=st.floats(0.0, 1e4),
+    at=st.floats(0.0, 3e4),
+)
+def test_burst_is_base_or_burst(base, extra, start, duration, at):
+    load = BurstLoad(
+        base=base, burst=base + extra, burst_start_s=start, burst_duration_s=duration
+    )
+    assert load.concurrency_at(at) in (base, base + extra)
+
+
+@st.composite
+def demand_sequences(draw):
+    seed = draw(st.integers(0, 30))
+    demands = draw(st.lists(st.integers(0, 18), min_size=1, max_size=8))
+    return seed, demands
+
+
+@given(demand_sequences())
+@settings(max_examples=12, deadline=None)
+def test_autoscaler_tracks_any_demand_sequence(case):
+    """Whatever the demand path, after each evaluation the active count
+    equals the clamped target and never exceeds max_instances."""
+    seed, demands = case
+    env = default_env(profile=tiny_profile(), seed=seed)
+    service = env.orchestrator.deploy_service(
+        "account-1", ServiceConfig(name="prop-auto", max_instances=20)
+    )
+    scaler = Autoscaler(env.orchestrator, service)
+    trace = TraceLoad(
+        [i * scaler.evaluation_period_s for i in range(len(demands))], demands
+    )
+    result = scaler.drive(trace, duration_s=len(demands) * scaler.evaluation_period_s)
+    for point in result.points:
+        assert point.active_instances == min(point.demanded_concurrency, 20)
+        assert point.alive_instances >= point.active_instances

@@ -1,0 +1,54 @@
+"""Property-based tests for the disjoint-set structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.clusters import DisjointSet
+
+items = st.integers(min_value=0, max_value=30)
+unions = st.lists(st.tuples(items, items), max_size=60)
+
+
+@given(unions)
+def test_clusters_partition_items(pairs):
+    ds = DisjointSet(range(31))
+    for a, b in pairs:
+        ds.union(a, b)
+    clusters = ds.clusters()
+    flat = [i for c in clusters for i in c]
+    assert sorted(flat) == list(range(31))
+
+
+@given(unions)
+def test_union_is_reflexive_symmetric_transitive(pairs):
+    ds = DisjointSet(range(31))
+    for a, b in pairs:
+        ds.union(a, b)
+    for a, b in pairs:
+        assert ds.same(a, b)
+        assert ds.same(b, a)
+    for item in range(31):
+        assert ds.same(item, item)
+
+
+@given(unions, unions)
+def test_union_order_does_not_matter(first, second):
+    ds1 = DisjointSet(range(31))
+    for a, b in first + second:
+        ds1.union(a, b)
+    ds2 = DisjointSet(range(31))
+    for a, b in second + first:
+        ds2.union(a, b)
+    sig1 = {frozenset(c) for c in ds1.clusters()}
+    sig2 = {frozenset(c) for c in ds2.clusters()}
+    assert sig1 == sig2
+
+
+@given(unions)
+def test_cluster_count_decreases_with_unions(pairs):
+    ds = DisjointSet(range(31))
+    previous = len(ds.clusters())
+    for a, b in pairs:
+        ds.union(a, b)
+        current = len(ds.clusters())
+        assert current <= previous
+        previous = current

@@ -1,0 +1,57 @@
+"""Property-based tests for the covert channel over random placements."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.services import ServiceConfig
+from repro.core.covert import RngCovertChannel
+from repro.experiments.base import default_env
+
+from tests.conftest import tiny_profile
+
+
+@st.composite
+def channel_cases(draw):
+    seed = draw(st.integers(0, 50))
+    n = draw(st.integers(2, 15))
+    m = draw(st.integers(2, 3))
+    return seed, n, m
+
+
+@given(channel_cases())
+@settings(max_examples=15, deadline=None)
+def test_ctest_matches_ground_truth(case):
+    """A CTest's verdicts must agree with the true host map: an instance is
+    positive iff at least m pressurers (itself included) share its host."""
+    seed, n, m = case
+    env = default_env(profile=tiny_profile(), seed=seed)
+    client = env.attacker
+    name = client.deploy(ServiceConfig(name="prop"))
+    handles = client.connect(name, n)
+    channel = RngCovertChannel()
+    result = channel.ctest(handles, threshold_m=m)
+
+    host_of = {
+        h.instance_id: env.orchestrator.true_host_of(h.instance_id) for h in handles
+    }
+    counts: dict[str, int] = {}
+    for host in host_of.values():
+        counts[host] = counts.get(host, 0) + 1
+    for handle, positive in zip(result.handles, result.positive):
+        expected = counts[host_of[handle.instance_id]] >= m
+        assert positive == expected
+
+
+@given(st.integers(0, 50), st.integers(2, 10))
+@settings(max_examples=10, deadline=None)
+def test_ctest_order_invariant(seed, n):
+    """Shuffling the instance list must not change per-instance verdicts."""
+    env = default_env(profile=tiny_profile(), seed=seed)
+    client = env.attacker
+    name = client.deploy(ServiceConfig(name="prop2"))
+    handles = client.connect(name, n)
+    channel = RngCovertChannel()
+    forward = channel.ctest(handles, threshold_m=2)
+    backward = channel.ctest(list(reversed(handles)), threshold_m=2)
+    verdict_fwd = dict(zip((h.instance_id for h in forward.handles), forward.positive))
+    verdict_bwd = dict(zip((h.instance_id for h in backward.handles), backward.positive))
+    assert verdict_fwd == verdict_bwd

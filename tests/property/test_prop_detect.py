@@ -1,0 +1,60 @@
+"""Property-based tests for activity-episode detection."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.detect import ActivityDetector, ActivitySample
+
+level_series = st.lists(st.integers(0, 4), min_size=1, max_size=80)
+
+
+def detect(levels, threshold=1, min_consecutive=2):
+    detector = ActivityDetector.__new__(ActivityDetector)
+    detector.threshold = threshold
+    detector.min_consecutive = min_consecutive
+    samples = [ActivitySample(at=float(i), level=v) for i, v in enumerate(levels)]
+    return detector._episodes(samples)
+
+
+@given(level_series)
+def test_episodes_are_ordered_and_disjoint(levels):
+    episodes = detect(levels)
+    for a, b in zip(episodes, episodes[1:]):
+        assert a.end < b.start
+    for episode in episodes:
+        assert episode.start <= episode.end
+
+
+@given(level_series, st.integers(1, 5))
+def test_episode_bounds_lie_on_active_samples(levels, min_consecutive):
+    episodes = detect(levels, min_consecutive=min_consecutive)
+    active_times = {float(i) for i, v in enumerate(levels) if v >= 1}
+    for episode in episodes:
+        assert episode.start in active_times
+        assert episode.end in active_times
+        # Length satisfies the debounce.
+        covered = [t for t in active_times if episode.start <= t <= episode.end]
+        assert len(covered) >= min_consecutive
+
+
+@given(level_series)
+def test_higher_threshold_never_adds_episodes(levels):
+    low = detect(levels, threshold=1)
+    high = detect(levels, threshold=3)
+    # Every high-threshold active moment is active at the low threshold,
+    # so high-threshold detection covers a subset of time.
+    low_active = sum(e.end - e.start + 1 for e in low)
+    high_active = sum(e.end - e.start + 1 for e in high)
+    assert high_active <= low_active
+
+
+@given(level_series, st.integers(1, 6))
+def test_stricter_debounce_never_adds_episodes(levels, extra):
+    loose = detect(levels, min_consecutive=1)
+    strict = detect(levels, min_consecutive=1 + extra)
+    assert len(strict) <= len(loose)
+
+
+@given(level_series)
+def test_all_zero_series_detects_nothing(levels):
+    silent = [0] * len(levels)
+    assert detect(silent) == []

@@ -1,0 +1,71 @@
+"""Property-based tests for fingerprint derivation and rounding."""
+
+import math
+
+from hypothesis import assume, given, strategies as st
+
+from repro.analysis.drift import DriftFit, estimate_expiration_time
+from repro.core.fingerprint import Gen1Fingerprint, Gen1Sample
+
+boot_times = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+precisions = st.sampled_from([1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0])
+
+
+@given(boot_times, precisions)
+def test_rounding_error_bounded_by_half_precision(boot, p_boot):
+    fp = Gen1Fingerprint.from_boot_time("m", boot, p_boot)
+    assert abs(fp.boot_time - boot) <= p_boot / 2 + 1e-6 * p_boot
+
+
+@given(boot_times, precisions)
+def test_same_input_same_fingerprint(boot, p_boot):
+    a = Gen1Fingerprint.from_boot_time("m", boot, p_boot)
+    b = Gen1Fingerprint.from_boot_time("m", boot, p_boot)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@given(boot_times, st.floats(min_value=0.0, max_value=0.4), precisions)
+def test_nearby_boot_times_usually_match(boot, jitter_fraction, p_boot):
+    """Two measurements within the same bucket produce equal fingerprints."""
+    bucket = round(boot / p_boot)
+    center = bucket * p_boot
+    other = center + jitter_fraction * p_boot
+    a = Gen1Fingerprint.from_boot_time("m", center, p_boot)
+    b = Gen1Fingerprint.from_boot_time("m", other, p_boot)
+    assert a == b
+
+
+@given(boot_times, precisions)
+def test_distant_boot_times_never_match(boot, p_boot):
+    a = Gen1Fingerprint.from_boot_time("m", boot, p_boot)
+    b = Gen1Fingerprint.from_boot_time("m", boot + 2.1 * p_boot, p_boot)
+    assert a != b
+
+
+@given(
+    st.floats(min_value=1e5, max_value=1e10, allow_nan=False),
+    st.integers(min_value=0, max_value=10**15),
+    st.floats(min_value=1e9, max_value=4e9),
+)
+def test_boot_time_equation_inverts(wall, tsc, freq):
+    sample = Gen1Sample(
+        cpu_model="m", tsc_value=tsc, wall_time=wall, reported_frequency_hz=freq
+    )
+    # T_w == T_boot + tsc / f by construction.
+    assert sample.boot_time() + tsc / freq == wall
+
+
+@given(
+    st.floats(min_value=-1e-4, max_value=1e-4, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6),
+    precisions,
+)
+def test_expiration_nonnegative_and_bounded(slope, intercept, p_boot):
+    fit = DriftFit(slope=slope, intercept=intercept, r_value=1.0)
+    expiration = estimate_expiration_time(fit, at_wall_time=0.0, p_boot=p_boot)
+    assert expiration >= 0.0
+    if slope != 0.0:
+        assert expiration <= p_boot / abs(slope) + 1e-6
+    else:
+        assert math.isinf(expiration)

@@ -1,0 +1,84 @@
+"""Property-based tests for clustering metrics."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import pair_confusion, victim_instance_coverage
+
+labelings = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=2, max_size=40
+)
+
+
+def to_maps(pairs):
+    predicted = {f"i{k}": p for k, (p, _t) in enumerate(pairs)}
+    truth = {f"i{k}": t for k, (_p, t) in enumerate(pairs)}
+    return predicted, truth
+
+
+@given(labelings)
+def test_confusion_counts_nonnegative_and_sum_to_total(pairs):
+    predicted, truth = to_maps(pairs)
+    c = pair_confusion(predicted, truth)
+    n = len(predicted)
+    assert min(c.true_positive, c.false_positive, c.true_negative, c.false_negative) >= 0
+    assert (
+        c.true_positive + c.false_positive + c.true_negative + c.false_negative
+        == n * (n - 1) // 2
+    )
+
+
+@given(labelings)
+def test_metric_bounds(pairs):
+    predicted, truth = to_maps(pairs)
+    c = pair_confusion(predicted, truth)
+    assert 0.0 <= c.precision <= 1.0
+    assert 0.0 <= c.recall <= 1.0
+    assert 0.0 <= c.fmi <= 1.0
+    assert c.fmi == math.sqrt(c.precision * c.recall)
+
+
+@given(labelings)
+def test_perfect_when_compared_to_self(pairs):
+    predicted, _ = to_maps(pairs)
+    c = pair_confusion(predicted, predicted)
+    assert c.false_positive == 0
+    assert c.false_negative == 0
+    assert c.fmi == 1.0
+
+
+@given(labelings)
+def test_swapping_roles_transposes_errors(pairs):
+    predicted, truth = to_maps(pairs)
+    forward = pair_confusion(predicted, truth)
+    backward = pair_confusion(truth, predicted)
+    assert forward.true_positive == backward.true_positive
+    assert forward.false_positive == backward.false_negative
+    assert forward.false_negative == backward.false_positive
+
+
+@given(
+    st.lists(st.integers(0, 6), min_size=1, max_size=20),
+    st.lists(st.integers(0, 6), max_size=20),
+)
+def test_coverage_bounds_and_monotonicity(victim_hosts, attacker_hosts):
+    cluster_of = {}
+    victim_ids = []
+    for k, host in enumerate(victim_hosts):
+        vid = f"v{k}"
+        victim_ids.append(vid)
+        cluster_of[vid] = host
+    attacker_ids = []
+    for k, host in enumerate(attacker_hosts):
+        aid = f"a{k}"
+        attacker_ids.append(aid)
+        cluster_of[aid] = host
+
+    coverage = victim_instance_coverage(victim_ids, attacker_ids, cluster_of)
+    assert 0.0 <= coverage <= 1.0
+    # Adding attackers never reduces coverage.
+    extra_id = "a-extra"
+    cluster_of[extra_id] = victim_hosts[0]
+    more = victim_instance_coverage(victim_ids, attacker_ids + [extra_id], cluster_of)
+    assert more >= coverage

@@ -1,0 +1,52 @@
+"""Property-based tests for persistence round-trips."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import Gen1Fingerprint, Gen2Fingerprint
+from repro.persistence import (
+    FingerprintStore,
+    fingerprint_from_dict,
+    fingerprint_to_dict,
+)
+
+gen1_fps = st.builds(
+    Gen1Fingerprint,
+    cpu_model=st.sampled_from(
+        ["Intel Xeon CPU @ 2.00GHz", "AMD EPYC 7B12 @ 2.25GHz", "weird @ 3.10GHz"]
+    ),
+    boot_bucket=st.integers(-10**12, 10**12),
+    p_boot=st.sampled_from([1e-3, 0.1, 1.0, 10.0]),
+)
+gen2_fps = st.builds(Gen2Fingerprint, tsc_khz=st.integers(1, 10**7))
+any_fp = st.one_of(gen1_fps, gen2_fps)
+
+
+@given(any_fp)
+def test_fingerprint_roundtrip_identity(fp):
+    assert fingerprint_from_dict(fingerprint_to_dict(fp)) == fp
+
+
+@given(any_fp, any_fp)
+def test_roundtrip_preserves_equality_relation(a, b):
+    ra = fingerprint_from_dict(fingerprint_to_dict(a))
+    rb = fingerprint_from_dict(fingerprint_to_dict(b))
+    assert (a == b) == (ra == rb)
+    assert (hash(a) == hash(b)) == (hash(ra) == hash(rb))
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), any_fp, st.floats(0, 1e9)),
+        max_size=25,
+    )
+)
+def test_store_roundtrip(tmp_path_factory_entries):
+    entries = tmp_path_factory_entries
+    store = FingerprintStore()
+    for label, fp, at in entries:
+        store.add(label, fp, observed_at=at)
+    # In-memory invariants.
+    assert len(store) == len(entries)
+    for label in store.labels():
+        assert store.query(label)
+    assert sum(len(store.query(label)) for label in store.labels()) == len(entries)

@@ -1,0 +1,73 @@
+"""Property-based tests for the placement policy."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.placement import PlacementPolicy, PlacementRequest
+
+
+@st.composite
+def placement_cases(draw):
+    n_hosts = draw(st.integers(min_value=1, max_value=12))
+    capacity = draw(st.floats(min_value=4.0, max_value=64.0))
+    slots = draw(st.sampled_from([0.25, 1.0, 2.0, 4.0]))
+    per_host = int(capacity // slots)
+    max_count = n_hosts * per_host
+    count = draw(st.integers(min_value=0, max_value=max(0, min(max_count, 80))))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return n_hosts, capacity, slots, count, seed
+
+
+@given(placement_cases())
+@settings(max_examples=60)
+def test_capacity_never_exceeded(case):
+    n_hosts, capacity, slots, count, seed = case
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    load: dict[str, float] = {}
+    policy = PlacementPolicy(np.random.default_rng(seed))
+    placed = policy.place(
+        PlacementRequest(count=count, slots_per_instance=slots, allowed_host_ids=hosts),
+        load,
+        {h: capacity for h in hosts},
+    )
+    assert len(placed) == count
+    for host, used in load.items():
+        assert used <= capacity + 1e-9
+        assert used == placed.count(host) * slots
+
+
+@given(placement_cases())
+@settings(max_examples=60)
+def test_spread_is_near_uniform(case):
+    n_hosts, capacity, slots, count, seed = case
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    policy = PlacementPolicy(np.random.default_rng(seed))
+    placed = policy.place(
+        PlacementRequest(count=count, slots_per_instance=slots, allowed_host_ids=hosts),
+        {},
+        {h: capacity for h in hosts},
+    )
+    counts = [placed.count(h) for h in hosts]
+    # With no capacity pressure the per-service counts differ by <= 1;
+    # capacity clipping can only widen the gap when hosts fill up.
+    if max(counts) * slots <= capacity:
+        assert max(counts) - min(counts) <= 1
+
+
+@given(placement_cases(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40)
+def test_deterministic_in_seed(case, seed2):
+    n_hosts, capacity, slots, count, seed = case
+    hosts = [f"h{i}" for i in range(n_hosts)]
+
+    def run(s):
+        policy = PlacementPolicy(np.random.default_rng(s))
+        return policy.place(
+            PlacementRequest(
+                count=count, slots_per_instance=slots, allowed_host_ids=hosts
+            ),
+            {},
+            {h: capacity for h in hosts},
+        )
+
+    assert run(seed) == run(seed)

@@ -1,0 +1,82 @@
+"""Property-based tests for policy inference on synthetic observations."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.policy_inference import (
+    IdlePolicyEstimate,
+    estimate_base_set_size,
+    estimate_recruit_rate,
+    fit_idle_policy,
+)
+
+
+@st.composite
+def idle_curves(draw):
+    grace_min = draw(st.floats(0.5, 5.0))
+    span_min = draw(st.floats(2.0, 15.0))
+    total = draw(st.integers(50, 1000))
+    deadline_min = grace_min + span_min
+    series = []
+    t = 0.0
+    while t <= deadline_min + 4.0:
+        if t <= grace_min:
+            alive = total
+        elif t >= deadline_min:
+            alive = 0
+        else:
+            alive = int(total * (deadline_min - t) / (deadline_min - grace_min))
+        series.append((t, alive))
+        t += 0.25
+    return grace_min, deadline_min, total, series
+
+
+@given(idle_curves())
+@settings(max_examples=40)
+def test_idle_fit_recovers_synthetic_policy(case):
+    grace_min, deadline_min, total, series = case
+    estimate = fit_idle_policy(series, total_instances=total)
+    assert estimate.grace_s == pytest.approx(grace_min * 60.0, abs=30.0)
+    assert estimate.deadline_s == pytest.approx(deadline_min * 60.0, abs=60.0)
+
+
+@given(
+    st.floats(10.0, 600.0),
+    st.floats(601.0, 2000.0),
+    st.floats(0.0, 3000.0),
+)
+def test_survival_fraction_monotone_and_bounded(grace, deadline, at):
+    estimate = IdlePolicyEstimate(grace_s=grace, deadline_s=deadline)
+    value = estimate.survival_fraction(at)
+    assert 0.0 <= value <= 1.0
+    later = estimate.survival_fraction(at + 100.0)
+    assert later <= value
+
+
+@given(st.lists(st.integers(40, 110), min_size=1, max_size=15))
+def test_base_size_estimate_within_observed_range(footprints):
+    estimate = estimate_base_set_size(footprints)
+    assert min(footprints) <= estimate <= max(footprints)
+
+
+@given(
+    base=st.integers(50, 100),
+    per_launch_growth=st.integers(0, 80),
+    launches=st.integers(2, 8),
+    rate_denominator=st.floats(100.0, 800.0),
+)
+def test_recruit_rate_inverts_synthetic_series(
+    base, per_launch_growth, launches, rate_denominator
+):
+    idle = IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0)
+    interval = 600.0  # survival 0.2 -> replaced = 0.8 * N
+    n = int(rate_denominator)
+    replaced = n * (1 - idle.survival_fraction(interval))
+    assume(replaced > 0)
+    footprints = [base + i * per_launch_growth for i in range(launches)]
+    rate = estimate_recruit_rate(
+        footprints, instances_per_launch=n, interval_s=interval, idle_policy=idle
+    )
+    expected = per_launch_growth / replaced if per_launch_growth else 0.0
+    assert rate == pytest.approx(expected, rel=1e-6, abs=1e-9)

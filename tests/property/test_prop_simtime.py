@@ -1,0 +1,61 @@
+"""Property-based tests for simulated time and the TSC."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.tsc import TimestampCounter
+from repro.simtime.clock import SimClock
+from repro.simtime.scheduler import EventScheduler
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=30
+)
+
+
+@given(durations)
+def test_clock_is_monotone(sleeps):
+    clock = SimClock()
+    previous = clock.now()
+    for duration in sleeps:
+        clock.sleep(duration)
+        assert clock.now() >= previous
+        previous = clock.now()
+
+
+@given(durations)
+def test_total_elapsed_is_sum(sleeps):
+    clock = SimClock()
+    start = clock.now()
+    for duration in sleeps:
+        clock.sleep(duration)
+    assert clock.now() - start <= sum(sleeps) * (1 + 1e-9) + 1e-6
+    assert clock.now() - start >= sum(sleeps) * (1 - 1e-9) - 1e-6
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e5), min_size=1, max_size=20))
+def test_all_scheduled_events_fire_exactly_once(delays):
+    clock = SimClock()
+    sched = EventScheduler(clock)
+    fired = []
+    for i, delay in enumerate(delays):
+        sched.call_after(delay, lambda i=i: fired.append(i))
+    clock.sleep(max(delays) + 1.0)
+    assert sorted(fired) == list(range(len(delays)))
+    clock.sleep(1e6)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e8),
+    st.floats(min_value=1e9, max_value=4e9),
+    st.floats(min_value=0.0, max_value=1e7),
+)
+@settings(max_examples=60)
+def test_tsc_monotone_and_linear(boot_age, freq, dt):
+    tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=freq)
+    t0 = boot_age
+    a = tsc.read(t0)
+    b = tsc.read(t0 + dt)
+    assert b >= a
+    # Integer truncation plus double-precision rounding at ~1e16 ticks.
+    tolerance = 2.0 + (abs(a) + abs(b)) * 1e-15
+    assert abs((b - a) - dt * freq) <= tolerance

@@ -1,0 +1,121 @@
+"""Property-based tests for group-testing invariants of the verifier.
+
+These drive the verifier against a *synthetic* covert channel whose ground
+truth is drawn by hypothesis, checking exact cluster recovery regardless of
+how instances are distributed over hosts and how fingerprints lie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.covert import CovertChannel, CTestResult
+from repro.core.verification import ScalableVerifier, TaggedInstance
+
+
+@dataclass(frozen=True)
+class FakeHandle:
+    """Minimal stand-in for an InstanceHandle."""
+
+    instance_id: str
+
+
+class OracleChannel(CovertChannel):
+    """A noise-free covert channel driven by a known host map."""
+
+    def __init__(self, host_of: dict[str, int]) -> None:
+        super().__init__()
+        self.host_of = host_of
+
+    def ctest_batch(self, groups, threshold_m):
+        if isinstance(threshold_m, int):
+            thresholds = [threshold_m] * len(groups)
+        else:
+            thresholds = list(threshold_m)
+        flat = [h for group in groups for h in group]
+        counts: dict[int, int] = {}
+        for handle in flat:
+            host = self.host_of[handle.instance_id]
+            counts[host] = counts.get(host, 0) + 1
+        self.stats.record_batch([len(g) for g in groups], 1.0)
+        results = []
+        for group, threshold in zip(groups, thresholds):
+            positive = tuple(
+                counts[self.host_of[h.instance_id]] >= threshold for h in group
+            )
+            results.append(CTestResult(handles=tuple(group), positive=positive))
+        return results
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    n_hosts = draw(st.integers(min_value=1, max_value=10))
+    host_of = {f"i{k}": draw(st.integers(0, n_hosts - 1)) for k in range(n)}
+    # Fingerprints may be arbitrarily wrong: each instance gets a label
+    # loosely correlated (or not) with its host.
+    lie = draw(st.booleans())
+    fingerprints = {}
+    for iid, host in host_of.items():
+        if lie:
+            fingerprints[iid] = draw(st.integers(0, n_hosts))
+        else:
+            fingerprints[iid] = host
+    return host_of, fingerprints
+
+
+def true_clusters(host_of):
+    clusters: dict[int, set] = {}
+    for iid, host in host_of.items():
+        clusters.setdefault(host, set()).add(iid)
+    return {frozenset(members) for members in clusters.values()}
+
+
+@given(scenarios())
+@settings(max_examples=80, deadline=None)
+def test_verifier_recovers_exact_clusters(scenario):
+    host_of, fingerprints = scenario
+    tagged = [
+        TaggedInstance(handle=FakeHandle(iid), fingerprint=fingerprints[iid])
+        for iid in host_of
+    ]
+    channel = OracleChannel(host_of)
+    report = ScalableVerifier(channel).verify(tagged)
+    found = {
+        frozenset(h.instance_id for h in cluster) for cluster in report.clusters
+    }
+    assert found == true_clusters(host_of)
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_verifier_never_exceeds_pairwise_cost(scenario):
+    host_of, fingerprints = scenario
+    tagged = [
+        TaggedInstance(handle=FakeHandle(iid), fingerprint=fingerprints[iid])
+        for iid in host_of
+    ]
+    channel = OracleChannel(host_of)
+    report = ScalableVerifier(channel).verify(tagged)
+    n = len(host_of)
+    # Even with adversarial fingerprints, cost stays within a small factor
+    # of the pairwise bound (fallbacks are per-group).
+    assert report.n_tests <= n * (n - 1) // 2 + 2 * n + 1
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_accurate_fingerprints_cost_linear_in_hosts(scenario):
+    host_of, _ = scenario
+    tagged = [
+        TaggedInstance(handle=FakeHandle(iid), fingerprint=host_of[iid])
+        for iid in host_of
+    ]
+    channel = OracleChannel(host_of)
+    report = ScalableVerifier(channel).verify(tagged)
+    n_hosts = len(set(host_of.values()))
+    n = len(host_of)
+    # O(M)-ish: chunk tests + merge tests + the step-3 sweep.
+    assert report.n_tests <= 2 * (n // 2 + n_hosts) + 1

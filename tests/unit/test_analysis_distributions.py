@@ -1,0 +1,49 @@
+"""Unit tests for distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import cdf_at, empirical_cdf, summarize
+
+
+class TestEmpiricalCdf:
+    def test_sorted_output(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_single_sample(self):
+        x, f = empirical_cdf([5.0])
+        assert list(f) == [1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_cdf_at_points(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, [0.5, 2.0, 10.0]) == [0.0, 0.5, 1.0]
+
+    def test_cdf_monotone(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        points = np.linspace(-3, 3, 20)
+        evaluated = cdf_at(values, points)
+        assert all(a <= b for a, b in zip(evaluated, evaluated[1:]))
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_single_value_std_zero(self):
+        assert summarize([7.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

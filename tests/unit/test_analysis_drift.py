@@ -1,0 +1,90 @@
+"""Unit tests for drift fitting and expiration estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import DriftFit, estimate_expiration_time, fit_boot_time_drift
+
+
+class TestFitDrift:
+    def test_fits_perfect_line(self):
+        times = np.linspace(0, 1000, 20)
+        boots = 500.0 + 2e-6 * times
+        fit = fit_boot_time_drift(times, boots)
+        assert fit.slope == pytest.approx(2e-6, rel=1e-6)
+        assert fit.intercept == pytest.approx(500.0, abs=1e-6)
+        assert abs(fit.r_value) == pytest.approx(1.0)
+
+    def test_fits_negative_slope(self):
+        times = np.linspace(0, 1000, 20)
+        boots = 500.0 - 3e-6 * times
+        fit = fit_boot_time_drift(times, boots)
+        assert fit.slope == pytest.approx(-3e-6, rel=1e-6)
+
+    def test_noisy_fit_still_strongly_linear(self, rng):
+        """Paper: minimum |r| across all histories was 0.9997."""
+        times = np.linspace(0, 7 * 86400, 168)
+        boots = 100.0 + 1.5e-6 * times + rng.normal(0, 0.001, size=times.size)
+        fit = fit_boot_time_drift(times, boots)
+        assert abs(fit.r_value) > 0.999
+
+    def test_constant_history_r_treated_as_one(self):
+        times = np.linspace(0, 100, 10)
+        boots = np.full(10, 42.0)
+        fit = fit_boot_time_drift(times, boots)
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_boot_time_drift([1, 2], [1, 2, 3])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_boot_time_drift([1, 2], [1, 2])
+
+    def test_boot_time_at(self):
+        fit = DriftFit(slope=2.0, intercept=10.0, r_value=1.0)
+        assert fit.boot_time_at(5.0) == 20.0
+
+
+class TestExpiration:
+    def test_positive_drift_expires_at_upper_boundary(self):
+        # Boot time 100.2 drifting +1e-6 s/s with p=1: boundary at 100.5.
+        fit = DriftFit(slope=1e-6, intercept=100.2, r_value=1.0)
+        expiration = estimate_expiration_time(fit, at_wall_time=0.0, p_boot=1.0)
+        assert expiration == pytest.approx(0.3 / 1e-6)
+
+    def test_negative_drift_expires_at_lower_boundary(self):
+        fit = DriftFit(slope=-1e-6, intercept=100.2, r_value=1.0)
+        expiration = estimate_expiration_time(fit, at_wall_time=0.0, p_boot=1.0)
+        assert expiration == pytest.approx(0.7 / 1e-6)
+
+    def test_zero_drift_never_expires(self):
+        fit = DriftFit(slope=0.0, intercept=100.0, r_value=1.0)
+        assert estimate_expiration_time(fit, 0.0, 1.0) == math.inf
+
+    def test_larger_precision_lives_longer(self):
+        fit = DriftFit(slope=1e-6, intercept=100.1, r_value=1.0)
+        fine = estimate_expiration_time(fit, 0.0, 0.1)
+        coarse = estimate_expiration_time(fit, 0.0, 10.0)
+        assert coarse > fine
+
+    def test_evaluated_at_later_time(self):
+        fit = DriftFit(slope=1e-6, intercept=100.2, r_value=1.0)
+        early = estimate_expiration_time(fit, 0.0, 1.0)
+        later = estimate_expiration_time(fit, 1000.0, 1.0)
+        assert later == pytest.approx(early - 1000.0, rel=1e-6)
+
+    def test_invalid_precision_rejected(self):
+        fit = DriftFit(slope=1e-6, intercept=0.0, r_value=1.0)
+        with pytest.raises(ValueError):
+            estimate_expiration_time(fit, 0.0, 0.0)
+
+    def test_faster_drift_expires_sooner(self):
+        slow = DriftFit(slope=1e-7, intercept=100.2, r_value=1.0)
+        fast = DriftFit(slope=1e-5, intercept=100.2, r_value=1.0)
+        assert estimate_expiration_time(fast, 0.0, 1.0) < estimate_expiration_time(
+            slow, 0.0, 1.0
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for clustering and coverage metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    PairConfusion,
+    fowlkes_mallows_index,
+    pair_confusion,
+    victim_instance_coverage,
+)
+
+
+class TestPairConfusion:
+    def test_perfect_clustering(self):
+        labels = {"a": 1, "b": 1, "c": 2}
+        confusion = pair_confusion(labels, labels)
+        assert confusion.false_positive == 0
+        assert confusion.false_negative == 0
+        assert confusion.fmi == 1.0
+
+    def test_counts_for_known_example(self):
+        predicted = {"a": "x", "b": "x", "c": "x"}
+        truth = {"a": 1, "b": 1, "c": 2}
+        confusion = pair_confusion(predicted, truth)
+        # Pairs: (a,b) TP; (a,c) FP; (b,c) FP.
+        assert confusion.true_positive == 1
+        assert confusion.false_positive == 2
+        assert confusion.false_negative == 0
+        assert confusion.true_negative == 0
+
+    def test_false_negatives_counted(self):
+        predicted = {"a": 1, "b": 2}
+        truth = {"a": "h", "b": "h"}
+        confusion = pair_confusion(predicted, truth)
+        assert confusion.false_negative == 1
+        assert confusion.recall == 0.0
+
+    def test_total_pairs_conserved(self):
+        predicted = {f"i{k}": k % 3 for k in range(30)}
+        truth = {f"i{k}": k % 5 for k in range(30)}
+        confusion = pair_confusion(predicted, truth)
+        total = (
+            confusion.true_positive
+            + confusion.false_positive
+            + confusion.true_negative
+            + confusion.false_negative
+        )
+        assert total == 30 * 29 // 2
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            pair_confusion({"a": 1}, {"b": 1})
+
+    def test_fmi_formula(self):
+        confusion = PairConfusion(
+            true_positive=6, false_positive=2, true_negative=10, false_negative=3
+        )
+        expected = math.sqrt((6 / 8) * (6 / 9))
+        assert confusion.fmi == pytest.approx(expected)
+
+    def test_degenerate_no_positive_pairs(self):
+        predicted = {"a": 1, "b": 2}
+        truth = {"a": 1, "b": 2}
+        confusion = pair_confusion(predicted, truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+
+    def test_fmi_wrapper(self):
+        labels = {"a": 1, "b": 1}
+        assert fowlkes_mallows_index(labels, labels) == 1.0
+
+
+class TestVictimCoverage:
+    def test_full_coverage(self):
+        clusters = {"v1": "h1", "v2": "h2", "a1": "h1", "a2": "h2"}
+        assert victim_instance_coverage(["v1", "v2"], ["a1", "a2"], clusters) == 1.0
+
+    def test_zero_coverage(self):
+        clusters = {"v1": "h1", "a1": "h2"}
+        assert victim_instance_coverage(["v1"], ["a1"], clusters) == 0.0
+
+    def test_partial_coverage(self):
+        clusters = {"v1": "h1", "v2": "h2", "v3": "h3", "a1": "h1", "a2": "h3"}
+        coverage = victim_instance_coverage(["v1", "v2", "v3"], ["a1", "a2"], clusters)
+        assert coverage == pytest.approx(2 / 3)
+
+    def test_unknown_victim_counts_uncovered(self):
+        clusters = {"v1": "h1", "a1": "h1"}
+        coverage = victim_instance_coverage(["v1", "v-unknown"], ["a1"], clusters)
+        assert coverage == 0.5
+
+    def test_no_victims_rejected(self):
+        with pytest.raises(ValueError):
+            victim_instance_coverage([], ["a1"], {"a1": "h"})
+
+    def test_no_attackers_gives_zero(self):
+        clusters = {"v1": "h1"}
+        assert victim_instance_coverage(["v1"], [], clusters) == 0.0

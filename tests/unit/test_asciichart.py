@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.asciichart import render_cdf, render_series
+
+
+class TestRenderSeries:
+    def test_contains_title_and_marks(self):
+        text = render_series([0, 1, 2], [0, 1, 4], title="squares")
+        assert "squares" in text
+        assert "*" in text
+
+    def test_dimensions(self):
+        text = render_series([0, 1], [0, 1], width=30, height=8, title="t")
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in plot_lines)
+
+    def test_extremes_marked(self):
+        text = render_series([0, 1], [0, 10], height=5, width=10)
+        lines = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        assert lines[0].rstrip().endswith("*")  # max at top-right
+        assert lines[-1].startswith("*")  # min at bottom-left
+
+    def test_log_x_axis_labels(self):
+        text = render_series([1e-4, 1e0, 1e3], [0, 1, 0], log_x=True)
+        assert "1e-4" in text
+        assert "1e3" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = render_series([0, 1, 2], [5, 5, 5])
+        assert "*" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1])
+
+    def test_axis_bounds_printed(self):
+        text = render_series([2.0, 8.0], [1.0, 3.0])
+        assert "2" in text and "8" in text
+        assert "3" in text and "1" in text
+
+
+class TestRenderCdf:
+    def test_monotone_shape(self):
+        text = render_cdf([1, 2, 3, 4, 5], title="cdf")
+        assert "cdf" in text
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf([])

@@ -1,0 +1,46 @@
+"""Extra coverage: chart rendering inside registry outputs and misc glue."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+class TestRegistryCharts:
+    def test_fig6_output_includes_chart(self):
+        report = run_experiment("fig6", scale="quick")
+        # Both the table and the ASCII decay curve are present.
+        assert "idle" in report
+        assert "|" in report and "*" in report
+
+    def test_fig9_output_is_series_only(self):
+        report = run_experiment("fig9", scale="quick")
+        assert "cumulative" in report
+
+
+class TestVersionMetadata:
+    def test_version_string(self):
+        import repro
+
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_public_reexports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_reexports_resolve(self):
+        import repro.cloud
+        import repro.core
+        import repro.analysis
+        import repro.hardware
+        import repro.sandbox
+        import repro.simtime
+
+        for module in (
+            repro.cloud, repro.core, repro.analysis,
+            repro.hardware, repro.sandbox, repro.simtime,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None

@@ -1,0 +1,102 @@
+"""Unit tests for co-location campaigns."""
+
+import pytest
+
+from repro import units
+from repro.core.attack.campaign import ColocationCampaign
+from repro.core.attack.strategies import naive_launch, optimized_launch
+
+
+def small_optimized(client):
+    return optimized_launch(
+        client,
+        n_services=2,
+        launches=3,
+        instances_per_service=12,
+        interval_s=10 * units.MINUTE,
+    )
+
+
+def small_naive(client):
+    return naive_launch(client, n_services=2, instances_per_service=12)
+
+
+class TestColocationCampaign:
+    def test_requires_same_region(self, tiny_env_factory):
+        env_a = tiny_env_factory(seed=1)
+        env_b = tiny_env_factory(seed=2, name="other-region")
+        with pytest.raises(ValueError):
+            ColocationCampaign(
+                attacker=env_a.attacker,
+                victim=env_b.victim("account-2"),
+                strategy=small_naive,
+            )
+
+    def test_coverage_in_unit_range(self, tiny_env):
+        campaign = ColocationCampaign(
+            attacker=tiny_env.attacker,
+            victim=tiny_env.victim("account-2"),
+            strategy=small_optimized,
+        )
+        result = campaign.run(n_victim_instances=10)
+        assert 0.0 <= result.coverage <= 1.0
+
+    def test_coverage_matches_oracle(self, tiny_env):
+        """The covert-channel-verified coverage must agree with the
+        simulator's placement map."""
+        campaign = ColocationCampaign(
+            attacker=tiny_env.attacker,
+            victim=tiny_env.victim("account-2"),
+            strategy=small_optimized,
+        )
+        result = campaign.run(n_victim_instances=10, victim_service_name="vic")
+        orch = tiny_env.orchestrator
+        attacker_hosts = set()
+        for name in tiny_env.attacker.service_names():
+            if name.startswith("primed"):
+                for inst in orch.alive_instances(tiny_env.attacker._service(name)):
+                    attacker_hosts.add(inst.host_id)
+        victim_service = tiny_env.victim("account-2")._service("vic")
+        victim_instances = orch.alive_instances(victim_service)
+        oracle = sum(
+            1 for inst in victim_instances if inst.host_id in attacker_hosts
+        ) / len(victim_instances)
+        assert result.coverage == pytest.approx(oracle)
+
+    def test_same_account_covers_itself(self, tiny_env):
+        """Sanity: attacking your own account's base hosts gives full
+        coverage (shared base hosts)."""
+        campaign = ColocationCampaign(
+            attacker=tiny_env.attacker,
+            victim=tiny_env.attacker,
+            strategy=small_naive,
+        )
+        result = campaign.run(n_victim_instances=8)
+        assert result.coverage == 1.0
+
+    def test_result_fields_consistent(self, tiny_env):
+        campaign = ColocationCampaign(
+            attacker=tiny_env.attacker,
+            victim=tiny_env.victim("account-2"),
+            strategy=small_optimized,
+        )
+        result = campaign.run(n_victim_instances=10)
+        assert result.shared_hosts <= min(result.attacker_hosts, result.victim_hosts)
+        assert result.attacker_cost_usd > 0
+        assert result.verification.n_tests > 0
+
+    def test_gen2_campaign(self, tiny_env):
+        campaign = ColocationCampaign(
+            attacker=tiny_env.attacker,
+            victim=tiny_env.victim("account-2"),
+            strategy=lambda c: optimized_launch(
+                c,
+                n_services=2,
+                launches=2,
+                instances_per_service=10,
+                generation="gen2",
+            ),
+            generation="gen2",
+        )
+        result = campaign.run(n_victim_instances=8)
+        assert 0.0 <= result.coverage <= 1.0

@@ -1,0 +1,93 @@
+"""Unit tests for the census and host-tracking attack components."""
+
+import pytest
+
+from repro import units
+from repro.core.attack.census import estimate_cluster_size
+from repro.core.attack.tracking import FingerprintHistory, HostTracker
+
+
+class TestCensus:
+    def test_cumulative_monotone(self, tiny_env):
+        clients = [tiny_env.attacker, tiny_env.victim("account-2")]
+        result = estimate_cluster_size(
+            clients,
+            services_per_account=2,
+            launches_per_service=2,
+            instances_per_launch=10,
+        )
+        assert result.n_launches == 2 * 2 * 2
+        cum = result.cumulative_unique
+        assert all(a <= b for a, b in zip(cum, cum[1:]))
+
+    def test_multiple_accounts_find_more_hosts(self, tiny_env_factory):
+        env1 = tiny_env_factory(seed=3)
+        single = estimate_cluster_size(
+            [env1.attacker], services_per_account=2,
+            launches_per_service=2, instances_per_launch=10,
+        )
+        env2 = tiny_env_factory(seed=3)
+        multi = estimate_cluster_size(
+            [env2.attacker, env2.victim("account-2"), env2.victim("account-3")],
+            services_per_account=2, launches_per_service=2, instances_per_launch=10,
+        )
+        assert multi.total_unique > single.total_unique
+
+    def test_per_launch_bounded_by_cumulative(self, tiny_env):
+        result = estimate_cluster_size(
+            [tiny_env.attacker], services_per_account=1,
+            launches_per_service=3, instances_per_launch=10,
+        )
+        assert all(
+            per <= cum for per, cum in zip(result.per_launch, result.cumulative_unique)
+        )
+
+
+class TestHostTracker:
+    def test_tracks_one_rep_per_apparent_host(self, tiny_env):
+        tracker = HostTracker(tiny_env.attacker, n_launch=15)
+        n_tracked = tracker.start()
+        truth = {
+            tiny_env.orchestrator.true_host_of(h.instance_id)
+            for h in tracker._trackers
+        }
+        assert n_tracked == len(truth)
+
+    def test_histories_grow_with_observations(self, tiny_env):
+        tracker = HostTracker(tiny_env.attacker, n_launch=10)
+        tracker.start()
+        tracker.observe()
+        tracker.observe()
+        assert all(len(h.wall_times) == 2 for h in tracker.histories)
+
+    def test_run_filters_short_histories(self, tiny_env):
+        tracker = HostTracker(tiny_env.attacker, n_launch=10)
+        histories = tracker.run(
+            duration_s=2 * units.DAY,
+            cadence_s=4 * units.HOUR,
+            min_history_s=units.DAY,
+        )
+        assert histories
+        assert all(h.span_seconds >= units.DAY for h in histories)
+
+    def test_drift_fit_is_linear(self, tiny_env):
+        """Paper §4.4.2: every history fits a line with |r| ~ 1."""
+        tracker = HostTracker(tiny_env.attacker, n_launch=10)
+        histories = tracker.run(duration_s=2 * units.DAY, cadence_s=2 * units.HOUR)
+        for history in histories:
+            assert abs(history.fit_drift().r_value) > 0.999
+
+    def test_expiration_estimates_positive(self, tiny_env):
+        tracker = HostTracker(tiny_env.attacker, n_launch=10)
+        histories = tracker.run(duration_s=2 * units.DAY, cadence_s=2 * units.HOUR)
+        for history in histories:
+            assert history.expiration_seconds(p_boot=1.0) >= 0.0
+
+
+class TestFingerprintHistory:
+    def test_span(self):
+        history = FingerprintHistory(wall_times=[0.0, 100.0], boot_times=[1.0, 1.0])
+        assert history.span_seconds == 100.0
+
+    def test_empty_span_zero(self):
+        assert FingerprintHistory().span_seconds == 0.0

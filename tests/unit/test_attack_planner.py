@@ -1,0 +1,125 @@
+"""Unit tests for the analytic attack planner."""
+
+import pytest
+
+from repro import units
+from repro.analysis.policy_inference import IdlePolicyEstimate
+from repro.core.attack.planner import (
+    AttackPlanner,
+    LaunchSchedule,
+    PolicyModel,
+    SchedulePrediction,
+)
+
+
+def east_policy() -> PolicyModel:
+    """A policy model matching the us-east1 profile's true parameters."""
+    return PolicyModel(
+        base_set_size=75,
+        idle=IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0),
+        hot_window_s=30 * units.MINUTE,
+        recruit_rate=0.064,
+        helper_pool_cap=250,
+        candidate_pool_size=225,
+    )
+
+
+def schedule(services=6, launches=6, instances=800, interval_min=10.0):
+    return LaunchSchedule(
+        n_services=services,
+        launches=launches,
+        instances_per_service=instances,
+        interval_s=interval_min * units.MINUTE,
+    )
+
+
+class TestPredict:
+    def test_cold_single_launch_is_base_only(self):
+        planner = AttackPlanner(east_policy())
+        prediction = planner.predict(schedule(services=1, launches=1))
+        assert prediction.expected_hosts == pytest.approx(75, abs=1)
+
+    def test_paper_configuration_prediction(self):
+        """The 6x6x800 @ 10 min schedule must predict ~the measured
+        footprint (~300 hosts) and ~the measured cost (~$25)."""
+        planner = AttackPlanner(east_policy())
+        prediction = planner.predict(schedule())
+        assert 250 < prediction.expected_hosts < 320
+        assert 15 < prediction.cost_usd < 40
+
+    def test_fig9_single_service_prediction(self):
+        """One service, six launches: the Fig. 9 curve ends near 264-280."""
+        planner = AttackPlanner(east_policy())
+        prediction = planner.predict(schedule(services=1))
+        assert 230 < prediction.expected_hosts < 320
+        assert prediction.helpers_per_service == pytest.approx(205, rel=0.25)
+
+    def test_cold_interval_recruits_nothing(self):
+        planner = AttackPlanner(east_policy())
+        prediction = planner.predict(schedule(interval_min=45.0))
+        assert prediction.helpers_per_service == 0.0
+        assert prediction.expected_hosts == pytest.approx(75, abs=1)
+
+    def test_short_interval_recruits_little(self):
+        planner = AttackPlanner(east_policy())
+        two_min = planner.predict(schedule(interval_min=2.0))
+        ten_min = planner.predict(schedule(interval_min=10.0))
+        assert two_min.helpers_per_service < 0.2 * ten_min.helpers_per_service
+
+    def test_helper_cap_respected(self):
+        planner = AttackPlanner(east_policy())
+        prediction = planner.predict(schedule(launches=50, interval_min=12.5))
+        assert prediction.helpers_per_service == 250
+
+    def test_cost_scales_with_activations(self):
+        planner = AttackPlanner(east_policy())
+        single = planner.predict(schedule(services=1))
+        six = planner.predict(schedule(services=6))
+        assert six.cost_usd == pytest.approx(6 * single.cost_usd)
+
+    def test_duration(self):
+        planner = AttackPlanner(east_policy())
+        prediction = planner.predict(schedule(launches=6, interval_min=10.0))
+        assert prediction.duration_s == pytest.approx(50 * units.MINUTE)
+
+
+class TestBestInterval:
+    def test_prefers_just_past_idle_deadline(self):
+        planner = AttackPlanner(east_policy())
+        best = planner.best_interval()
+        # Max replacements at >= 12 min while < 30 min hot window; ties
+        # break toward shorter, so 12 minutes wins.
+        assert best == pytest.approx(12 * units.MINUTE)
+
+    def test_all_candidates_outside_window_rejected(self):
+        policy = east_policy()
+        planner = AttackPlanner(policy)
+        with pytest.raises(ValueError):
+            planner.best_interval(candidates_s=(policy.hot_window_s + 1.0,))
+
+
+class TestPlan:
+    def test_reaches_target_cheaply(self):
+        planner = AttackPlanner(east_policy())
+        prediction = planner.plan(target_hosts=280)
+        assert prediction.expected_hosts >= 280
+        # A cheaper schedule with fewer launches must not also hit 280.
+        cheaper = planner.predict(
+            LaunchSchedule(
+                n_services=max(1, prediction.schedule.n_services - 1),
+                launches=2,
+                instances_per_service=800,
+                interval_s=prediction.schedule.interval_s,
+            )
+        )
+        assert cheaper.expected_hosts < 280 or cheaper.cost_usd >= prediction.cost_usd
+
+    def test_unreachable_target_rejected(self):
+        planner = AttackPlanner(east_policy())
+        with pytest.raises(ValueError):
+            planner.plan(target_hosts=10_000)
+
+    def test_modest_target_needs_few_services(self):
+        planner = AttackPlanner(east_policy())
+        prediction = planner.plan(target_hosts=150)
+        assert prediction.schedule.n_services <= 2

@@ -1,0 +1,67 @@
+"""Unit tests for residency maintenance (keep-alive loops)."""
+
+import pytest
+
+from repro import units
+from repro.cloud.services import ServiceConfig
+from repro.core.attack.residency import ResidencyMaintainer
+
+
+def deploy_fleet(env, n_services=2, instances=10):
+    client = env.attacker
+    names = []
+    for i in range(n_services):
+        name = client.deploy(ServiceConfig(name=f"res-{i}"))
+        client.connect(name, instances)
+        client.disconnect(name)
+        names.append(name)
+    return client, names
+
+
+class TestResidencyMaintainer:
+    def test_keep_alive_preserves_fleet(self, tiny_env):
+        client, names = deploy_fleet(tiny_env)
+        maintainer = ResidencyMaintainer(
+            client, names, instances_per_service=10, refresh_period_s=100.0
+        )
+        report = maintainer.maintain(duration_s=30 * units.MINUTE)
+        assert report.final_survival == 1.0
+        assert report.refreshes >= 15
+
+    def test_without_keep_alive_fleet_dies(self, tiny_env):
+        client, names = deploy_fleet(tiny_env)
+        service = client._service(names[0])
+        tiny_env.clock.sleep(15 * units.MINUTE)
+        assert tiny_env.orchestrator.alive_instances(service) == []
+
+    def test_slow_refresh_loses_instances(self, tiny_env):
+        """Refreshing slower than the idle window lets the reaper in."""
+        client, names = deploy_fleet(tiny_env)
+        profile = tiny_env.datacenter.profile
+        maintainer = ResidencyMaintainer(
+            client,
+            names,
+            instances_per_service=10,
+            refresh_period_s=profile.idle_deadline + 60.0,
+        )
+        report = maintainer.maintain(duration_s=40 * units.MINUTE)
+        assert report.final_survival < 1.0
+
+    def test_cost_accrues_only_for_blips(self, tiny_env):
+        client, names = deploy_fleet(tiny_env)
+        maintainer = ResidencyMaintainer(
+            client, names, instances_per_service=10,
+            refresh_period_s=100.0, hold_s=1.0,
+        )
+        report = maintainer.maintain(duration_s=1 * units.HOUR)
+        # 20 instances active ~1-2 s every 100 s: well under always-on cost.
+        always_on = 20 * 3600 * (1.0 * 0.000024 + 0.512 * 0.0000025)
+        assert 0 < report.cost_usd < always_on / 10
+        assert report.cost_per_hour_usd < 0.2
+
+    def test_validation(self, tiny_env):
+        client, names = deploy_fleet(tiny_env)
+        with pytest.raises(ValueError):
+            ResidencyMaintainer(client, names, 10, refresh_period_s=0.0)
+        with pytest.raises(ValueError):
+            ResidencyMaintainer(client, [], 10)

@@ -1,0 +1,86 @@
+"""Unit tests for the launching strategies."""
+
+import pytest
+
+from repro import units
+from repro.core.attack.strategies import naive_launch, optimized_launch
+
+
+class TestNaiveLaunch:
+    def test_deploys_requested_services(self, tiny_env):
+        outcome = naive_launch(tiny_env.attacker, n_services=3, instances_per_service=10)
+        assert len(outcome.service_names) == 3
+        assert len(outcome.handles) == 30
+
+    def test_fingerprints_collected(self, tiny_env):
+        outcome = naive_launch(tiny_env.attacker, n_services=2, instances_per_service=10)
+        assert len(outcome.fingerprints) == 20
+        assert len(outcome.apparent_hosts) >= 1
+
+    def test_footprint_confined_to_base_hosts(self, tiny_env):
+        outcome = naive_launch(tiny_env.attacker, n_services=2, instances_per_service=10)
+        base = set(tiny_env.datacenter.shard_hosts(0))
+        hosts = {
+            tiny_env.orchestrator.true_host_of(h.instance_id) for h in outcome.handles
+        }
+        assert hosts <= base
+
+    def test_instances_left_connected(self, tiny_env):
+        outcome = naive_launch(tiny_env.attacker, n_services=1, instances_per_service=5)
+        assert all(h.alive for h in outcome.handles)
+
+
+class TestOptimizedLaunch:
+    def launch(self, env, **kwargs):
+        kwargs.setdefault("n_services", 2)
+        kwargs.setdefault("launches", 3)
+        kwargs.setdefault("instances_per_service", 10)
+        kwargs.setdefault("interval_s", 10 * units.MINUTE)
+        return optimized_launch(env.attacker, **kwargs)
+
+    def test_final_round_stays_connected(self, tiny_env):
+        outcome = self.launch(tiny_env)
+        assert len(outcome.handles) == 20
+        assert all(h.alive for h in outcome.handles)
+
+    def test_records_per_launch_footprints(self, tiny_env):
+        outcome = self.launch(tiny_env)
+        assert len(outcome.launch_footprints) == 2 * 3  # services x launches
+
+    def test_recruits_helper_hosts(self, tiny_env):
+        """Repeated hot launches must spread past the base hosts."""
+        outcome = self.launch(tiny_env, launches=4, instances_per_service=16)
+        base = set(tiny_env.datacenter.shard_hosts(0))
+        hosts = {
+            tiny_env.orchestrator.true_host_of(h.instance_id) for h in outcome.handles
+        }
+        assert len(hosts - base) > 0
+
+    def test_wider_footprint_than_naive(self, tiny_env_factory):
+        env_naive = tiny_env_factory(seed=7)
+        naive = naive_launch(env_naive.attacker, n_services=2, instances_per_service=16)
+        env_opt = tiny_env_factory(seed=7)
+        optimized = optimized_launch(
+            env_opt.attacker,
+            n_services=2,
+            launches=4,
+            instances_per_service=16,
+            interval_s=10 * units.MINUTE,
+        )
+        assert len(optimized.apparent_hosts) > len(naive.apparent_hosts)
+
+    def test_cost_tracked(self, tiny_env):
+        outcome = self.launch(tiny_env)
+        assert outcome.cost_usd > 0
+
+    def test_gen2_strategy(self, tiny_env):
+        outcome = self.launch(tiny_env, generation="gen2")
+        assert all(h.generation == "gen2" for h in outcome.handles)
+
+    def test_single_launch_equals_cold_behavior(self, tiny_env):
+        outcome = self.launch(tiny_env, launches=1)
+        base = set(tiny_env.datacenter.shard_hosts(0))
+        hosts = {
+            tiny_env.orchestrator.true_host_of(h.instance_id) for h in outcome.handles
+        }
+        assert hosts <= base

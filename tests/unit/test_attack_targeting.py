@@ -1,0 +1,100 @@
+"""Unit tests for repeat-attack optimizations (victim profiling)."""
+
+import pytest
+
+from repro import units
+from repro.core.attack.targeting import VictimProfile, multi_account_footprint
+from repro.core.fingerprint import Gen1Fingerprint
+
+
+def fp(model="Intel Xeon CPU @ 2.00GHz", bucket=1000, p=1.0):
+    return Gen1Fingerprint(cpu_model=model, boot_bucket=bucket, p_boot=p)
+
+
+class TestVictimProfile:
+    def test_exact_match_immediately(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={fp()})
+        assert profile.matches(fp(), now=0.0)
+
+    def test_model_mismatch_never_matches(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={fp()})
+        assert not profile.matches(fp(model="AMD EPYC 7B12 @ 2.25GHz"), now=0.0)
+
+    def test_precision_mismatch_never_matches(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={fp(p=1.0)})
+        assert not profile.matches(fp(p=0.1, bucket=10000), now=0.0)
+
+    def test_drift_tolerance_grows_with_time(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={fp(bucket=1000)})
+        # One bucket of drift is tolerated immediately (+1 slack)...
+        assert profile.matches(fp(bucket=1001), now=0.0)
+        # ...three buckets are not...
+        assert not profile.matches(fp(bucket=1003), now=0.0)
+        # ...until enough days have passed.
+        assert profile.matches(fp(bucket=1003), now=3 * units.DAY)
+
+    def test_distant_bucket_rejected(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={fp(bucket=1000)})
+        assert not profile.matches(fp(bucket=5000), now=10 * units.DAY)
+
+    def test_select_targets_filters(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={fp(bucket=1000)})
+
+        class Handle:
+            def __init__(self, iid):
+                self.instance_id = iid
+
+        tagged = [
+            (Handle("on-victim"), fp(bucket=1000)),
+            (Handle("elsewhere"), fp(bucket=9999)),
+        ]
+        selected = profile.select_targets(tagged, now=0.0)
+        assert [h.instance_id for h in selected] == ["on-victim"]
+
+    def test_from_campaign_records_shared_clusters(self):
+        class Handle:
+            def __init__(self, iid):
+                self.instance_id = iid
+
+        victims = [Handle("v1"), Handle("v2")]
+        cluster_of = {"v1": 0, "v2": 1, "a1": 0, "a2": 2}
+        attacker_fps = {"a1": fp(bucket=1), "a2": fp(bucket=2)}
+        profile = VictimProfile.from_campaign(
+            now=123.0,
+            victim_handles=victims,
+            cluster_of=cluster_of,
+            attacker_fingerprints=attacker_fps,
+        )
+        assert profile.recorded_at == 123.0
+        # a1 shares cluster 0 with v1; a2's cluster 2 holds no victim.
+        assert profile.fingerprints == {fp(bucket=1)}
+
+
+class TestMultiAccount:
+    def test_union_grows_with_accounts(self, tiny_env):
+        one_union, _cost, _ = multi_account_footprint(
+            [tiny_env.attacker],
+            n_services_per_account=2,
+            launches=3,
+            instances_per_service=12,
+        )
+        three_union, _cost3, _ = multi_account_footprint(
+            [tiny_env.victim("account-2"), tiny_env.victim("account-3")],
+            n_services_per_account=2,
+            launches=3,
+            instances_per_service=12,
+        )
+        assert len(one_union | three_union) > len(one_union)
+
+    def test_quota_caps_new_accounts(self, tiny_env):
+        account = tiny_env.orchestrator.accounts["account-2"]
+        account.max_instances_per_service = 4
+        union, cost, outcomes = multi_account_footprint(
+            [tiny_env.victim("account-2")],
+            n_services_per_account=1,
+            launches=2,
+            instances_per_service=100,
+        )
+        # The launch was silently capped to the quota.
+        assert len(outcomes[0].handles) == 4
+        assert cost > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the CLI and the experiment registry."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_all_design_doc_experiments_registered(self):
+        expected = {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11a", "fig12", "exp1", "sec42", "sec43", "sec45",
+            "naive", "gen2cov", "cost",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises_with_listing(self):
+        with pytest.raises(KeyError) as excinfo:
+            run_experiment("fig99")
+        assert "fig9" in str(excinfo.value)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("exp1", scale="enormous")
+
+    def test_quick_exp1_produces_report(self):
+        report = run_experiment("exp1", scale="quick")
+        assert "Experiment 1" in report
+        assert "measured" in report
+
+    def test_quick_fig7_produces_series(self):
+        report = run_experiment("fig7", scale="quick")
+        assert "cumulative" in report
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1" in out
+        assert "fig9" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "exp1"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment 1" in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_scale_flag_parsed(self, capsys):
+        assert main(["run", "exp1", "--scale", "quick"]) == 0
+
+
+class TestChannelStats:
+    def test_record_batch_accumulates(self):
+        from repro.core.covert import ChannelStats
+
+        stats = ChannelStats()
+        stats.record_batch([3, 2], seconds=1.2)
+        stats.record_batch([2], seconds=1.2)
+        assert stats.n_tests == 3
+        assert stats.n_instance_slots == 7
+        assert stats.batches == 2
+        assert stats.busy_seconds == pytest.approx(2.4)
+        assert stats.per_batch_tests == [2, 1]
+
+
+class TestBuildParser:
+    def test_parser_accepts_run_with_scale(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "exp1", "--scale", "full"])
+        assert args.command == "run"
+        assert args.experiment == "exp1"
+        assert args.scale == "full"
+
+    def test_parser_rejects_bad_scale(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "exp1", "--scale", "huge"])
+
+    def test_extension_experiments_registered(self):
+        assert "surveillance" in EXPERIMENTS
+        assert "defenses" in EXPERIMENTS

@@ -1,0 +1,90 @@
+"""Unit tests for the black-box FaaS client API."""
+
+import pytest
+
+from repro.cloud.api import FaaSClient
+from repro.cloud.services import ServiceConfig
+from repro.errors import CloudError, InstanceGoneError
+
+
+class TestFaaSClient:
+    def test_requires_registered_account(self, tiny_env):
+        with pytest.raises(CloudError):
+            FaaSClient(tiny_env.orchestrator, "ghost-account")
+
+    def test_region_property(self, tiny_env):
+        assert tiny_env.attacker.region == "tiny"
+
+    def test_deploy_and_connect(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc"))
+        handles = client.connect(name, 5)
+        assert len(handles) == 5
+        assert all(h.alive for h in handles)
+
+    def test_unknown_service_rejected(self, tiny_env):
+        with pytest.raises(CloudError):
+            tiny_env.attacker.connect("nope", 1)
+
+    def test_services_are_per_client(self, tiny_env):
+        tiny_env.attacker.deploy(ServiceConfig(name="mine"))
+        with pytest.raises(CloudError):
+            tiny_env.victim("account-2").connect("mine", 1)
+
+    def test_service_names_listing(self, tiny_env):
+        client = tiny_env.attacker
+        client.deploy(ServiceConfig(name="b"))
+        client.deploy(ServiceConfig(name="a"))
+        assert client.service_names() == ["a", "b"]
+
+    def test_wait_advances_time(self, tiny_env):
+        t0 = tiny_env.attacker.now()
+        tiny_env.attacker.wait(30.0)
+        assert tiny_env.attacker.now() == t0 + 30.0
+
+    def test_handles_do_not_expose_host(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc"))
+        handle = client.connect(name, 1)[0]
+        assert not hasattr(handle, "host_id")
+
+    def test_run_probe_inside_instance(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc"))
+        handle = client.connect(name, 1)[0]
+        model = handle.run(lambda sandbox: sandbox.cpuid_model())
+        assert "@" in model
+
+    def test_run_on_dead_instance_raises(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc"))
+        handle = client.connect(name, 1)[0]
+        client.kill(name)
+        assert not handle.alive
+        with pytest.raises(InstanceGoneError):
+            handle.run(lambda sandbox: sandbox.rdtsc())
+
+    def test_generation_surface(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc2", generation="gen2"))
+        handle = client.connect(name, 1)[0]
+        assert handle.generation == "gen2"
+
+    def test_cost_and_reset(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc"))
+        client.connect(name, 5)
+        client.wait(100.0)
+        client.disconnect(name)
+        assert client.cost_usd > 0
+        client.reset_billing()
+        assert client.cost_usd == 0.0
+
+    def test_sigterm_reporter(self, tiny_env):
+        client = tiny_env.attacker
+        name = client.deploy(ServiceConfig(name="svc"))
+        handle = client.connect(name, 1)[0]
+        seen = []
+        handle.on_sigterm(seen.append)
+        client.kill(name)
+        assert len(seen) == 1

@@ -1,0 +1,69 @@
+"""Unit tests for the billing model."""
+
+import pytest
+
+from repro.cloud.billing import BillingMeter, PricingRates, TIER1_RATES, pairwise_test_cost
+
+
+class TestPricingRates:
+    def test_paper_rates(self):
+        """Paper §4.3: ¢0.0024/vCPU-s and ¢0.00025/GB-s."""
+        assert TIER1_RATES.cpu_usd_per_vcpu_second == pytest.approx(0.000024)
+        assert TIER1_RATES.memory_usd_per_gb_second == pytest.approx(0.0000025)
+
+    def test_active_cost_formula(self):
+        """Cost = t * (C*R_cpu + M*R_mem) for one instance."""
+        cost = TIER1_RATES.active_cost(vcpus=1.0, memory_gb=0.5, active_seconds=100.0)
+        assert cost == pytest.approx(100.0 * (0.000024 + 0.5 * 0.0000025))
+
+    def test_zero_time_costs_nothing(self):
+        assert TIER1_RATES.active_cost(4.0, 4.0, 0.0) == 0.0
+
+
+class TestBillingMeter:
+    def test_accumulates_usage(self):
+        meter = BillingMeter()
+        meter.charge_active(vcpus=1.0, memory_gb=0.5, active_seconds=10.0)
+        meter.charge_active(vcpus=2.0, memory_gb=1.0, active_seconds=5.0)
+        assert meter.vcpu_seconds == 20.0
+        assert meter.gb_seconds == 10.0
+
+    def test_total_usd(self):
+        meter = BillingMeter()
+        meter.charge_active(1.0, 0.5, 1000.0)
+        assert meter.total_usd == pytest.approx(1000 * 0.000024 + 500 * 0.0000025)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            BillingMeter().charge_active(1.0, 0.5, -1.0)
+
+    def test_reset(self):
+        meter = BillingMeter()
+        meter.charge_active(1.0, 0.5, 10.0)
+        meter.reset()
+        assert meter.total_usd == 0.0
+
+    def test_idle_instances_not_charged_here(self):
+        """Only active time is ever passed to the meter (request billing)."""
+        meter = BillingMeter()
+        assert meter.total_usd == 0.0
+
+
+class TestPairwiseCostModel:
+    def test_paper_headline_numbers(self):
+        """800 instances: 319,600 tests, ~8.9 hours, ~$645 (paper §4.3)."""
+        n_tests, seconds, usd = pairwise_test_cost(800, seconds_per_test=0.1)
+        assert n_tests == 319_600
+        assert seconds / 3600 == pytest.approx(8.878, rel=0.01)
+        assert usd == pytest.approx(645, rel=0.01)
+
+    def test_quadratic_scaling(self):
+        t1, _, _ = pairwise_test_cost(100, 0.1)
+        t2, _, _ = pairwise_test_cost(200, 0.1)
+        assert t1 == 4950
+        assert t2 == 19900
+
+    def test_two_instances_single_test(self):
+        n_tests, seconds, _ = pairwise_test_cost(2, 0.5)
+        assert n_tests == 1
+        assert seconds == 0.5

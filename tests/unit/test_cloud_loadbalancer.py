@@ -1,0 +1,96 @@
+"""Unit tests for demand tracking and helper-host recruitment."""
+
+import numpy as np
+
+from repro.cloud.loadbalancer import DemandTracker, HelperHostRecruiter
+from repro.cloud.services import Service, ServiceConfig
+from repro.simtime.clock import SIM_EPOCH
+
+from tests.conftest import tiny_profile
+
+
+def make_service():
+    return Service(config=ServiceConfig(name="s"), account_id="a", image_id="i")
+
+
+def make_tracker(**overrides):
+    return DemandTracker(tiny_profile(**overrides))
+
+
+class TestDemandTracker:
+    def test_cold_service_is_not_hot(self):
+        tracker = make_tracker()
+        assert not tracker.is_hot(make_service(), SIM_EPOCH)
+
+    def test_recent_high_demand_makes_hot(self):
+        tracker = make_tracker(hot_min_concurrency=10)
+        service = make_service()
+        tracker.record_demand(service, SIM_EPOCH, 50)
+        assert tracker.is_hot(service, SIM_EPOCH + 600.0)
+
+    def test_old_demand_expires(self):
+        profile = tiny_profile(hot_min_concurrency=10)
+        tracker = DemandTracker(profile)
+        service = make_service()
+        tracker.record_demand(service, SIM_EPOCH, 50)
+        assert not tracker.is_hot(service, SIM_EPOCH + profile.hot_window + 1.0)
+
+    def test_low_demand_never_hot(self):
+        tracker = make_tracker(hot_min_concurrency=100)
+        service = make_service()
+        tracker.record_demand(service, SIM_EPOCH, 50)
+        assert not tracker.is_hot(service, SIM_EPOCH + 60.0)
+
+    def test_history_is_trimmed(self):
+        profile = tiny_profile()
+        tracker = DemandTracker(profile)
+        service = make_service()
+        for i in range(100):
+            tracker.record_demand(service, SIM_EPOCH + i * profile.hot_window, 50)
+        assert len(service.demand_events) < 10
+
+
+class TestHelperRecruiter:
+    def recruit(self, new_instances, candidates=30, cap=12, fraction=0.25, seed=0):
+        profile = tiny_profile(helper_pool_cap=cap, helper_recruit_fraction=fraction)
+        recruiter = HelperHostRecruiter(profile, np.random.default_rng(seed))
+        service = make_service()
+        pool = [f"h{i}" for i in range(candidates)]
+        recruited = recruiter.recruit(service, new_instances, pool)
+        return recruited, service
+
+    def test_recruits_proportionally_to_new_instances(self):
+        few, _ = self.recruit(new_instances=4)
+        many, _ = self.recruit(new_instances=40)
+        assert len(few) < len(many)
+
+    def test_zero_new_instances_recruits_nothing(self):
+        recruited, _ = self.recruit(new_instances=0)
+        assert recruited == []
+
+    def test_respects_pool_cap(self):
+        recruited, service = self.recruit(new_instances=1000, cap=5)
+        assert len(recruited) == 5
+        assert len(service.helper_host_ids) == 5
+
+    def test_cap_accounts_for_existing_helpers(self):
+        profile = tiny_profile(helper_pool_cap=6, helper_recruit_fraction=1.0)
+        recruiter = HelperHostRecruiter(profile, np.random.default_rng(0))
+        service = make_service()
+        pool = [f"h{i}" for i in range(30)]
+        recruiter.recruit(service, 4, pool)
+        recruiter.recruit(service, 100, [h for h in pool if h not in service.helper_host_ids])
+        assert len(service.helper_host_ids) == 6
+
+    def test_recruits_only_from_candidates(self):
+        recruited, _ = self.recruit(new_instances=20, candidates=10)
+        assert set(recruited) <= {f"h{i}" for i in range(10)}
+
+    def test_no_candidates_recruits_nothing(self):
+        profile = tiny_profile()
+        recruiter = HelperHostRecruiter(profile, np.random.default_rng(0))
+        assert recruiter.recruit(make_service(), 50, []) == []
+
+    def test_no_duplicate_recruits_in_one_call(self):
+        recruited, _ = self.recruit(new_instances=100, candidates=20, cap=20, fraction=1.0)
+        assert len(recruited) == len(set(recruited))

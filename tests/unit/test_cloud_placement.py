@@ -1,0 +1,117 @@
+"""Unit tests for the placement policy."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.placement import PlacementPolicy, PlacementRequest
+from repro.errors import NoCapacityError
+
+
+def make_policy(seed=0):
+    return PlacementPolicy(np.random.default_rng(seed))
+
+
+def simple_request(count, hosts, slots=1.0, **kwargs):
+    return PlacementRequest(
+        count=count, slots_per_instance=slots, allowed_host_ids=hosts, **kwargs
+    )
+
+
+class TestPlacement:
+    def test_spreads_near_uniformly(self):
+        """Observation 1: instances spread near-uniformly over hosts."""
+        hosts = [f"h{i}" for i in range(10)]
+        policy = make_policy()
+        placed = policy.place(
+            simple_request(105, hosts), {}, {h: 1000.0 for h in hosts}
+        )
+        counts = {h: placed.count(h) for h in hosts}
+        assert set(counts.values()) <= {10, 11}
+
+    def test_exact_division_is_uniform(self):
+        hosts = ["a", "b", "c"]
+        placed = make_policy().place(
+            simple_request(9, hosts), {}, {h: 100.0 for h in hosts}
+        )
+        assert all(placed.count(h) == 3 for h in hosts)
+
+    def test_respects_capacity(self):
+        hosts = ["full", "free"]
+        load = {"full": 9.5}
+        capacity = {"full": 10.0, "free": 10.0}
+        placed = make_policy().place(simple_request(5, hosts), load, capacity)
+        assert placed.count("full") == 0
+        assert placed.count("free") == 5
+
+    def test_updates_load_in_place(self):
+        load = {}
+        make_policy().place(simple_request(4, ["a"]), load, {"a": 100.0})
+        assert load["a"] == 4.0
+
+    def test_no_capacity_raises(self):
+        with pytest.raises(NoCapacityError):
+            make_policy().place(simple_request(3, ["a"]), {}, {"a": 2.0})
+
+    def test_empty_allowed_set_raises(self):
+        with pytest.raises(NoCapacityError):
+            make_policy().place(simple_request(1, []), {}, {})
+
+    def test_prefers_hosts_with_fewer_service_instances(self):
+        hosts = ["crowded", "empty"]
+        request = simple_request(1, hosts, service_host_counts={"crowded": 5})
+        placed = make_policy().place(request, {}, {h: 100.0 for h in hosts})
+        assert placed == ["empty"]
+
+    def test_ignores_other_services_load(self):
+        """Spreading keys on the service's own counts, not total host load:
+        a host crowded by *other* tenants is still a fair target."""
+        hosts = ["busy", "quiet"]
+        load = {"busy": 50.0}
+        placed = make_policy().place(
+            simple_request(10, hosts), load, {h: 100.0 for h in hosts}
+        )
+        assert placed.count("busy") == 5
+        assert placed.count("quiet") == 5
+
+    def test_slots_scale_with_container_size(self):
+        load = {}
+        make_policy().place(
+            simple_request(2, ["a"], slots=4.0), load, {"a": 100.0}
+        )
+        assert load["a"] == 8.0
+
+    def test_scatter_targets_outside_allowed_set(self):
+        request = simple_request(
+            200,
+            ["base"],
+            scatter_probability=0.5,
+            scatter_candidate_ids=[f"s{i}" for i in range(50)],
+        )
+        capacity = {"base": 1000.0, **{f"s{i}": 1000.0 for i in range(50)}}
+        placed = make_policy().place(request, {}, capacity)
+        scattered = [h for h in placed if h != "base"]
+        assert 50 < len(scattered) < 150  # ~50% of 200
+
+    def test_zero_scatter_probability_never_scatters(self):
+        request = simple_request(
+            50, ["base"], scatter_probability=0.0, scatter_candidate_ids=["other"]
+        )
+        placed = make_policy().place(request, {}, {"base": 100.0, "other": 100.0})
+        assert set(placed) == {"base"}
+
+    def test_scatter_falls_back_to_allowed_when_targets_full(self):
+        request = simple_request(
+            10,
+            ["base"],
+            scatter_probability=1.0,
+            scatter_candidate_ids=["tiny"],
+        )
+        placed = make_policy().place(request, {}, {"base": 100.0, "tiny": 0.0})
+        assert set(placed) == {"base"}
+
+    def test_deterministic_given_seed(self):
+        hosts = [f"h{i}" for i in range(7)]
+        capacity = {h: 100.0 for h in hosts}
+        a = make_policy(seed=3).place(simple_request(20, hosts), {}, dict(capacity))
+        b = make_policy(seed=3).place(simple_request(20, hosts), {}, dict(capacity))
+        assert a == b

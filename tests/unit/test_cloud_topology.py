@@ -1,0 +1,82 @@
+"""Unit tests for region profiles."""
+
+import pytest
+
+from repro.cloud.topology import REGION_PROFILES, RegionProfile, region_profile
+from repro.errors import CloudError
+
+
+class TestRegionProfiles:
+    def test_three_paper_regions_present(self):
+        for name in ("us-east1", "us-central1", "us-west1"):
+            assert name in REGION_PROFILES
+
+    def test_all_nine_us_regions_present(self):
+        """Paper §5.1: all nine US datacenters behave similarly except
+        us-central1, the only dynamic one."""
+        us_regions = [name for name in REGION_PROFILES if name.startswith("us-")]
+        assert len(us_regions) == 9
+        dynamic = [
+            name for name in us_regions if REGION_PROFILES[name].dynamic_placement
+        ]
+        assert dynamic == ["us-central1"]
+
+    def test_uncalibrated_regions_are_valid(self):
+        """Every profile must satisfy its own invariants (shards fit, etc.)
+        and support at least two placement shards."""
+        for name, profile in REGION_PROFILES.items():
+            assert profile.n_shards >= 2, name
+
+    def test_lookup(self):
+        assert region_profile("us-east1").name == "us-east1"
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(CloudError):
+            region_profile("mars-north1")
+
+    def test_central1_is_largest(self):
+        """Paper: us-central1 is by far the biggest datacenter (1702 seen)."""
+        sizes = {name: REGION_PROFILES[name].n_hosts for name in REGION_PROFILES}
+        assert sizes["us-central1"] > sizes["us-east1"] > sizes["us-west1"]
+
+    def test_central1_is_dynamic(self):
+        """Paper §5.1 'Other factors': only us-central1 places dynamically."""
+        assert region_profile("us-central1").dynamic_placement
+        assert not region_profile("us-east1").dynamic_placement
+        assert not region_profile("us-west1").dynamic_placement
+
+    def test_base_set_size_near_75(self):
+        """Experiment 1: 800 instances land on ~75 hosts."""
+        for name in ("us-east1", "us-central1", "us-west1"):
+            assert region_profile(name).shard_size == 75
+
+    def test_hot_window_is_30_minutes(self):
+        assert region_profile("us-east1").hot_window == pytest.approx(1800.0)
+
+    def test_idle_window_matches_fig6(self):
+        profile = region_profile("us-east1")
+        assert profile.idle_grace == pytest.approx(120.0)
+        assert profile.idle_deadline == pytest.approx(720.0)
+
+    def test_n_shards(self):
+        profile = region_profile("us-east1")
+        assert profile.n_shards == profile.active_hosts // profile.shard_size
+
+    def test_validation_active_exceeds_total(self):
+        with pytest.raises(CloudError):
+            RegionProfile(name="bad", n_hosts=10, active_hosts=20)
+
+    def test_validation_shard_exceeds_active(self):
+        with pytest.raises(CloudError):
+            RegionProfile(name="bad", n_hosts=100, active_hosts=50, shard_size=60)
+
+    def test_evaluation_account_pins(self):
+        """The calibrated base-host overlaps behind the paper's naive-
+        strategy results: west shares a shard between accounts 1 and 2,
+        central between accounts 1 and 3, east keeps all three apart."""
+        west = region_profile("us-west1").plan.account_shards
+        assert west["account-1"] == west["account-2"] != west["account-3"]
+        central = region_profile("us-central1").plan.account_shards
+        assert central["account-1"] == central["account-3"] != central["account-2"]
+        east = region_profile("us-east1").plan.account_shards
+        assert len({east[a] for a in east}) == 3

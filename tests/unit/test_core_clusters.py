@@ -1,0 +1,58 @@
+"""Unit tests for the disjoint-set helper."""
+
+from repro.core.clusters import DisjointSet
+
+
+class TestDisjointSet:
+    def test_items_start_as_singletons(self):
+        ds = DisjointSet(["a", "b"])
+        assert not ds.same("a", "b")
+        assert len(ds.clusters()) == 2
+
+    def test_union_merges(self):
+        ds = DisjointSet(["a", "b", "c"])
+        ds.union("a", "b")
+        assert ds.same("a", "b")
+        assert not ds.same("a", "c")
+
+    def test_transitivity(self):
+        ds = DisjointSet(["a", "b", "c"])
+        ds.union("a", "b")
+        ds.union("b", "c")
+        assert ds.same("a", "c")
+
+    def test_union_adds_unknown_items(self):
+        ds = DisjointSet()
+        ds.union("x", "y")
+        assert ds.same("x", "y")
+
+    def test_add_is_idempotent(self):
+        ds = DisjointSet()
+        ds.add("a")
+        ds.add("a")
+        assert len(ds) == 1
+
+    def test_clusters_cover_all_items(self):
+        ds = DisjointSet(range(10))
+        ds.union(0, 1)
+        ds.union(2, 3)
+        clusters = ds.clusters()
+        assert sorted(i for c in clusters for i in c) == list(range(10))
+
+    def test_cluster_shapes(self):
+        ds = DisjointSet(range(6))
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(3, 4)
+        sizes = sorted(len(c) for c in ds.clusters())
+        assert sizes == [1, 3, 2] or sorted(sizes) == [1, 2, 3]
+
+    def test_contains(self):
+        ds = DisjointSet(["a"])
+        assert "a" in ds
+        assert "b" not in ds
+
+    def test_self_union_is_noop(self):
+        ds = DisjointSet(["a"])
+        ds.union("a", "a")
+        assert len(ds.clusters()) == 1

@@ -1,0 +1,68 @@
+"""Unit tests for the pairwise baseline verifier."""
+
+from repro.analysis.metrics import pair_confusion
+from repro.cloud.services import ServiceConfig
+from repro.core.covert import RngCovertChannel
+from repro.core.pairwise import PairwiseVerifier
+
+
+def launch(env, n):
+    client = env.attacker
+    service = client.deploy(ServiceConfig(name="svc"))
+    handles = client.connect(service, n)
+    truth = {h.instance_id: env.orchestrator.true_host_of(h.instance_id) for h in handles}
+    return handles, truth
+
+
+class TestPairwiseVerifier:
+    def test_recovers_true_clusters(self, tiny_env):
+        handles, truth = launch(tiny_env, 12)
+        report = PairwiseVerifier(RngCovertChannel()).verify(handles)
+        predicted = {
+            h.instance_id: idx
+            for idx, cluster in enumerate(report.clusters)
+            for h in cluster
+        }
+        confusion = pair_confusion(predicted, truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+
+    def test_quadratic_test_count(self, tiny_env):
+        handles, truth = launch(tiny_env, 12)
+        report = PairwiseVerifier(RngCovertChannel()).verify(handles)
+        max_tests = 12 * 11 // 2
+        # Transitivity pruning saves some tests but the scaling is ~N^2.
+        assert max_tests * 0.4 < report.n_tests <= max_tests
+
+    def test_serialized_wall_time(self, tiny_env):
+        handles, _ = launch(tiny_env, 8)
+        channel = RngCovertChannel()
+        report = PairwiseVerifier(channel).verify(handles)
+        assert report.busy_seconds >= report.n_tests * channel.seconds_per_test * 0.99
+
+    def test_sie_eliminates_nothing_in_faas(self, tiny_env):
+        """Paper §4.3: the FaaS orchestrator packs instances of a service
+        onto shared hosts, so Single Instance Elimination removes nothing."""
+        handles, truth = launch(tiny_env, 30)
+        # With 30 instances on ~5 base hosts, every instance has a sibling.
+        hosts = list(truth.values())
+        assert all(hosts.count(h) >= 2 for h in hosts)
+        report = PairwiseVerifier(RngCovertChannel(), use_sie=True).verify(handles)
+        assert report.eliminated_by_sie == 0
+
+    def test_sie_would_help_with_singletons(self, tiny_env):
+        """Control: SIE does eliminate instances that are truly alone."""
+        handles, truth = launch(tiny_env, 10)
+        by_host: dict = {}
+        for h in handles:
+            by_host.setdefault(truth[h.instance_id], []).append(h)
+        reps = [members[0] for members in by_host.values()]
+        assert len(reps) >= 3
+        report = PairwiseVerifier(RngCovertChannel(), use_sie=True).verify(reps)
+        assert report.eliminated_by_sie == len(reps)
+
+    def test_two_instances(self, tiny_env):
+        handles, truth = launch(tiny_env, 2)
+        report = PairwiseVerifier(RngCovertChannel()).verify(handles)
+        expected = 1 if len(set(truth.values())) == 1 else 2
+        assert report.n_hosts == expected

@@ -1,0 +1,206 @@
+"""Unit tests for the scalable co-location verifier."""
+
+import pytest
+
+from repro.analysis.metrics import pair_confusion
+from repro.cloud.services import ServiceConfig
+from repro.core.covert import RngCovertChannel
+from repro.core.fingerprint import (
+    Gen1Fingerprint,
+    fingerprint_gen1_instances,
+    fingerprint_gen2_instances,
+)
+from repro.core.verification import (
+    ScalableVerifier,
+    TaggedInstance,
+    _balanced_chunks,
+    tag_instances,
+)
+from repro.errors import VerificationError
+
+
+def launch_and_tag(env, n, generation="gen1", name="svc"):
+    client = env.attacker
+    service = client.deploy(ServiceConfig(name=name, generation=generation))
+    handles = client.connect(service, n)
+    if generation == "gen2":
+        pairs = fingerprint_gen2_instances(handles)
+        tagged = [TaggedInstance(h, fp) for h, fp in pairs]
+    else:
+        pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+        tagged = [TaggedInstance(h, fp, fp.cpu_model) for h, fp in pairs]
+    truth = {h.instance_id: env.orchestrator.true_host_of(h.instance_id) for h in handles}
+    return tagged, truth
+
+
+class TestScalableVerifier:
+    def test_recovers_true_clusters(self, tiny_env):
+        tagged, truth = launch_and_tag(tiny_env, 40)
+        report = ScalableVerifier(RngCovertChannel()).verify(tagged)
+        confusion = pair_confusion(report.cluster_index(), truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+
+    def test_cluster_count_matches_hosts(self, tiny_env):
+        tagged, truth = launch_and_tag(tiny_env, 40)
+        report = ScalableVerifier(RngCovertChannel()).verify(tagged)
+        assert report.n_hosts == len(set(truth.values()))
+
+    def test_covers_every_instance(self, tiny_env):
+        tagged, _truth = launch_and_tag(tiny_env, 25)
+        report = ScalableVerifier(RngCovertChannel()).verify(tagged)
+        covered = {h.instance_id for c in report.clusters for h in c}
+        assert covered == {t.handle.instance_id for t in tagged}
+
+    def test_far_fewer_tests_than_pairwise(self, tiny_env):
+        tagged, truth = launch_and_tag(tiny_env, 40)
+        report = ScalableVerifier(RngCovertChannel()).verify(tagged)
+        pairwise_tests = 40 * 39 // 2
+        assert report.n_tests < pairwise_tests / 4
+
+    def test_batching_reduces_wall_time(self, tiny_env):
+        tagged, _truth = launch_and_tag(tiny_env, 40)
+        channel = RngCovertChannel()
+        report = ScalableVerifier(channel).verify(tagged)
+        assert report.n_batches < report.n_tests
+        assert report.busy_seconds == pytest.approx(
+            report.n_batches * channel.seconds_per_test
+        )
+
+    def test_handles_false_negative_fingerprints(self, tiny_env):
+        """Split one fingerprint group artificially (as drift would) and
+        check step 3 re-merges the clusters."""
+        tagged, truth = launch_and_tag(tiny_env, 30)
+        groups: dict = {}
+        for t in tagged:
+            groups.setdefault(t.fingerprint, []).append(t)
+        big_fp, members = max(groups.items(), key=lambda kv: len(kv[1]))
+        assert len(members) >= 2
+        fake = Gen1Fingerprint(
+            cpu_model=big_fp.cpu_model,
+            boot_bucket=big_fp.boot_bucket + 1,
+            p_boot=big_fp.p_boot,
+        )
+        split = [
+            TaggedInstance(members[0].handle, fake, members[0].model_key)
+        ] + [t for t in tagged if t.handle is not members[0].handle]
+        report = ScalableVerifier(RngCovertChannel()).verify(split)
+        confusion = pair_confusion(report.cluster_index(), truth)
+        assert confusion.recall == 1.0
+        assert report.merged_false_negatives >= 1
+
+    def test_handles_false_positive_fingerprints(self, tiny_env):
+        """Merge two different hosts' groups under one fingerprint and
+        check step 2 splits them back apart."""
+        tagged, truth = launch_and_tag(tiny_env, 30)
+        fingerprints = list({t.fingerprint for t in tagged})
+        assert len(fingerprints) >= 2
+        keep, merge_away = fingerprints[0], fingerprints[1]
+        forged = [
+            TaggedInstance(
+                t.handle,
+                keep if t.fingerprint == merge_away else t.fingerprint,
+                t.model_key,
+            )
+            for t in tagged
+        ]
+        report = ScalableVerifier(RngCovertChannel()).verify(forged)
+        confusion = pair_confusion(report.cluster_index(), truth)
+        assert confusion.precision == 1.0
+
+    def test_gen2_mode_skips_false_negative_hunt(self, tiny_env):
+        tagged, truth = launch_and_tag(tiny_env, 30, generation="gen2")
+        channel = RngCovertChannel()
+        report = ScalableVerifier(channel, assume_no_false_negatives=True).verify(tagged)
+        confusion = pair_confusion(report.cluster_index(), truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+
+    def test_gen2_mode_batches_aggressively(self, tiny_env):
+        tagged, _ = launch_and_tag(tiny_env, 30, generation="gen2")
+        report = ScalableVerifier(
+            RngCovertChannel(), assume_no_false_negatives=True
+        ).verify(tagged)
+        assert report.n_batches <= max(4, report.n_tests // 2)
+
+    def test_collision_heavy_fallback_stays_cheap(self, tiny_env):
+        """With every instance forged onto ONE fingerprint (maximum
+        collisions), the fallback must resolve clusters in far fewer than
+        pairwise tests, thanks to unit merging and negative-pair memory."""
+        tagged, truth = launch_and_tag(tiny_env, 40)
+        one_fp = tagged[0].fingerprint
+        forged = [TaggedInstance(t.handle, one_fp, t.model_key) for t in tagged]
+        report = ScalableVerifier(RngCovertChannel()).verify(forged)
+        confusion = pair_confusion(report.cluster_index(), truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+        n_hosts = len(set(truth.values()))
+        # Bound: chunk tests + ~units*hosts interactions, well under C(40,2).
+        assert report.n_tests < 40 * 39 // 4
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_exact_clusters_for_all_thresholds(self, tiny_env_factory, m):
+        """Raising m shrinks the test count but must never cost accuracy:
+        sub-threshold tests (pairs, small chunks) drop to their own size."""
+        env = tiny_env_factory(seed=31)
+        client = env.attacker
+        from repro.cloud.services import ServiceConfig
+
+        service = client.deploy(ServiceConfig(name="m-sweep"))
+        handles = client.connect(service, 40)
+        pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+        tagged = [TaggedInstance(h, fp, fp.cpu_model) for h, fp in pairs]
+        report = ScalableVerifier(RngCovertChannel(), threshold_m=m).verify(tagged)
+        truth = {
+            h.instance_id: env.orchestrator.true_host_of(h.instance_id)
+            for h in handles
+        }
+        confusion = pair_confusion(report.cluster_index(), truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+
+    def test_threshold_m_validated(self):
+        with pytest.raises(VerificationError):
+            ScalableVerifier(RngCovertChannel(), threshold_m=1)
+
+    def test_single_instance_input(self, tiny_env):
+        tagged, _ = launch_and_tag(tiny_env, 1)
+        report = ScalableVerifier(RngCovertChannel()).verify(tagged)
+        assert report.n_hosts == 1
+
+    def test_empty_input(self):
+        report = ScalableVerifier(RngCovertChannel()).verify([])
+        assert report.clusters == []
+        assert report.n_tests == 0
+
+
+class TestBalancedChunks:
+    def test_exact_multiples(self):
+        assert _balanced_chunks(list(range(9)), 3) == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_no_trailing_singleton(self):
+        chunks = _balanced_chunks(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+
+    def test_small_inputs(self):
+        assert _balanced_chunks([1], 3) == [[1]]
+        assert _balanced_chunks([1, 2], 3) == [[1, 2]]
+
+    def test_size_validation(self):
+        with pytest.raises(VerificationError):
+            _balanced_chunks([1, 2], 1)
+
+    def test_chunks_cover_all(self):
+        items = list(range(23))
+        chunks = _balanced_chunks(items, 3)
+        assert sorted(i for c in chunks for i in c) == items
+
+
+class TestTagInstances:
+    def test_derives_model_keys(self, tiny_env):
+        client = tiny_env.attacker
+        service = client.deploy(ServiceConfig(name="svc"))
+        handles = client.connect(service, 5)
+        pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
+        tagged = tag_instances(pairs, model_key_fn=lambda fp: fp.cpu_model)
+        assert all(t.model_key == t.fingerprint.cpu_model for t in tagged)

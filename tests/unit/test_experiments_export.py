@@ -1,0 +1,104 @@
+"""Unit tests for experiment result export."""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import ExportError, load_result, save_result, to_jsonable
+
+
+@dataclasses.dataclass
+class Inner:
+    values: list[float]
+
+
+@dataclasses.dataclass
+class Outer:
+    name: str
+    inner: Inner
+    table: dict
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+        assert to_jsonable(2.5) == 2.5
+
+    def test_nonfinite_floats_become_strings(self):
+        assert to_jsonable(math.inf) == "inf"
+        assert to_jsonable(-math.inf) == "-inf"
+        assert to_jsonable(math.nan) == "nan"
+
+    def test_nested_dataclasses(self):
+        outer = Outer(name="a", inner=Inner(values=[1.0, 2.0]), table={"k": 1})
+        data = to_jsonable(outer)
+        assert data == {
+            "name": "a",
+            "inner": {"values": [1.0, 2.0]},
+            "table": {"k": 1},
+        }
+
+    def test_tuple_keys_flattened(self):
+        data = to_jsonable({("us-east1", "account-2"): 0.99})
+        assert data == {"us-east1/account-2": 0.99}
+
+    def test_sets_sorted_deterministically(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int64(7)) == 7
+
+    def test_everything_json_dumps(self):
+        outer = Outer(name="a", inner=Inner(values=[1.0]), table={(1, 2): [3]})
+        json.dumps(to_jsonable(outer))
+
+    def test_unsupported_object_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ExportError):
+            to_jsonable(Opaque())
+
+    def test_depth_limit(self):
+        nested: list = []
+        tip = nested
+        for _ in range(40):
+            inner: list = []
+            tip.append(inner)
+            tip = inner
+        with pytest.raises(ExportError):
+            to_jsonable(nested)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        outer = Outer(name="r", inner=Inner(values=[0.5]), table={})
+        path = tmp_path / "result.json"
+        save_result(outer, path, experiment_id="fig9")
+        restored = load_result(path)
+        assert restored["name"] == "r"
+        assert restored["inner"]["values"] == [0.5]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"whatever": 1}))
+        with pytest.raises(ExportError):
+            load_result(path)
+
+    def test_real_experiment_result_exports(self, tmp_path, tiny_env):
+        """A real driver result must be exportable (no leaked internals)."""
+        from repro.experiments import idle_termination as it
+
+        result = it.IdleTerminationResult(
+            series=[(0.0, 10), (1.0, 5)], termination_times_min=[3.0], instances=10
+        )
+        save_result(result, tmp_path / "fig6.json", experiment_id="fig6")
+        restored = load_result(tmp_path / "fig6.json")
+        assert restored["instances"] == 10

@@ -1,0 +1,60 @@
+"""Unit tests for the CPU model catalog."""
+
+import pytest
+
+from repro import units
+from repro.hardware.cpu import CPUModel, DEFAULT_CPU_CATALOG, cpu_catalog
+
+
+class TestCPUModel:
+    def test_reported_frequency_equals_base(self):
+        model = CPUModel("Intel Xeon CPU @ 2.00GHz", 2.0 * units.GHZ)
+        assert model.reported_tsc_frequency_hz == 2.0e9
+
+    @pytest.mark.parametrize(
+        ("name", "expected"),
+        [
+            ("Intel Xeon CPU @ 2.00GHz", 2.0e9),
+            ("Intel Xeon CPU @ 2.20GHz", 2.2e9),
+            ("AMD EPYC 7B12 @ 2.25GHz", 2.25e9),
+            ("weird model @ 3.1 GHz", 3.1e9),
+            ("lowercase @ 2.5ghz", 2.5e9),
+        ],
+    )
+    def test_parse_frequency_from_name(self, name, expected):
+        assert CPUModel.parse_frequency_from_name(name) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "name", ["Mystery CPU", "Intel Xeon", "CPU 2.0", ""]
+    )
+    def test_parse_frequency_missing_returns_none(self, name):
+        assert CPUModel.parse_frequency_from_name(name) is None
+
+    def test_models_are_hashable_and_frozen(self):
+        model = cpu_catalog()[0]
+        assert model in {model}
+        with pytest.raises(AttributeError):
+            model.name = "other"
+
+
+class TestCatalog:
+    def test_catalog_nonempty(self):
+        assert len(cpu_catalog()) >= 4
+
+    def test_catalog_weights_positive(self):
+        assert all(weight > 0 for _m, weight in DEFAULT_CPU_CATALOG)
+
+    def test_catalog_names_unique(self):
+        names = [m.name for m in cpu_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_catalog_names_parse_to_their_base_frequency(self):
+        """The reported-frequency method relies on the labeled frequency."""
+        for model in cpu_catalog():
+            parsed = CPUModel.parse_frequency_from_name(model.name)
+            assert parsed == pytest.approx(model.base_frequency_hz)
+
+    def test_catalog_has_frequency_diversity(self):
+        """Gen 2 collisions stay low only with diverse nominal frequencies."""
+        frequencies = {m.base_frequency_hz for m in cpu_catalog()}
+        assert len(frequencies) >= 8

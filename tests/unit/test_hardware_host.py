@@ -1,0 +1,79 @@
+"""Unit tests for host and fleet construction."""
+
+import numpy as np
+
+from repro import units
+from repro.hardware.host import HostFleetConfig, build_fleet
+from repro.simtime.clock import SIM_EPOCH
+
+from tests.conftest import make_host
+
+
+class TestPhysicalHost:
+    def test_boot_time_delegates_to_tsc(self):
+        host = make_host(boot_age_s=5 * units.DAY)
+        assert host.boot_time == SIM_EPOCH - 5 * units.DAY
+
+    def test_default_capacity_holds_many_small_instances(self):
+        assert make_host().capacity_slots >= 64
+
+
+class TestBuildFleet:
+    def build(self, n=200, seed=7, **overrides):
+        config = HostFleetConfig(n_hosts=n, **overrides)
+        rng = np.random.default_rng(seed)
+        return build_fleet(config, SIM_EPOCH, rng)
+
+    def test_fleet_size(self):
+        assert len(self.build(n=50)) == 50
+
+    def test_host_ids_unique(self):
+        fleet = self.build()
+        assert len({h.host_id for h in fleet}) == len(fleet)
+
+    def test_boot_times_in_window(self):
+        fleet = self.build(boot_window_days=30.0)
+        for host in fleet:
+            age = SIM_EPOCH - host.boot_time
+            assert 0.5 * units.DAY < age < 31 * units.DAY
+
+    def test_problematic_fraction_approx(self):
+        fleet = self.build(n=2000, problematic_fraction=0.10)
+        fraction = np.mean([h.problematic_timing for h in fleet])
+        assert 0.06 < fraction < 0.14
+
+    def test_zero_problematic_fraction(self):
+        fleet = self.build(problematic_fraction=0.0)
+        assert not any(h.problematic_timing for h in fleet)
+
+    def test_actual_frequency_deviates_from_reported(self):
+        fleet = self.build(n=100)
+        for host in fleet:
+            epsilon = host.cpu.reported_tsc_frequency_hz - host.tsc.actual_frequency_hz
+            assert epsilon != 0.0
+            assert abs(epsilon) <= 3.0 * units.MHZ
+
+    def test_cpu_models_come_from_catalog(self):
+        from repro.hardware.cpu import cpu_catalog
+
+        names = {m.name for m in cpu_catalog()}
+        fleet = self.build(n=100)
+        assert all(h.cpu.name in names for h in fleet)
+
+    def test_maintenance_waves_cluster_boot_times(self):
+        """With waves enabled, many host pairs boot within an hour of each
+        other — far more than a uniform spread would produce."""
+        fleet = self.build(n=300, maintenance_wave_fraction=0.9, n_maintenance_waves=3)
+        boots = np.sort([h.boot_time for h in fleet])
+        close_pairs = np.sum(np.diff(boots) < 60.0)
+        fleet_uniform = self.build(n=300, maintenance_wave_fraction=0.0)
+        boots_u = np.sort([h.boot_time for h in fleet_uniform])
+        close_pairs_u = np.sum(np.diff(boots_u) < 60.0)
+        assert close_pairs > 3 * max(close_pairs_u, 1)
+
+    def test_deterministic_given_seed(self):
+        fleet_a = self.build(seed=9)
+        fleet_b = self.build(seed=9)
+        assert [h.boot_time for h in fleet_a] == [h.boot_time for h in fleet_b]
+        fleet_c = self.build(seed=10)
+        assert [h.boot_time for h in fleet_a] != [h.boot_time for h in fleet_c]

@@ -1,0 +1,78 @@
+"""Unit tests for the timing-noise and frequency-error models."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.hardware.noise import (
+    SyscallNoiseModel,
+    TscErrorModel,
+    problematic_noise_model,
+    quiet_noise_model,
+)
+
+
+class TestSyscallNoise:
+    def test_quiet_call_jitter_is_nanosecond_scale(self, rng):
+        model = quiet_noise_model()
+        samples = [abs(model.sample_call_jitter(rng)) for _ in range(2000)]
+        assert np.median(samples) < 100e-9
+
+    def test_problematic_call_jitter_is_microsecond_scale(self, rng):
+        model = problematic_noise_model()
+        samples = [abs(model.sample_call_jitter(rng)) for _ in range(2000)]
+        assert np.median(samples) > 0.5e-6
+
+    def test_sandbox_offset_is_submillisecond_core(self, rng):
+        model = quiet_noise_model()
+        samples = [model.sample_sandbox_offset(rng) for _ in range(2000)]
+        # Core sigma 0.12 ms; the median magnitude must sit near it.
+        assert 0.02e-3 < np.median(np.abs(samples)) < 0.5e-3
+
+    def test_sandbox_offset_has_both_signs(self, rng):
+        model = quiet_noise_model()
+        samples = [model.sample_sandbox_offset(rng) for _ in range(500)]
+        assert min(samples) < 0 < max(samples)
+
+    def test_offsets_differ_between_sandboxes(self, rng):
+        model = quiet_noise_model()
+        assert model.sample_sandbox_offset(rng) != model.sample_sandbox_offset(rng)
+
+    def test_custom_model_fields(self):
+        model = SyscallNoiseModel(call_jitter_sigma_s=1e-6)
+        assert model.call_jitter_sigma_s == 1e-6
+
+
+class TestTscErrorModel:
+    def test_epsilon_within_clip_bounds(self, rng):
+        model = TscErrorModel()
+        for _ in range(1000):
+            eps = model.sample_epsilon(rng)
+            assert model.min_abs_hz <= abs(eps) <= model.max_abs_hz
+
+    def test_epsilon_signs_balanced(self, rng):
+        model = TscErrorModel()
+        signs = [np.sign(model.sample_epsilon(rng)) for _ in range(2000)]
+        assert 0.4 < np.mean(np.array(signs) > 0) < 0.6
+
+    def test_epsilon_median_near_configured(self, rng):
+        model = TscErrorModel()
+        magnitudes = [abs(model.sample_epsilon(rng)) for _ in range(4000)]
+        assert 0.5 * model.median_abs_hz < np.median(magnitudes) < 2.0 * model.median_abs_hz
+
+    def test_epsilon_tail_reaches_tens_of_khz(self, rng):
+        """A tail of large errors drives the ~10% two-day expirations."""
+        model = TscErrorModel()
+        magnitudes = np.array([abs(model.sample_epsilon(rng)) for _ in range(4000)])
+        assert (magnitudes > 2.5 * units.KHZ).mean() > 0.05
+
+    def test_expiration_calibration(self, rng):
+        """At p_boot = 1 s, roughly 10% of 2 GHz hosts drift a rounding
+        bucket within ~2 days (paper Fig. 5)."""
+        model = TscErrorModel()
+        f = 2.0 * units.GHZ
+        epsilons = np.abs([model.sample_epsilon(rng) for _ in range(4000)])
+        # Expected expiration with a uniformly distributed boundary distance.
+        expirations_days = (0.25 * f / epsilons) / units.DAY
+        frac_fast = (expirations_days < 2.0).mean()
+        assert 0.03 < frac_fast < 0.3

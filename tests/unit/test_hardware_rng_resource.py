@@ -1,0 +1,72 @@
+"""Unit tests for the RNG contention resource."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.rng_resource import RngContentionResource
+
+
+def noiseless() -> RngContentionResource:
+    return RngContentionResource(background_rate=0.0, drop_rate=0.0)
+
+
+class TestRngContentionResource:
+    def test_single_pressurer_observes_only_itself(self, rng):
+        res = noiseless()
+        res.start_pressure("a")
+        assert res.observe("a", rng) == 1
+
+    def test_two_colocated_pressurers_observe_two(self, rng):
+        res = noiseless()
+        res.start_pressure("a")
+        res.start_pressure("b")
+        assert res.observe("a", rng) == 2
+        assert res.observe("b", rng) == 2
+
+    def test_n_pressurers_observe_n(self, rng):
+        res = noiseless()
+        for i in range(5):
+            res.start_pressure(f"i{i}")
+        assert res.observe("i0", rng) == 5
+
+    def test_observe_without_pressure_rejected(self, rng):
+        res = noiseless()
+        with pytest.raises(ValueError):
+            res.observe("ghost", rng)
+
+    def test_stop_pressure_removes_contribution(self, rng):
+        res = noiseless()
+        res.start_pressure("a")
+        res.start_pressure("b")
+        res.stop_pressure("b")
+        assert res.observe("a", rng) == 1
+
+    def test_stop_unknown_is_noop(self):
+        noiseless().stop_pressure("ghost")
+
+    def test_double_start_counts_once(self, rng):
+        res = noiseless()
+        res.start_pressure("a")
+        res.start_pressure("a")
+        assert res.pressurer_count == 1
+
+    def test_background_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            RngContentionResource(background_rate=1.5)
+        with pytest.raises(ValueError):
+            RngContentionResource(drop_rate=-0.1)
+
+    def test_background_contention_is_rare(self, rng):
+        """Paper: the chance of background RNG contention is under 1%."""
+        res = RngContentionResource()
+        res.start_pressure("solo")
+        observations = [res.observe("solo", rng) for _ in range(5000)]
+        elevated = sum(1 for level in observations if level >= 2)
+        assert elevated / len(observations) < 0.02
+
+    def test_drops_occasionally_hide_partners(self, rng):
+        res = RngContentionResource(background_rate=0.0, drop_rate=0.5)
+        res.start_pressure("a")
+        res.start_pressure("b")
+        observations = [res.observe("a", rng) for _ in range(500)]
+        assert min(observations) == 1 and max(observations) == 2

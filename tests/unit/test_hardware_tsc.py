@@ -1,0 +1,71 @@
+"""Unit tests for the timestamp counter model."""
+
+import pytest
+
+from repro import units
+from repro.errors import HardwareError
+from repro.hardware.tsc import TimestampCounter
+
+
+class TestTimestampCounter:
+    def test_reads_zero_at_boot(self):
+        tsc = TimestampCounter(boot_time=100.0, actual_frequency_hz=2e9)
+        assert tsc.read(100.0) == 0
+
+    def test_increments_at_actual_frequency(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9)
+        assert tsc.read(1.0) == 2_000_000_000
+        assert tsc.read(2.5) == 5_000_000_000
+
+    def test_read_before_boot_rejected(self):
+        tsc = TimestampCounter(boot_time=100.0, actual_frequency_hz=2e9)
+        with pytest.raises(HardwareError):
+            tsc.read(99.0)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(HardwareError):
+            TimestampCounter(boot_time=0.0, actual_frequency_hz=0.0)
+        with pytest.raises(HardwareError):
+            TimestampCounter(boot_time=0.0, actual_frequency_hz=-1.0)
+
+    def test_uptime(self):
+        tsc = TimestampCounter(boot_time=50.0, actual_frequency_hz=1e9)
+        assert tsc.uptime(60.0) == 10.0
+
+    def test_uptime_before_boot_rejected(self):
+        tsc = TimestampCounter(boot_time=50.0, actual_frequency_hz=1e9)
+        with pytest.raises(HardwareError):
+            tsc.uptime(40.0)
+
+    def test_guest_offset_equals_host_tsc_at_guest_boot(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9)
+        assert tsc.offset_for_guest(10.0) == tsc.read(10.0)
+
+    def test_offset_tsc_view_starts_at_zero(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9)
+        guest_boot = 100.0
+        offset = tsc.offset_for_guest(guest_boot)
+        assert tsc.read(guest_boot) - offset == 0
+        assert tsc.read(guest_boot + 1.0) - offset == 2_000_000_000
+
+    def test_refined_frequency_rounds_to_1khz(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9 - 1_499.0)
+        assert tsc.refined_frequency_hz() == 2e9 - 1_000.0
+
+    def test_refined_frequency_rounds_down_small_error(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9 - 400.0)
+        assert tsc.refined_frequency_hz() == 2e9
+
+    def test_refined_frequency_custom_precision(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9 - 1_499.0)
+        assert tsc.refined_frequency_hz(precision_hz=1.0) == 2e9 - 1_499.0
+
+    def test_refined_frequency_rejects_bad_precision(self):
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2e9)
+        with pytest.raises(HardwareError):
+            tsc.refined_frequency_hz(precision_hz=0.0)
+
+    def test_colocated_readers_see_identical_values(self):
+        """Two guests on one host read the same counter (modulo offset)."""
+        tsc = TimestampCounter(boot_time=0.0, actual_frequency_hz=2.2 * units.GHZ)
+        assert tsc.read(500.0) == tsc.read(500.0)

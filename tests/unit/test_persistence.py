@@ -1,0 +1,129 @@
+"""Unit tests for the attacker-state persistence layer."""
+
+import json
+
+import pytest
+
+from repro.core.attack.targeting import VictimProfile
+from repro.core.attack.tracking import FingerprintHistory
+from repro.core.fingerprint import Gen1Fingerprint, Gen2Fingerprint
+from repro.persistence import (
+    FingerprintStore,
+    PersistenceError,
+    fingerprint_from_dict,
+    fingerprint_to_dict,
+    history_from_dict,
+    history_to_dict,
+    victim_profile_from_dict,
+    victim_profile_to_dict,
+)
+
+
+def g1(bucket=1000):
+    return Gen1Fingerprint(
+        cpu_model="Intel Xeon CPU @ 2.00GHz", boot_bucket=bucket, p_boot=1.0
+    )
+
+
+class TestFingerprintSerialization:
+    def test_gen1_roundtrip(self):
+        assert fingerprint_from_dict(fingerprint_to_dict(g1())) == g1()
+
+    def test_gen2_roundtrip(self):
+        fp = Gen2Fingerprint(tsc_khz=2_199_997)
+        assert fingerprint_from_dict(fingerprint_to_dict(fp)) == fp
+
+    def test_payload_is_json_safe(self):
+        json.dumps(fingerprint_to_dict(g1()))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PersistenceError):
+            fingerprint_from_dict({"kind": "gen9"})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(PersistenceError):
+            fingerprint_from_dict({"kind": "gen1", "cpu_model": "x"})
+
+
+class TestVictimProfileSerialization:
+    def test_roundtrip(self):
+        profile = VictimProfile(recorded_at=123.0, fingerprints={g1(1), g1(2)})
+        restored = victim_profile_from_dict(victim_profile_to_dict(profile))
+        assert restored.recorded_at == 123.0
+        assert restored.fingerprints == profile.fingerprints
+
+    def test_gen2_in_profile_rejected(self):
+        payload = {
+            "recorded_at": 0.0,
+            "fingerprints": [fingerprint_to_dict(Gen2Fingerprint(tsc_khz=1))],
+        }
+        with pytest.raises(PersistenceError):
+            victim_profile_from_dict(payload)
+
+    def test_restored_profile_still_matches(self):
+        profile = VictimProfile(recorded_at=0.0, fingerprints={g1(1000)})
+        restored = victim_profile_from_dict(victim_profile_to_dict(profile))
+        assert restored.matches(g1(1000), now=0.0)
+
+
+class TestHistorySerialization:
+    def test_roundtrip_preserves_fit(self):
+        history = FingerprintHistory(
+            wall_times=[0.0, 3600.0, 7200.0, 10800.0],
+            boot_times=[1.0, 1.001, 1.002, 1.003],
+        )
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.fit_drift().slope == pytest.approx(
+            history.fit_drift().slope
+        )
+
+
+class TestFingerprintStore:
+    def test_add_query_labels(self):
+        store = FingerprintStore()
+        store.add("victim@east", g1(1), observed_at=10.0)
+        store.add("victim@east", g1(2), observed_at=11.0)
+        store.add("census", g1(3), observed_at=12.0)
+        assert store.labels() == ["census", "victim@east"]
+        assert len(store.query("victim@east")) == 2
+        assert len(store) == 3
+
+    def test_add_many(self):
+        store = FingerprintStore()
+        store.add_many("batch", [g1(i) for i in range(5)], observed_at=1.0)
+        assert len(store) == 5
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = FingerprintStore()
+        store.add("a", g1(7), observed_at=99.0)
+        store.add("b", Gen2Fingerprint(tsc_khz=2_000_001), observed_at=100.0)
+        path = tmp_path / "store.json"
+        store.save(path)
+        restored = FingerprintStore.load(path)
+        assert len(restored) == 2
+        assert restored.query("a")[0].fingerprint == g1(7)
+        assert restored.query("b")[0].observed_at == 100.0
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(PersistenceError):
+            FingerprintStore.load(path)
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "v9.json"
+        path.write_text(
+            json.dumps({"format": "repro-fingerprint-store", "version": 9})
+        )
+        with pytest.raises(PersistenceError):
+            FingerprintStore.load(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all {")
+        with pytest.raises(PersistenceError):
+            FingerprintStore.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            FingerprintStore.load(tmp_path / "nope.json")

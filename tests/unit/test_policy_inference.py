@@ -1,0 +1,101 @@
+"""Unit tests for black-box policy inference."""
+
+import pytest
+
+from repro.analysis.policy_inference import (
+    IdlePolicyEstimate,
+    estimate_base_set_size,
+    estimate_hot_window,
+    estimate_recruit_rate,
+    fit_idle_policy,
+)
+
+
+class TestIdlePolicyFit:
+    def linear_series(self, grace_min=2.0, deadline_min=12.0, total=800, step=0.5):
+        series = []
+        t = 0.0
+        while t <= 16.0:
+            if t <= grace_min:
+                alive = total
+            elif t >= deadline_min:
+                alive = 0
+            else:
+                alive = int(total * (deadline_min - t) / (deadline_min - grace_min))
+            series.append((t, alive))
+            t += step
+        return series
+
+    def test_recovers_grace_and_deadline(self):
+        estimate = fit_idle_policy(self.linear_series(), total_instances=800)
+        assert estimate.grace_s == pytest.approx(120.0, abs=45.0)
+        assert estimate.deadline_s == pytest.approx(720.0, abs=60.0)
+
+    def test_survival_fraction_shape(self):
+        estimate = IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0)
+        assert estimate.survival_fraction(60.0) == 1.0
+        assert estimate.survival_fraction(800.0) == 0.0
+        assert estimate.survival_fraction(420.0) == pytest.approx(0.5)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_idle_policy([(0.0, 10), (1.0, 10)], total_instances=10)
+
+
+class TestBaseSetSize:
+    def test_median_of_footprints(self):
+        assert estimate_base_set_size([75, 75, 74, 76, 75]) == 75
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_base_set_size([])
+
+    def test_robust_to_outlier(self):
+        assert estimate_base_set_size([75, 75, 75, 120, 75]) == 75
+
+
+class TestHotWindow:
+    def test_brackets_true_window(self):
+        growth = {2.0: 12, 10.0: 180, 30.0: 2, 45.0: 1}
+        window = estimate_hot_window(growth)
+        assert 10.0 < window <= 30.0
+
+    def test_all_recruiting_returns_max(self):
+        growth = {2.0: 50, 10.0: 180}
+        assert estimate_hot_window(growth) == 10.0
+
+    def test_no_recruitment_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_hot_window({10.0: 1, 30.0: 0})
+
+
+class TestRecruitRate:
+    def test_recovers_rate(self):
+        idle = IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0)
+        # 10-minute interval: survival (720-600)/600 = 0.2 -> 640 replaced.
+        footprints = [75, 115, 155, 195, 235, 275]  # +40 per hot launch
+        rate = estimate_recruit_rate(
+            footprints, instances_per_launch=800, interval_s=600.0, idle_policy=idle
+        )
+        assert rate == pytest.approx(40 / 640, rel=0.05)
+
+    def test_no_growth_is_zero_rate(self):
+        idle = IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0)
+        rate = estimate_recruit_rate(
+            [75, 75, 75], instances_per_launch=800, interval_s=600.0, idle_policy=idle
+        )
+        assert rate == 0.0
+
+    def test_interval_inside_grace_rejected(self):
+        idle = IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0)
+        with pytest.raises(ValueError):
+            estimate_recruit_rate(
+                [75, 80], instances_per_launch=800, interval_s=60.0, idle_policy=idle
+            )
+
+    def test_single_launch_rejected(self):
+        idle = IdlePolicyEstimate(grace_s=120.0, deadline_s=720.0)
+        with pytest.raises(ValueError):
+            estimate_recruit_rate(
+                [75], instances_per_launch=800, interval_s=600.0, idle_policy=idle
+            )

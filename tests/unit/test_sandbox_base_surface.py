@@ -1,0 +1,55 @@
+"""Unit tests for the shared sandbox surface (base-class behaviors)."""
+
+import numpy as np
+
+from repro.sandbox.gvisor import GVisorSandbox
+from repro.sandbox.microvm import MicroVMSandbox
+from repro.simtime.clock import SimClock
+
+from tests.conftest import make_host
+
+
+def both_generations(host=None, clock=None):
+    host = host or make_host()
+    clock = clock or SimClock()
+    return [
+        GVisorSandbox(host, clock, np.random.default_rng(1), "g1"),
+        MicroVMSandbox(host, clock, np.random.default_rng(2), "g2"),
+    ], host
+
+
+class TestSharedSurface:
+    def test_cpuid_tsc_leaf_hidden_everywhere(self):
+        sandboxes, _host = both_generations()
+        for sandbox in sandboxes:
+            assert sandbox.cpuid_tsc_frequency() is None
+
+    def test_bus_pressure_surface(self):
+        sandboxes, host = both_generations()
+        for sandbox in sandboxes:
+            sandbox.start_bus_pressure()
+        assert host.memory_bus.pressurer_count == 2
+        level = sandboxes[0].observe_bus_contention()
+        assert level >= 1
+        for sandbox in sandboxes:
+            sandbox.stop_bus_pressure()
+        assert host.memory_bus.pressurer_count == 0
+
+    def test_run_busy_visible_to_sibling(self):
+        sandboxes, _host = both_generations()
+        sandboxes[0].run_busy(10.0)
+        assert sandboxes[1].observe_cpu_contention() >= 1
+
+    def test_rng_and_bus_domains_are_independent(self):
+        sandboxes, host = both_generations()
+        sandboxes[0].start_rng_pressure()
+        assert host.memory_bus.pressurer_count == 0
+        assert host.rng_resource.pressurer_count == 1
+        sandboxes[0].stop_rng_pressure()
+
+    def test_boot_wall_time_recorded(self):
+        clock = SimClock()
+        clock.sleep(123.0)
+        sandboxes, _host = both_generations(clock=clock)
+        for sandbox in sandboxes:
+            assert sandbox.boot_wall_time == clock.now()

@@ -1,0 +1,64 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.simtime.clock import SIM_EPOCH, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_default_epoch(self):
+        assert SimClock().now() == SIM_EPOCH
+
+    def test_starts_at_custom_epoch(self):
+        assert SimClock(start=123.0).now() == 123.0
+
+    def test_sleep_advances_time(self, clock):
+        t0 = clock.now()
+        clock.sleep(42.5)
+        assert clock.now() == t0 + 42.5
+
+    def test_sleep_zero_is_allowed(self, clock):
+        t0 = clock.now()
+        clock.sleep(0.0)
+        assert clock.now() == t0
+
+    def test_negative_sleep_rejected(self, clock):
+        with pytest.raises(ClockError):
+            clock.sleep(-1.0)
+
+    def test_advance_to_absolute_time(self, clock):
+        target = clock.now() + 100.0
+        clock.advance_to(target)
+        assert clock.now() == target
+
+    def test_advance_to_past_rejected(self, clock):
+        with pytest.raises(ClockError):
+            clock.advance_to(clock.now() - 1.0)
+
+    def test_advance_to_now_is_noop(self, clock):
+        clock.advance_to(clock.now())
+
+    def test_tick_hooks_fire_on_advance(self, clock):
+        seen = []
+        clock.add_tick_hook(seen.append)
+        clock.sleep(5.0)
+        assert seen == [clock.now()]
+
+    def test_multiple_hooks_fire_in_order(self, clock):
+        order = []
+        clock.add_tick_hook(lambda _t: order.append("a"))
+        clock.add_tick_hook(lambda _t: order.append("b"))
+        clock.sleep(1.0)
+        assert order == ["a", "b"]
+
+    def test_removed_hook_does_not_fire(self, clock):
+        seen = []
+        clock.add_tick_hook(seen.append)
+        clock.remove_tick_hook(seen.append)
+        clock.sleep(1.0)
+        assert seen == []
+
+    def test_removing_unknown_hook_raises(self, clock):
+        with pytest.raises(ValueError):
+            clock.remove_tick_hook(lambda _t: None)

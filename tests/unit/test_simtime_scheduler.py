@@ -1,0 +1,121 @@
+"""Unit tests for the event scheduler."""
+
+from repro.simtime.clock import SimClock
+from repro.simtime.scheduler import EventScheduler
+
+
+class TestEventScheduler:
+    def test_event_fires_when_time_reached(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        sched.call_after(10.0, lambda: fired.append("x"))
+        clock.sleep(9.9)
+        assert fired == []
+        clock.sleep(0.2)
+        assert fired == ["x"]
+
+    def test_event_at_exact_time_fires(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        sched.call_at(clock.now() + 5.0, lambda: fired.append(1))
+        clock.sleep(5.0)
+        assert fired == [1]
+
+    def test_events_fire_in_timestamp_order(self, clock):
+        sched = EventScheduler(clock)
+        order = []
+        sched.call_after(20.0, lambda: order.append("late"))
+        sched.call_after(10.0, lambda: order.append("early"))
+        clock.sleep(30.0)
+        assert order == ["early", "late"]
+
+    def test_same_time_events_fire_in_registration_order(self, clock):
+        sched = EventScheduler(clock)
+        order = []
+        sched.call_after(5.0, lambda: order.append("first"))
+        sched.call_after(5.0, lambda: order.append("second"))
+        clock.sleep(5.0)
+        assert order == ["first", "second"]
+
+    def test_cancelled_event_does_not_fire(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        event = sched.call_after(1.0, lambda: fired.append("x"))
+        event.cancel()
+        clock.sleep(2.0)
+        assert fired == []
+
+    def test_past_event_fires_on_next_tick(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        sched.call_at(clock.now() - 100.0, lambda: fired.append("x"))
+        assert fired == []
+        clock.sleep(0.001)
+        assert fired == ["x"]
+
+    def test_pending_counts_only_uncancelled(self, clock):
+        sched = EventScheduler(clock)
+        sched.call_after(1.0, lambda: None)
+        event = sched.call_after(2.0, lambda: None)
+        event.cancel()
+        assert sched.pending() == 1
+
+    def test_event_scheduled_during_callback_fires_later(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+
+        def reschedule():
+            fired.append("a")
+            sched.call_after(10.0, lambda: fired.append("b"))
+
+        sched.call_after(5.0, reschedule)
+        clock.sleep(5.0)
+        assert fired == ["a"]
+        clock.sleep(10.0)
+        assert fired == ["a", "b"]
+
+    def test_detach_stops_observing(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        sched.call_after(1.0, lambda: fired.append("x"))
+        sched.detach()
+        clock.sleep(5.0)
+        assert fired == []
+
+    def test_multiple_schedulers_on_one_clock(self, clock):
+        s1, s2 = EventScheduler(clock), EventScheduler(clock)
+        fired = []
+        s1.call_after(1.0, lambda: fired.append("s1"))
+        s2.call_after(1.0, lambda: fired.append("s2"))
+        clock.sleep(1.0)
+        assert sorted(fired) == ["s1", "s2"]
+
+
+class TestSchedulerStress:
+    def test_many_interleaved_events(self, clock):
+        """Hundreds of events across interleaved advances all fire once,
+        in order."""
+        sched = EventScheduler(clock)
+        fired = []
+        import random
+
+        rnd = random.Random(5)
+        delays = sorted(rnd.uniform(0, 1000) for _ in range(300))
+        for i, delay in enumerate(delays):
+            sched.call_after(delay, lambda i=i: fired.append(i))
+        while clock.now() < SimClock().now() + 1001:
+            clock.sleep(rnd.uniform(0, 37))
+        assert fired == sorted(fired)
+        assert len(fired) == 300
+
+    def test_cancel_half_fire_half(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        events = [
+            sched.call_after(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(20)
+        ]
+        for event in events[::2]:
+            event.cancel()
+        clock.sleep(30.0)
+        assert sorted(fired) == list(range(1, 20, 2))

@@ -1,0 +1,58 @@
+"""Unit tests for the units helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.minutes(2) == 120.0
+        assert units.hours(1.5) == 5400.0
+        assert units.days(2) == 172800.0
+
+    def test_frequency_conversions(self):
+        assert units.khz(3) == 3000.0
+        assert units.mhz(2) == 2_000_000.0
+        assert units.ghz(2.2) == pytest.approx(2.2e9)
+
+    def test_constant_relations(self):
+        assert units.MINUTE == 60 * units.SECOND
+        assert units.HOUR == 60 * units.MINUTE
+        assert units.DAY == 24 * units.HOUR
+        assert units.GHZ == 1000 * units.MHZ == 1_000_000 * units.KHZ
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            errors.SimulationError,
+            errors.ClockError,
+            errors.HardwareError,
+            errors.SandboxError,
+            errors.PrivilegeError,
+            errors.CloudError,
+            errors.QuotaExceededError,
+            errors.NoCapacityError,
+            errors.InstanceGoneError,
+            errors.VerificationError,
+            errors.FingerprintError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, errors.ReproError)
+
+    def test_privilege_is_sandbox_error(self):
+        assert issubclass(errors.PrivilegeError, errors.SandboxError)
+
+    def test_quota_and_capacity_are_cloud_errors(self):
+        assert issubclass(errors.QuotaExceededError, errors.CloudError)
+        assert issubclass(errors.NoCapacityError, errors.CloudError)
+
+    def test_clock_error_is_simulation_error(self):
+        assert issubclass(errors.ClockError, errors.SimulationError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.InstanceGoneError("gone")
