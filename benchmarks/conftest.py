@@ -11,11 +11,34 @@ Run with::
     pytest benchmarks/ --benchmark-only
 
 Append ``-s`` to see the regenerated tables inline.
+
+The multi-cell benchmarks route through :mod:`repro.runner`; set
+``REPRO_BENCH_JOBS=N`` to fan their simulation cells over N worker
+processes and ``REPRO_BENCH_CACHE=1`` to reuse completed cells from the
+on-disk cache (off by default — a cached benchmark measures cache reads,
+not the simulation).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.runner import RunnerConfig
+
+
+def bench_runner() -> RunnerConfig:
+    """Runner policy for one benchmark, from the environment."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+    cache = os.environ.get("REPRO_BENCH_CACHE", "") == "1"
+    return RunnerConfig(parallelism=jobs, cache_read=cache, cache_write=cache)
+
+
+@pytest.fixture
+def runner() -> RunnerConfig:
+    """A fresh env-configured RunnerConfig; stats cover just this test."""
+    return bench_runner()
 
 
 def run_once(benchmark, fn):

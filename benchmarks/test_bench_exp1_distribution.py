@@ -12,8 +12,8 @@ from benchmarks.conftest import run_once
 CONFIG = lb.DistributionConfig()
 
 
-def test_exp1_instance_distribution(benchmark, emit):
-    result = run_once(benchmark, lambda: lb.run_distribution(CONFIG))
+def test_exp1_instance_distribution(benchmark, emit, runner):
+    result = run_once(benchmark, lambda: lb.run_distribution(CONFIG, runner=runner))
 
     emit(
         format_comparison(

@@ -12,8 +12,8 @@ from benchmarks.conftest import run_once
 CONFIG = fa.AccuracyConfig(repetitions=2)  # paper: 5 reps x 3 DCs; we run 2 x 3
 
 
-def test_fig04_accuracy_sweep(benchmark, emit):
-    result = run_once(benchmark, lambda: fa.run(CONFIG))
+def test_fig04_accuracy_sweep(benchmark, emit, runner):
+    result = run_once(benchmark, lambda: fa.run(CONFIG, runner=runner))
 
     emit(
         format_series(

@@ -13,8 +13,8 @@ CONFIG = exp.ExpirationConfig()
 DAY_GRID = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
 
 
-def test_fig05_expiration_cdf(benchmark, emit):
-    result = run_once(benchmark, lambda: exp.run(CONFIG))
+def test_fig05_expiration_cdf(benchmark, emit, runner):
+    result = run_once(benchmark, lambda: exp.run(CONFIG, runner=runner))
 
     rows = []
     for region in result.regions:

@@ -48,9 +48,9 @@ def test_fig09_ten_minute_interval(benchmark, emit):
     assert max(gaps) <= 40
 
 
-def test_fig09_interval_sweep(benchmark, emit):
+def test_fig09_interval_sweep(benchmark, emit, runner):
     config = lb.IntervalSweepConfig()
-    results = run_once(benchmark, lambda: lb.run_interval_sweep(config))
+    results = run_once(benchmark, lambda: lb.run_interval_sweep(config, runner=runner))
 
     emit(
         format_series(

@@ -19,8 +19,8 @@ CONFIG = cov.MatrixConfig(
 )
 
 
-def test_fig11b_victim_size_sweep(benchmark, emit):
-    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG))
+def test_fig11b_victim_size_sweep(benchmark, emit, runner):
+    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG, runner=runner))
 
     rows = []
     for (region, account, _n, size), cell in sorted(cells.items()):

@@ -14,8 +14,8 @@ from benchmarks.conftest import run_once
 CONFIG = cen.CensusConfig()
 
 
-def test_fig12_cluster_census(benchmark, emit):
-    summary = run_once(benchmark, lambda: cen.run(CONFIG))
+def test_fig12_cluster_census(benchmark, emit, runner):
+    summary = run_once(benchmark, lambda: cen.run(CONFIG, runner=runner))
 
     rows = []
     for region in summary.regions:

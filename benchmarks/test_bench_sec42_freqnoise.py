@@ -14,8 +14,8 @@ from benchmarks.conftest import run_once
 CONFIG = fn.FrequencyNoiseConfig()
 
 
-def test_sec42_measured_frequency_noise(benchmark, emit):
-    result = run_once(benchmark, lambda: fn.run(CONFIG))
+def test_sec42_measured_frequency_noise(benchmark, emit, runner):
+    result = run_once(benchmark, lambda: fn.run(CONFIG, runner=runner))
 
     emit(
         format_comparison(

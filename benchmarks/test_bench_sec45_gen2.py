@@ -12,8 +12,8 @@ from benchmarks.conftest import run_once
 CONFIG = g2.Gen2AccuracyConfig(repetitions=2)  # paper: 5 reps x 3 DCs
 
 
-def test_sec45_gen2_fingerprint_accuracy(benchmark, emit):
-    result = run_once(benchmark, lambda: g2.run(CONFIG))
+def test_sec45_gen2_fingerprint_accuracy(benchmark, emit, runner):
+    result = run_once(benchmark, lambda: g2.run(CONFIG, runner=runner))
 
     emit(
         format_comparison(

@@ -15,8 +15,8 @@ from benchmarks.conftest import run_once
 CONFIG = cov.MatrixConfig(generation="gen2", repetitions=2)  # paper: 3
 
 
-def test_sec52_gen2_coverage(benchmark, emit):
-    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG))
+def test_sec52_gen2_coverage(benchmark, emit, runner):
+    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG, runner=runner))
 
     rows = []
     for (region, account, _n, _s), cell in sorted(cells.items()):

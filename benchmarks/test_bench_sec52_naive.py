@@ -13,8 +13,8 @@ from benchmarks.conftest import run_once
 CONFIG = cov.MatrixConfig(strategy="naive", repetitions=2)
 
 
-def test_sec52_naive_strategy(benchmark, emit):
-    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG))
+def test_sec52_naive_strategy(benchmark, emit, runner):
+    cells = run_once(benchmark, lambda: cov.run_matrix(CONFIG, runner=runner))
 
     rows = []
     for (region, account, _n, _s), cell in sorted(cells.items()):

@@ -6,6 +6,12 @@ Examples::
     python -m repro run exp1
     python -m repro run fig9 --scale full
     python -m repro run all --scale quick
+    python -m repro run fig4 --scale full --jobs 4
+    python -m repro run fig12 --no-cache
+
+Completed simulation cells are cached under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-runner``), so re-running a command reuses them; ``--jobs N``
+fans the remaining cells out over N worker processes.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import sys
 from typing import Sequence
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.runner import RunnerConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +48,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="quick: reduced repetitions (seconds); full: benchmark scale",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run simulation cells in N worker processes (0 = serial in-process)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reading the cell cache "
+        "(fresh results are still written back)",
+    )
     return parser
 
 
@@ -55,10 +75,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        if args.jobs < 0:
+            print("--jobs must be >= 0", file=sys.stderr)
+            return 2
         ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         for eid in ids:
+            runner = RunnerConfig.from_cli(jobs=args.jobs, no_cache=args.no_cache)
             try:
-                report = run_experiment(eid, scale=args.scale)
+                report = run_experiment(eid, scale=args.scale, runner=runner)
             except KeyError as error:
                 print(error.args[0], file=sys.stderr)
                 return 2

@@ -18,7 +18,7 @@ paper's methodology is detectable, not how to hide it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cloud.orchestrator import Orchestrator
 

@@ -83,12 +83,18 @@ class DataCenter:
             return
         out_idx = self._rng.choice(len(self._serving_pool), size=swap, replace=False)
         in_idx = self._rng.choice(len(self._rotated_out), size=swap, replace=False)
-        out_set = {self._serving_pool[i] for i in out_idx}
-        in_set = {self._rotated_out[i] for i in in_idx}
+        # Keep the swapped ids in RNG draw order, not set order: set iteration
+        # follows string hashing, which varies with PYTHONHASHSEED and would
+        # make the pool layout (and every later draw over it) irreproducible
+        # across interpreter invocations.
+        out_ids = [self._serving_pool[i] for i in out_idx]
+        in_ids = [self._rotated_out[i] for i in in_idx]
+        out_set = set(out_ids)
+        in_set = set(in_ids)
         self._serving_pool = [h for h in self._serving_pool if h not in out_set]
-        self._serving_pool.extend(in_set)
+        self._serving_pool.extend(in_ids)
         self._rotated_out = [h for h in self._rotated_out if h not in in_set]
-        self._rotated_out.extend(out_set)
+        self._rotated_out.extend(out_ids)
 
     # ------------------------------------------------------------------
     # Shards and base-host assignment

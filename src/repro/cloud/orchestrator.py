@@ -30,7 +30,7 @@ from repro.errors import CloudError
 from repro.sandbox.base import Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
-from repro.simtime.scheduler import EventScheduler
+from repro.simtime.scheduler import EventScheduler, ScheduledEvent
 
 
 class Orchestrator:
@@ -61,6 +61,7 @@ class Orchestrator:
         self._recruiter = HelperHostRecruiter(datacenter.profile, self._rng)
         self._load_slots: dict[str, float] = {}
         self._billed_seconds: dict[str, float] = {}
+        self._idle_reaps: dict[str, ScheduledEvent] = {}
         self._service_instances: dict[str, list[ContainerInstance]] = {}
         self._service_host_counts: dict[str, dict[str, int]] = {}
         self._route_counters: dict[str, int] = {}
@@ -141,6 +142,7 @@ class Orchestrator:
         idle = [i for i in alive if i.state is InstanceState.IDLE]
         for instance in idle[: target - len(active)]:
             instance.go_active(now)
+            self._cancel_idle_reap(instance.instance_id)
         new_needed = max(0, target - len(active) - len(idle))
 
         # Hotness is judged on *past* demand, before recording this launch.
@@ -349,6 +351,8 @@ class Orchestrator:
         self, instance: ContainerInstance, idle_epoch: float, when: float
     ) -> None:
         def reap() -> None:
+            if self._idle_reaps.get(instance.instance_id) is event:
+                del self._idle_reaps[instance.instance_id]
             still_idle = (
                 instance.alive
                 and instance.state is InstanceState.IDLE
@@ -357,11 +361,21 @@ class Orchestrator:
             if still_idle:
                 self._terminate(instance, self.clock.now())
 
-        self.scheduler.call_at(when, reap)
+        # Cancel any reap left from an earlier idle period: stale timers
+        # would otherwise pile up in the scheduler for the whole campaign.
+        self._cancel_idle_reap(instance.instance_id)
+        event = self.scheduler.call_at(when, reap)
+        self._idle_reaps[instance.instance_id] = event
+
+    def _cancel_idle_reap(self, instance_id: str) -> None:
+        event = self._idle_reaps.pop(instance_id, None)
+        if event is not None:
+            event.cancel()
 
     def _terminate(self, instance: ContainerInstance, now: float) -> None:
         if not instance.alive:
             return
+        self._cancel_idle_reap(instance.instance_id)
         instance.terminate(now)
         self._settle_billing(instance)
         slots = instance.service.config.size.slots

@@ -20,8 +20,6 @@ from repro import units
 from repro.cloud.api import FaaSClient, InstanceHandle
 from repro.cloud.services import SMALL, ContainerSize, ServiceConfig
 from repro.core.fingerprint import (
-    Gen1Fingerprint,
-    Gen2Fingerprint,
     fingerprint_gen1_instances,
     fingerprint_gen2_instances,
 )

@@ -18,6 +18,7 @@ from repro import units
 from repro.core.attack.census import CensusResult, estimate_cluster_size
 from repro.core.attack.strategies import optimized_launch
 from repro.experiments.base import VICTIM_ACCOUNTS, default_env
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 PAPER_CENSUS = {"us-east1": 474, "us-central1": 1702, "us-west1": 199}
 PAPER_ATTACKER_SHARE = {"us-east1": 0.59, "us-central1": 0.53, "us-west1": 0.82}
@@ -78,29 +79,51 @@ class CensusSummary:
         raise KeyError(region)
 
 
-def run(config: CensusConfig = CensusConfig()) -> CensusSummary:
+def _region_cell(params: dict, seed: int) -> RegionCensus:
+    """One Fig. 12 cell: census one region, then measure the footprint."""
+    region = params["region"]
+    env = default_env(region, seed=seed)
+    clients = [env.attacker] + [env.victim(a) for a in VICTIM_ACCOUNTS]
+    census = estimate_cluster_size(
+        clients,
+        services_per_account=params["services_per_account"],
+        launches_per_service=params["launches_per_service"],
+        instances_per_launch=params["instances_per_launch"],
+        interval_s=params["interval"],
+    )
+    # Attacker footprint at once: a fresh standard optimized attack in
+    # the same region (fresh environment keeps the census unbiased).
+    attack_env = default_env(region, seed=seed + 50)
+    outcome = optimized_launch(attack_env.attacker)
+    return RegionCensus(
+        region=region,
+        census=census,
+        attacker_hosts_at_once=len(outcome.apparent_hosts),
+        attacker_cost_usd=outcome.cost_usd,
+    )
+
+
+def run(
+    config: CensusConfig = CensusConfig(),
+    runner: RunnerConfig | None = None,
+) -> CensusSummary:
     """Run the census in each region, then measure the attacker footprint."""
+    specs = [
+        CellSpec(
+            experiment="fig12",
+            fn=_region_cell,
+            config={
+                "region": region,
+                "services_per_account": config.services_per_account,
+                "launches_per_service": config.launches_per_service,
+                "instances_per_launch": config.instances_per_launch,
+                "interval": config.interval,
+            },
+            seed=config.base_seed + idx,
+            label=region,
+        )
+        for idx, region in enumerate(config.regions)
+    ]
     summary = CensusSummary()
-    for idx, region in enumerate(config.regions):
-        env = default_env(region, seed=config.base_seed + idx)
-        clients = [env.attacker] + [env.victim(a) for a in VICTIM_ACCOUNTS]
-        census = estimate_cluster_size(
-            clients,
-            services_per_account=config.services_per_account,
-            launches_per_service=config.launches_per_service,
-            instances_per_launch=config.instances_per_launch,
-            interval_s=config.interval,
-        )
-        # Attacker footprint at once: a fresh standard optimized attack in
-        # the same region (fresh environment keeps the census unbiased).
-        attack_env = default_env(region, seed=config.base_seed + 50 + idx)
-        outcome = optimized_launch(attack_env.attacker)
-        summary.regions.append(
-            RegionCensus(
-                region=region,
-                census=census,
-                attacker_hosts_at_once=len(outcome.apparent_hosts),
-                attacker_cost_usd=outcome.cost_usd,
-            )
-        )
+    summary.regions.extend(cell.value for cell in run_cells(specs, runner))
     return summary

@@ -29,6 +29,7 @@ from repro.cloud.services import CONTAINER_SIZES, SMALL, ContainerSize
 from repro.core.attack.campaign import ColocationCampaign
 from repro.core.attack.strategies import naive_launch, optimized_launch
 from repro.experiments.base import default_env
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 PAPER_OPTIMIZED_GEN1 = {
     ("us-east1", "account-2"): 0.977,
@@ -121,33 +122,77 @@ def _strategy_fn(config: CoverageConfig):
     raise ValueError(f"unknown strategy {config.strategy!r}")
 
 
-def run_cell(config: CoverageConfig = CoverageConfig()) -> CoverageCell:
-    """Measure victim instance coverage for one experiment cell."""
+def _cell_params(config: CoverageConfig) -> dict:
+    """The fields one repetition depends on (sweep bookkeeping excluded).
+
+    ``repetitions`` and ``base_seed`` are deliberately absent: the cell's
+    identity is ``(these parameters, seed)``, so growing a sweep reuses the
+    repetitions already cached.
+    """
+    return {
+        "region": config.region,
+        "victim_account": config.victim_account,
+        "strategy": config.strategy,
+        "generation": config.generation,
+        "n_victim_instances": config.n_victim_instances,
+        "victim_size": config.victim_size,
+        "attacker_services": config.attacker_services,
+        "attacker_launches": config.attacker_launches,
+        "attacker_instances": config.attacker_instances,
+        "ground_truth": config.ground_truth,
+    }
+
+
+def _rep_cell(params: dict, seed: int) -> tuple[float, int, float]:
+    """One campaign repetition; returns ``(coverage, hosts, cost_usd)``."""
+    config = CoverageConfig(repetitions=1, base_seed=seed, **params)
+    env = default_env(config.region, seed=seed)
+    if config.ground_truth == "oracle":
+        return _oracle_campaign(env, config)
+    campaign = ColocationCampaign(
+        attacker=env.attacker,
+        victim=env.victim(config.victim_account),
+        strategy=_strategy_fn(config),
+        generation=config.generation,
+    )
+    outcome = campaign.run(
+        n_victim_instances=config.n_victim_instances,
+        victim_size=config.victim_size,
+    )
+    return outcome.coverage, outcome.attacker_hosts, outcome.attacker_cost_usd
+
+
+def _rep_specs(config: CoverageConfig, label: str = "") -> list[CellSpec]:
+    """One CellSpec per repetition of the given coverage configuration."""
+    params = _cell_params(config)
+    return [
+        CellSpec(
+            experiment="coverage",
+            fn=_rep_cell,
+            config=params,
+            seed=config.base_seed + rep,
+            label=label or f"{config.region}/{config.victim_account}/rep{rep}",
+        )
+        for rep in range(config.repetitions)
+    ]
+
+
+def _aggregate(config: CoverageConfig, outcomes) -> CoverageCell:
     cell = CoverageCell(config=config)
-    for rep in range(config.repetitions):
-        env = default_env(config.region, seed=config.base_seed + rep)
-        if config.ground_truth == "oracle":
-            coverage, hosts, cost = _oracle_campaign(env, config)
-        else:
-            campaign = ColocationCampaign(
-                attacker=env.attacker,
-                victim=env.victim(config.victim_account),
-                strategy=_strategy_fn(config),
-                generation=config.generation,
-            )
-            outcome = campaign.run(
-                n_victim_instances=config.n_victim_instances,
-                victim_size=config.victim_size,
-            )
-            coverage, hosts, cost = (
-                outcome.coverage,
-                outcome.attacker_hosts,
-                outcome.attacker_cost_usd,
-            )
+    for coverage, hosts, cost in outcomes:
         cell.coverages.append(coverage)
         cell.attacker_hosts.append(hosts)
         cell.costs_usd.append(cost)
     return cell
+
+
+def run_cell(
+    config: CoverageConfig = CoverageConfig(),
+    runner: RunnerConfig | None = None,
+) -> CoverageCell:
+    """Measure victim instance coverage for one experiment cell."""
+    results = run_cells(_rep_specs(config), runner)
+    return _aggregate(config, (r.value for r in results))
 
 
 def _oracle_campaign(env, config: CoverageConfig) -> tuple[float, int, float]:
@@ -190,13 +235,17 @@ class MatrixConfig:
     base_seed: int = 600
 
 
-def run_matrix(config: MatrixConfig = MatrixConfig()) -> dict[tuple, CoverageCell]:
+def run_matrix(
+    config: MatrixConfig = MatrixConfig(),
+    runner: RunnerConfig | None = None,
+) -> dict[tuple, CoverageCell]:
     """Run a grid of coverage cells.
 
     Returns a mapping from ``(region, account, n_victims, size_name)`` to
-    the aggregated :class:`CoverageCell`.
+    the aggregated :class:`CoverageCell`.  Every repetition of every grid
+    point is an independent cell, so the whole grid fans out at once.
     """
-    cells: dict[tuple, CoverageCell] = {}
+    grid: list[tuple[tuple, CoverageConfig]] = []
     for region in config.regions:
         for account in config.victim_accounts:
             for n_victims in config.victim_counts:
@@ -212,7 +261,19 @@ def run_matrix(config: MatrixConfig = MatrixConfig()) -> dict[tuple, CoverageCel
                         ground_truth=config.ground_truth,
                         base_seed=config.base_seed,
                     )
-                    cells[(region, account, n_victims, size_name)] = run_cell(
-                        cell_config
+                    grid.append(
+                        ((region, account, n_victims, size_name), cell_config)
                     )
+
+    specs: list[CellSpec] = []
+    for _key, cell_config in grid:
+        specs.extend(_rep_specs(cell_config))
+    results = run_cells(specs, runner)
+
+    cells: dict[tuple, CoverageCell] = {}
+    cursor = 0
+    for key, cell_config in grid:
+        chunk = results[cursor : cursor + cell_config.repetitions]
+        cursor += cell_config.repetitions
+        cells[key] = _aggregate(cell_config, (r.value for r in chunk))
     return cells

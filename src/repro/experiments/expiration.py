@@ -19,6 +19,7 @@ from repro import units
 from repro.analysis.distributions import cdf_at
 from repro.core.attack.tracking import HostTracker
 from repro.experiments.base import default_env
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 PAPER_MIN_ABS_R = 0.9997
 PAPER_DAYS_TO_10PCT_EXPIRED = 2.0
@@ -70,27 +71,48 @@ class ExpirationResult:
         return float(np.mean([r.days_to_10pct_expired for r in self.regions]))
 
 
-def run(config: ExpirationConfig = ExpirationConfig()) -> ExpirationResult:
-    """Run the Fig. 5 fingerprint-expiration study."""
+def _region_cell(params: dict, seed: int) -> RegionExpiration:
+    """One Fig. 5 cell: track one region's hosts for the whole window."""
+    env = default_env(params["region"], seed=seed)
+    tracker = HostTracker(env.attacker, n_launch=params["n_launch"])
+    histories = tracker.run(
+        duration_s=params["duration_days"] * units.DAY,
+        cadence_s=params["cadence_hours"] * units.HOUR,
+    )
+    fits = [history.fit_drift() for history in histories]
+    expirations = [
+        history.expiration_seconds(params["p_boot"]) / units.DAY
+        for history in histories
+    ]
+    return RegionExpiration(
+        region=params["region"],
+        n_histories=len(histories),
+        min_abs_r=min(abs(fit.r_value) for fit in fits),
+        expiration_days=expirations,
+    )
+
+
+def run(
+    config: ExpirationConfig = ExpirationConfig(),
+    runner: RunnerConfig | None = None,
+) -> ExpirationResult:
+    """Run the Fig. 5 fingerprint-expiration study (one cell per region)."""
+    specs = [
+        CellSpec(
+            experiment="fig5",
+            fn=_region_cell,
+            config={
+                "region": region,
+                "n_launch": config.n_launch,
+                "duration_days": config.duration_days,
+                "cadence_hours": config.cadence_hours,
+                "p_boot": config.p_boot,
+            },
+            seed=config.base_seed + idx,
+            label=region,
+        )
+        for idx, region in enumerate(config.regions)
+    ]
     result = ExpirationResult()
-    for idx, region in enumerate(config.regions):
-        env = default_env(region, seed=config.base_seed + idx)
-        tracker = HostTracker(env.attacker, n_launch=config.n_launch)
-        histories = tracker.run(
-            duration_s=config.duration_days * units.DAY,
-            cadence_s=config.cadence_hours * units.HOUR,
-        )
-        fits = [history.fit_drift() for history in histories]
-        expirations = [
-            history.expiration_seconds(config.p_boot) / units.DAY
-            for history in histories
-        ]
-        result.regions.append(
-            RegionExpiration(
-                region=region,
-                n_histories=len(histories),
-                min_abs_r=min(abs(fit.r_value) for fit in fits),
-                expiration_days=expirations,
-            )
-        )
+    result.regions.extend(cell.value for cell in run_cells(specs, runner))
     return result

@@ -22,6 +22,7 @@ from repro.cloud.services import ServiceConfig
 from repro.core import probes
 from repro.experiments.base import default_env
 from repro.experiments.ground_truth import truth_clusters
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 #: Paper's Fig. 4 sweet spot and headline number.
 PAPER_SWEET_SPOT = (0.1, 1.0)
@@ -76,26 +77,27 @@ class AccuracyResult:
         raise KeyError(f"no sweep point at p_boot={p_boot!r}")
 
 
-def _one_run(
-    region: str, seed: int, config: AccuracyConfig
-) -> tuple[list[tuple[str, float]], dict[str, str]]:
-    """Launch instances, sample fingerprint inputs, and get ground truth.
+def _accuracy_cell(
+    params: dict, seed: int
+) -> tuple[list[tuple[str, tuple[str, float]]], dict[str, str]]:
+    """One Fig. 4 cell: launch instances, sample inputs, get ground truth.
 
     Returns ``(samples, truth)`` where samples are
     ``(instance_id, (model, boot_time))`` inputs reusable across the sweep.
     """
-    env = default_env(region, seed=seed)
+    env = default_env(params["region"], seed=seed)
     client = env.attacker
+    instances = params["instances"]
     service = client.deploy(
-        ServiceConfig(name="accuracy", max_instances=max(100, config.instances))
+        ServiceConfig(name="accuracy", max_instances=max(100, instances))
     )
-    handles = client.connect(service, config.instances)
+    handles = client.connect(service, instances)
     raw = [(h, h.run(probes.gen1_fingerprint_probe)) for h in handles]
     samples = [
         (h.instance_id, (s.cpu_model, s.boot_time())) for h, s in raw
     ]
     tagged_pairs = [(h, s.fingerprint(1.0)) for h, s in raw]
-    truth = truth_clusters(config.ground_truth, env.orchestrator, tagged_pairs)
+    truth = truth_clusters(params["ground_truth"], env.orchestrator, tagged_pairs)
     truth = {iid: str(label) for iid, label in truth.items()}
     return samples, truth
 
@@ -111,14 +113,34 @@ def _score(
     return pair_confusion(predicted, truth)
 
 
-def run(config: AccuracyConfig = AccuracyConfig()) -> AccuracyResult:
-    """Run the Fig. 4 accuracy sweep."""
-    runs: list[tuple[list, dict]] = []
+def run(
+    config: AccuracyConfig = AccuracyConfig(),
+    runner: RunnerConfig | None = None,
+) -> AccuracyResult:
+    """Run the Fig. 4 accuracy sweep.
+
+    The per-(region, repetition) simulations are independent cells; pass a
+    :class:`~repro.runner.RunnerConfig` to fan them out and cache them.
+    """
+    specs: list[CellSpec] = []
     seed = config.base_seed
     for region in config.regions:
-        for _rep in range(config.repetitions):
-            runs.append(_one_run(region, seed, config))
+        for rep in range(config.repetitions):
+            specs.append(
+                CellSpec(
+                    experiment="fig4",
+                    fn=_accuracy_cell,
+                    config={
+                        "region": region,
+                        "instances": config.instances,
+                        "ground_truth": config.ground_truth,
+                    },
+                    seed=seed,
+                    label=f"{region}/rep{rep}",
+                )
+            )
             seed += 1
+    runs = [cell.value for cell in run_cells(specs, runner)]
 
     result = AccuracyResult()
     for samples, truth in runs:

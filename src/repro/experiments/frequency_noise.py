@@ -19,6 +19,7 @@ from repro.cloud.services import ServiceConfig
 from repro.core import probes
 from repro.core.fingerprint import fingerprint_gen1_instances
 from repro.experiments.base import default_env
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 PAPER_PROBLEMATIC_FRACTION = 58 / 586
 PAPER_QUIET_STD_HZ = 100.0
@@ -64,27 +65,53 @@ class FrequencyNoiseResult:
         return max(self.stds_hz)
 
 
-def run(config: FrequencyNoiseConfig = FrequencyNoiseConfig()) -> FrequencyNoiseResult:
-    """Run the measured-frequency noise study over one instance per host."""
-    result = FrequencyNoiseResult()
-    for idx, region in enumerate(config.regions):
-        env = default_env(region, seed=config.base_seed + idx)
-        client = env.attacker
-        service = client.deploy(
-            ServiceConfig(name="freq-noise", max_instances=max(100, config.instances))
-        )
-        handles = client.connect(service, config.instances)
-        tagged = fingerprint_gen1_instances(handles, p_boot=1.0)
-        reps: dict[object, object] = {}
-        for handle, fp in tagged:
-            reps.setdefault(fp, handle)
-        for handle in reps.values():
-            estimate = handle.run(
-                lambda sandbox: probes.measured_frequency_probe(
-                    sandbox,
-                    interval_s=config.interval_s,
-                    repetitions=config.repetitions,
-                )
+def _region_cell(params: dict, seed: int) -> list[float]:
+    """One §4.2 cell: per-host frequency stds for one region."""
+    env = default_env(params["region"], seed=seed)
+    client = env.attacker
+    instances = params["instances"]
+    service = client.deploy(
+        ServiceConfig(name="freq-noise", max_instances=max(100, instances))
+    )
+    handles = client.connect(service, instances)
+    tagged = fingerprint_gen1_instances(handles, p_boot=1.0)
+    reps: dict[object, object] = {}
+    for handle, fp in tagged:
+        reps.setdefault(fp, handle)
+    stds_hz = []
+    for handle in reps.values():
+        estimate = handle.run(
+            lambda sandbox: probes.measured_frequency_probe(
+                sandbox,
+                interval_s=params["interval_s"],
+                repetitions=params["repetitions"],
             )
-            result.stds_hz.append(estimate.std_hz)
+        )
+        stds_hz.append(estimate.std_hz)
+    return stds_hz
+
+
+def run(
+    config: FrequencyNoiseConfig = FrequencyNoiseConfig(),
+    runner: RunnerConfig | None = None,
+) -> FrequencyNoiseResult:
+    """Run the measured-frequency noise study over one instance per host."""
+    specs = [
+        CellSpec(
+            experiment="sec42",
+            fn=_region_cell,
+            config={
+                "region": region,
+                "instances": config.instances,
+                "interval_s": config.interval_s,
+                "repetitions": config.repetitions,
+            },
+            seed=config.base_seed + idx,
+            label=region,
+        )
+        for idx, region in enumerate(config.regions)
+    ]
+    result = FrequencyNoiseResult()
+    for cell in run_cells(specs, runner):
+        result.stds_hz.extend(cell.value)
     return result

@@ -19,6 +19,7 @@ from repro.analysis.metrics import pair_confusion
 from repro.core.fingerprint import fingerprint_gen2_instances
 from repro.experiments.base import default_env
 from repro.experiments.ground_truth import truth_clusters
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 PAPER_FMI = 0.66
 PAPER_PRECISION = 0.48
@@ -47,43 +48,68 @@ class Gen2AccuracyResult:
     per_run_fmi: list[float] = field(default_factory=list)
 
 
-def run(config: Gen2AccuracyConfig = Gen2AccuracyConfig()) -> Gen2AccuracyResult:
+def _accuracy_cell(params: dict, seed: int) -> tuple[float, float, float, float]:
+    """One Gen 2 run; returns ``(fmi, precision, recall, hosts_per_fp)``."""
+    env = default_env(params["region"], seed=seed)
+    client = env.attacker
+    instances = params["instances"]
+    service = client.deploy(
+        ServiceConfig(
+            name="gen2-accuracy",
+            generation="gen2",
+            max_instances=max(100, instances),
+        )
+    )
+    handles = client.connect(service, instances)
+    tagged_pairs = fingerprint_gen2_instances(handles)
+    truth = truth_clusters(
+        params["ground_truth"],
+        env.orchestrator,
+        tagged_pairs,
+        assume_no_false_negatives=True,
+    )
+    predicted = {h.instance_id: fp for h, fp in tagged_pairs}
+    confusion = pair_confusion(predicted, truth)
+
+    # Hosts per fingerprint: distinct true clusters per fingerprint.
+    hosts_by_fp: dict[object, set] = {}
+    for handle, fp in tagged_pairs:
+        hosts_by_fp.setdefault(fp, set()).add(truth[handle.instance_id])
+    hosts_per_fp = float(np.mean([len(hosts) for hosts in hosts_by_fp.values()]))
+    return confusion.fmi, confusion.precision, confusion.recall, hosts_per_fp
+
+
+def run(
+    config: Gen2AccuracyConfig = Gen2AccuracyConfig(),
+    runner: RunnerConfig | None = None,
+) -> Gen2AccuracyResult:
     """Run the Gen 2 fingerprint accuracy experiment."""
-    fmis, precisions, recalls, host_ratios = [], [], [], []
+    specs: list[CellSpec] = []
     seed = config.base_seed
     for region in config.regions:
-        for _rep in range(config.repetitions):
-            env = default_env(region, seed=seed)
-            seed += 1
-            client = env.attacker
-            service = client.deploy(
-                ServiceConfig(
-                    name="gen2-accuracy",
-                    generation="gen2",
-                    max_instances=max(100, config.instances),
+        for rep in range(config.repetitions):
+            specs.append(
+                CellSpec(
+                    experiment="sec45",
+                    fn=_accuracy_cell,
+                    config={
+                        "region": region,
+                        "instances": config.instances,
+                        "ground_truth": config.ground_truth,
+                    },
+                    seed=seed,
+                    label=f"{region}/rep{rep}",
                 )
             )
-            handles = client.connect(service, config.instances)
-            tagged_pairs = fingerprint_gen2_instances(handles)
-            truth = truth_clusters(
-                config.ground_truth,
-                env.orchestrator,
-                tagged_pairs,
-                assume_no_false_negatives=True,
-            )
-            predicted = {h.instance_id: fp for h, fp in tagged_pairs}
-            confusion = pair_confusion(predicted, truth)
-            fmis.append(confusion.fmi)
-            precisions.append(confusion.precision)
-            recalls.append(confusion.recall)
+            seed += 1
 
-            # Hosts per fingerprint: distinct true clusters per fingerprint.
-            hosts_by_fp: dict[object, set] = {}
-            for handle, fp in tagged_pairs:
-                hosts_by_fp.setdefault(fp, set()).add(truth[handle.instance_id])
-            host_ratios.append(
-                float(np.mean([len(hosts) for hosts in hosts_by_fp.values()]))
-            )
+    fmis, precisions, recalls, host_ratios = [], [], [], []
+    for cell in run_cells(specs, runner):
+        fmi, precision, recall, hosts_per_fp = cell.value
+        fmis.append(fmi)
+        precisions.append(precision)
+        recalls.append(recall)
+        host_ratios.append(hosts_per_fp)
 
     return Gen2AccuracyResult(
         fmi_mean=float(np.mean(fmis)),

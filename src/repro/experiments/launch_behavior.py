@@ -22,6 +22,7 @@ from repro.cloud.services import ServiceConfig
 from repro.core.fingerprint import fingerprint_gen1_instances
 from repro.experiments.base import default_env
 from repro.experiments.ground_truth import truth_clusters
+from repro.runner import CellSpec, RunnerConfig, run_cells
 
 PAPER_EXP1_HOSTS = 75
 PAPER_EXP1_TYPICAL_PER_HOST = (10, 11)
@@ -61,20 +62,40 @@ class DistributionResult:
         return top_two / len(self.per_host_counts)
 
 
-def run_distribution(config: DistributionConfig = DistributionConfig()) -> DistributionResult:
-    """Experiment 1: how 800 instances spread over hosts."""
-    env = default_env(config.region, seed=config.seed)
+def _distribution_cell(params: dict, seed: int) -> DistributionResult:
+    """The Experiment 1 simulation body (one cell)."""
+    env = default_env(params["region"], seed=seed)
     client = env.attacker
+    instances = params["instances"]
     service = client.deploy(
-        ServiceConfig(name="exp1", max_instances=max(100, config.instances))
+        ServiceConfig(name="exp1", max_instances=max(100, instances))
     )
-    handles = client.connect(service, config.instances)
+    handles = client.connect(service, instances)
     tagged_pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
-    truth = truth_clusters(config.ground_truth, env.orchestrator, tagged_pairs)
+    truth = truth_clusters(params["ground_truth"], env.orchestrator, tagged_pairs)
     counts = Counter(truth.values())
     return DistributionResult(
         n_hosts=len(counts), per_host_counts=sorted(counts.values())
     )
+
+
+def run_distribution(
+    config: DistributionConfig = DistributionConfig(),
+    runner: RunnerConfig | None = None,
+) -> DistributionResult:
+    """Experiment 1: how 800 instances spread over hosts."""
+    spec = CellSpec(
+        experiment="exp1",
+        fn=_distribution_cell,
+        config={
+            "region": config.region,
+            "instances": config.instances,
+            "ground_truth": config.ground_truth,
+        },
+        seed=config.seed,
+        label=config.region,
+    )
+    return run_cells([spec], runner)[0].value
 
 
 # ----------------------------------------------------------------------
@@ -122,8 +143,19 @@ class LaunchSeriesResult:
         return jumps
 
 
-def run_launch_series(config: LaunchSeriesConfig = LaunchSeriesConfig()) -> LaunchSeriesResult:
-    """Run a launch sequence and record apparent-host footprints."""
+def _series_cell(params: dict, seed: int) -> LaunchSeriesResult:
+    """One launch-series cell (the whole sequence is one simulation)."""
+    account_pattern = params["account_pattern"]
+    config = LaunchSeriesConfig(
+        region=params["region"],
+        launches=params["launches"],
+        instances=params["instances"],
+        interval=params["interval"],
+        account_pattern=tuple(account_pattern) if account_pattern else None,
+        fresh_service_per_launch=params["fresh_service_per_launch"],
+        p_boot=params["p_boot"],
+        seed=seed,
+    )
     env = default_env(config.region, seed=config.seed)
     pattern = config.account_pattern or tuple([1] * config.launches)
     if len(pattern) != config.launches:
@@ -161,6 +193,29 @@ def run_launch_series(config: LaunchSeriesConfig = LaunchSeriesConfig()) -> Laun
     return result
 
 
+def run_launch_series(
+    config: LaunchSeriesConfig = LaunchSeriesConfig(),
+    runner: RunnerConfig | None = None,
+) -> LaunchSeriesResult:
+    """Run a launch sequence and record apparent-host footprints."""
+    spec = CellSpec(
+        experiment="launch-series",
+        fn=_series_cell,
+        config={
+            "region": config.region,
+            "launches": config.launches,
+            "instances": config.instances,
+            "interval": config.interval,
+            "account_pattern": config.account_pattern,
+            "fresh_service_per_launch": config.fresh_service_per_launch,
+            "p_boot": config.p_boot,
+        },
+        seed=config.seed,
+        label=f"{config.region}/{config.interval / units.MINUTE:.0f}min",
+    )
+    return run_cells([spec], runner)[0].value
+
+
 @dataclass(frozen=True)
 class IntervalSweepConfig:
     """Fig. 9's companion sweep: footprint growth vs. launch interval."""
@@ -174,16 +229,32 @@ class IntervalSweepConfig:
 
 def run_interval_sweep(
     config: IntervalSweepConfig = IntervalSweepConfig(),
+    runner: RunnerConfig | None = None,
 ) -> dict[float, LaunchSeriesResult]:
-    """Run the launch series once per interval; returns interval -> result."""
-    results = {}
-    for offset, minutes in enumerate(config.intervals_minutes):
-        series = LaunchSeriesConfig(
-            region=config.region,
-            launches=config.launches,
-            instances=config.instances,
-            interval=minutes * units.MINUTE,
+    """Run the launch series once per interval; returns interval -> result.
+
+    Each interval is an independent cell, so the sweep fans out at once.
+    """
+    specs = [
+        CellSpec(
+            experiment="launch-series",
+            fn=_series_cell,
+            config={
+                "region": config.region,
+                "launches": config.launches,
+                "instances": config.instances,
+                "interval": minutes * units.MINUTE,
+                "account_pattern": None,
+                "fresh_service_per_launch": False,
+                "p_boot": 1.0,
+            },
             seed=config.seed + offset,
+            label=f"{config.region}/{minutes:.0f}min",
         )
-        results[minutes] = run_launch_series(series)
-    return results
+        for offset, minutes in enumerate(config.intervals_minutes)
+    ]
+    results = run_cells(specs, runner)
+    return {
+        minutes: cell.value
+        for minutes, cell in zip(config.intervals_minutes, results)
+    }

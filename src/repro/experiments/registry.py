@@ -30,20 +30,21 @@ from repro.experiments import (
 )
 from repro.experiments.base import default_env
 from repro.experiments.report import ComparisonRow, format_comparison, format_series, pct
+from repro.runner import RunnerConfig
 
 
 def _reps(scale: str, full: int, quick: int = 1) -> int:
     return full if scale == "full" else quick
 
 
-def _fig4(scale: str) -> str:
+def _fig4(scale: str, runner: RunnerConfig | None = None) -> str:
     from repro.analysis.asciichart import render_series
 
     config = fingerprint_accuracy.AccuracyConfig(
         regions=("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",),
         repetitions=_reps(scale, 2),
     )
-    result = fingerprint_accuracy.run(config)
+    result = fingerprint_accuracy.run(config, runner=runner)
     table = format_series(
         "Figure 4 — fingerprint accuracy vs p_boot",
         ("p_boot_s", "FMI", "precision", "recall"),
@@ -60,13 +61,13 @@ def _fig4(scale: str) -> str:
     return table + "\n\n" + chart
 
 
-def _fig5(scale: str) -> str:
+def _fig5(scale: str, runner: RunnerConfig | None = None) -> str:
     config = expiration.ExpirationConfig(
         regions=("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",),
         duration_days=7.0 if scale == "full" else 3.0,
         cadence_hours=1.0 if scale == "full" else 3.0,
     )
-    result = expiration.run(config)
+    result = expiration.run(config, runner=runner)
     grid = (1.0, 2.0, 3.0, 5.0, 7.0)
     rows = []
     for region in result.regions:
@@ -94,7 +95,7 @@ def _fig5(scale: str) -> str:
     return header + "\n\n" + tail + "\n\n" + chart
 
 
-def _fig6(scale: str) -> str:
+def _fig6(scale: str, runner: RunnerConfig | None = None) -> str:
     from repro.analysis.asciichart import render_series
 
     result = idle_termination.run(idle_termination.IdleTerminationConfig())
@@ -113,11 +114,12 @@ def _fig6(scale: str) -> str:
     return table + "\n\n" + chart
 
 
-def _exp1(scale: str) -> str:
+def _exp1(scale: str, runner: RunnerConfig | None = None) -> str:
     result = launch_behavior.run_distribution(
         launch_behavior.DistributionConfig(
             ground_truth="covert" if scale == "full" else "oracle"
-        )
+        ),
+        runner=runner,
     )
     return format_comparison(
         "Experiment 1 — 800 instances of one service",
@@ -131,8 +133,10 @@ def _exp1(scale: str) -> str:
     )
 
 
-def _fig7(scale: str) -> str:
-    result = launch_behavior.run_launch_series(launch_behavior.LaunchSeriesConfig())
+def _fig7(scale: str, runner: RunnerConfig | None = None) -> str:
+    result = launch_behavior.run_launch_series(
+        launch_behavior.LaunchSeriesConfig(), runner=runner
+    )
     return format_series(
         "Figure 7 — cold launches, 45-min interval",
         ("launch", "hosts", "cumulative"),
@@ -140,9 +144,10 @@ def _fig7(scale: str) -> str:
     )
 
 
-def _fig8(scale: str) -> str:
+def _fig8(scale: str, runner: RunnerConfig | None = None) -> str:
     result = launch_behavior.run_launch_series(
-        launch_behavior.LaunchSeriesConfig(account_pattern=(1, 1, 2, 2, 3, 3))
+        launch_behavior.LaunchSeriesConfig(account_pattern=(1, 1, 2, 2, 3, 3)),
+        runner=runner,
     )
     return format_series(
         "Figure 8 — three accounts, step pattern",
@@ -156,9 +161,9 @@ def _fig8(scale: str) -> str:
     )
 
 
-def _fig9(scale: str) -> str:
+def _fig9(scale: str, runner: RunnerConfig | None = None) -> str:
     result = launch_behavior.run_launch_series(
-        launch_behavior.LaunchSeriesConfig(interval=600.0)
+        launch_behavior.LaunchSeriesConfig(interval=600.0), runner=runner
     )
     return format_series(
         "Figure 9 — hot launches, 10-min interval",
@@ -167,7 +172,7 @@ def _fig9(scale: str) -> str:
     )
 
 
-def _fig10(scale: str) -> str:
+def _fig10(scale: str, runner: RunnerConfig | None = None) -> str:
     episodes = 6 if scale == "full" else 3
     result = helper_episodes.run(helper_episodes.EpisodesConfig(episodes=episodes))
     return format_series(
@@ -182,14 +187,20 @@ def _fig10(scale: str) -> str:
     )
 
 
-def _coverage(scale: str, strategy: str, generation: str, paper: dict) -> str:
+def _coverage(
+    scale: str,
+    runner: RunnerConfig | None,
+    strategy: str,
+    generation: str,
+    paper: dict,
+) -> str:
     config = coverage.MatrixConfig(
         strategy=strategy,
         generation=generation,
         repetitions=_reps(scale, 2),
         ground_truth="covert" if scale == "full" else "oracle",
     )
-    cells = coverage.run_matrix(config)
+    cells = coverage.run_matrix(config, runner=runner)
     rows = [
         (region, account, pct(paper[(region, account)]), pct(cell.mean))
         for (region, account, _n, _s), cell in sorted(cells.items())
@@ -201,23 +212,23 @@ def _coverage(scale: str, strategy: str, generation: str, paper: dict) -> str:
     )
 
 
-def _fig11a(scale: str) -> str:
-    return _coverage(scale, "optimized", "gen1", coverage.PAPER_OPTIMIZED_GEN1)
+def _fig11a(scale: str, runner: RunnerConfig | None = None) -> str:
+    return _coverage(scale, runner, "optimized", "gen1", coverage.PAPER_OPTIMIZED_GEN1)
 
 
-def _naive(scale: str) -> str:
-    return _coverage(scale, "naive", "gen1", coverage.PAPER_NAIVE_GEN1)
+def _naive(scale: str, runner: RunnerConfig | None = None) -> str:
+    return _coverage(scale, runner, "naive", "gen1", coverage.PAPER_NAIVE_GEN1)
 
 
-def _gen2cov(scale: str) -> str:
-    return _coverage(scale, "optimized", "gen2", coverage.PAPER_OPTIMIZED_GEN2)
+def _gen2cov(scale: str, runner: RunnerConfig | None = None) -> str:
+    return _coverage(scale, runner, "optimized", "gen2", coverage.PAPER_OPTIMIZED_GEN2)
 
 
-def _fig12(scale: str) -> str:
+def _fig12(scale: str, runner: RunnerConfig | None = None) -> str:
     regions = (
         ("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-west1",)
     )
-    summary = census.run(census.CensusConfig(regions=regions))
+    summary = census.run(census.CensusConfig(regions=regions), runner=runner)
     rows = []
     for region in summary.regions:
         rows.append(
@@ -231,11 +242,13 @@ def _fig12(scale: str) -> str:
     return format_comparison("Figure 12 — datacenter census", rows)
 
 
-def _sec42(scale: str) -> str:
+def _sec42(scale: str, runner: RunnerConfig | None = None) -> str:
     regions = (
         ("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",)
     )
-    result = frequency_noise.run(frequency_noise.FrequencyNoiseConfig(regions=regions))
+    result = frequency_noise.run(
+        frequency_noise.FrequencyNoiseConfig(regions=regions), runner=runner
+    )
     return format_comparison(
         "§4.2 — measured-frequency noise",
         [
@@ -248,7 +261,7 @@ def _sec42(scale: str) -> str:
     )
 
 
-def _sec43(scale: str) -> str:
+def _sec43(scale: str, runner: RunnerConfig | None = None) -> str:
     result = verification_cost.run(verification_cost.VerificationCostConfig())
     return format_comparison(
         "§4.3 — verification cost (800 instances)",
@@ -266,13 +279,13 @@ def _sec43(scale: str) -> str:
     )
 
 
-def _sec45(scale: str) -> str:
+def _sec45(scale: str, runner: RunnerConfig | None = None) -> str:
     config = gen2_accuracy.Gen2AccuracyConfig(
         regions=("us-east1", "us-central1", "us-west1") if scale == "full" else ("us-east1",),
         repetitions=_reps(scale, 2),
         ground_truth="covert" if scale == "full" else "oracle",
     )
-    result = gen2_accuracy.run(config)
+    result = gen2_accuracy.run(config, runner=runner)
     return format_comparison(
         "§4.5 — Gen 2 fingerprint accuracy",
         [
@@ -287,7 +300,7 @@ def _sec45(scale: str) -> str:
     )
 
 
-def _surveillance(scale: str) -> str:
+def _surveillance(scale: str, runner: RunnerConfig | None = None) -> str:
     from repro.experiments import surveillance
 
     config = surveillance.SurveillanceConfig(
@@ -315,7 +328,7 @@ def _surveillance(scale: str) -> str:
     return body + "\n\n" + tail
 
 
-def _defenses(scale: str) -> str:
+def _defenses(scale: str, runner: RunnerConfig | None = None) -> str:
     import dataclasses
 
     from repro.cloud.topology import REGION_PROFILES
@@ -351,7 +364,7 @@ def _defenses(scale: str) -> str:
     return format_comparison("§6 — attack coverage under each defense", rows)
 
 
-def _cost(scale: str) -> str:
+def _cost(scale: str, runner: RunnerConfig | None = None) -> str:
     result = attack_cost.run(attack_cost.AttackCostConfig(repetitions=_reps(scale, 2)))
     return format_comparison(
         "§5.2 — optimized attack cost",
@@ -365,8 +378,8 @@ def _cost(scale: str) -> str:
     )
 
 
-#: Experiment id -> (description, runner).
-EXPERIMENTS: dict[str, tuple[str, Callable[[str], str]]] = {
+#: Experiment id -> (description, runner function).
+EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "fig4": ("Gen 1 fingerprint accuracy vs p_boot", _fig4),
     "fig5": ("fingerprint expiration CDF", _fig5),
     "fig6": ("idle instance termination", _fig6),
@@ -388,8 +401,16 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str], str]]] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: str = "quick") -> str:
+def run_experiment(
+    experiment_id: str,
+    scale: str = "quick",
+    runner: RunnerConfig | None = None,
+) -> str:
     """Run one registered experiment and return its formatted report.
+
+    Pass a :class:`~repro.runner.RunnerConfig` to execute the experiment's
+    independent simulation cells in worker processes and/or reuse cached
+    cells; its timing and cache-hit counters are appended to the report.
 
     Raises
     ------
@@ -399,8 +420,11 @@ def run_experiment(experiment_id: str, scale: str = "quick") -> str:
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
     try:
-        _description, runner = EXPERIMENTS[experiment_id]
+        _description, runner_fn = EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
-    return runner(scale)
+    report = runner_fn(scale, runner)
+    if runner is not None and runner.stats.cells:
+        report += f"\n\n[runner] {runner.stats.summary()}"
+    return report

@@ -1,0 +1,33 @@
+"""Parallel experiment runner: process-pool fan-out plus cell caching.
+
+Experiment drivers decompose their work into independent ``(config, seed)``
+cells (:class:`CellSpec`), hand them to :func:`run_cells`, and get back
+:class:`CellResult` values in order.  Execution policy — worker count,
+cache reads/writes, where the cache lives — is a :class:`RunnerConfig`,
+threaded through from the CLI's ``--jobs`` / ``--no-cache`` flags or the
+benchmark harness.
+"""
+
+from repro.runner.cache import CACHE_DIR_ENV, CellCache, default_cache_dir
+from repro.runner.cellspec import (
+    CellResult,
+    CellSpec,
+    CellSpecError,
+    cache_key,
+    canonicalize,
+)
+from repro.runner.pool import RunnerConfig, RunStats, run_cells
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CellCache",
+    "CellResult",
+    "CellSpec",
+    "CellSpecError",
+    "RunStats",
+    "RunnerConfig",
+    "cache_key",
+    "canonicalize",
+    "default_cache_dir",
+    "run_cells",
+]

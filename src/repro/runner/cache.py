@@ -1,0 +1,101 @@
+"""Content-addressed on-disk cache for completed experiment cells.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-runner``),
+one pickle file per cell, named by the cell's :func:`~repro.runner.cellspec.cache_key`.
+Because the key covers the experiment id, the canonicalized configuration,
+the seed, and the package version, a stored value is valid forever: the
+same key can only ever map to the same deterministic simulation output.
+
+The cache is deliberately forgiving: a corrupted, truncated, or
+foreign-format entry is treated as a miss (and removed when possible), and
+I/O failures while writing are swallowed — caching is an optimization,
+never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Format tag stored in every entry; bump when the entry layout changes.
+_ENTRY_FORMAT = "repro-cell-v1"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment or the home dir."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-runner"
+
+
+class CellCache:
+    """A directory of pickled cell values keyed by content hash."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """File path of the entry for ``key`` (two-level fan-out)."""
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, object, float]:
+        """Look up a cell value.
+
+        Returns ``(hit, value, stored_elapsed_s)``.  Any read or decode
+        failure — missing file, truncated pickle, foreign format, key
+        mismatch — is a miss; unreadable entries are deleted best-effort.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("format") != _ENTRY_FORMAT
+                or entry.get("key") != key
+            ):
+                raise ValueError(f"not a {_ENTRY_FORMAT} entry")
+            return True, entry["value"], float(entry.get("elapsed_s", 0.0))
+        except FileNotFoundError:
+            return False, None, 0.0
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None, 0.0
+
+    def put(self, key: str, value: object, elapsed_s: float) -> None:
+        """Store a cell value atomically (write-to-temp, then rename).
+
+        Failures are swallowed: a read-only or full filesystem must never
+        break an experiment run.
+        """
+        path = self.path_for(key)
+        entry = {
+            "format": _ENTRY_FORMAT,
+            "key": key,
+            "elapsed_s": float(elapsed_s),
+            "value": value,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            pass

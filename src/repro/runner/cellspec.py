@@ -1,0 +1,125 @@
+"""Picklable experiment cells and their content-addressed identities.
+
+A *cell* is the unit of embarrassing parallelism in the experiment drivers:
+one independent ``(configuration, seed)`` simulation whose result depends on
+nothing but those inputs.  :class:`CellSpec` names the cell function and its
+inputs; :class:`CellResult` carries the value back with timing and cache
+provenance.  Both must survive a round-trip through ``pickle`` so cells can
+run in worker processes (:mod:`repro.runner.pool`) and rest on disk
+(:mod:`repro.runner.cache`).
+
+The cache identity of a cell is the SHA-256 of ``(experiment id,
+canonicalized config, seed, package version)`` — see :func:`cache_key`.
+Changing any of the four recomputes the cell; nothing else does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import _version
+from repro.errors import ReproError
+
+
+class CellSpecError(ReproError):
+    """Raised when a cell's configuration cannot be canonicalized."""
+
+
+def canonicalize(config: Any) -> Any:
+    """Reduce ``config`` to a deterministic JSON-able structure.
+
+    Handles the types experiment configurations are built from: scalars,
+    strings, mappings, sequences, sets, and (frozen) dataclasses.  Mapping
+    keys are sorted and dataclasses are tagged with their qualified name so
+    two config types with identical fields do not collide.
+    """
+    if config is None or isinstance(config, (bool, int, float, str)):
+        return config
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        tag = f"{type(config).__module__}.{type(config).__qualname__}"
+        fields = {
+            f.name: canonicalize(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        }
+        return {"__dataclass__": tag, "fields": fields}
+    if isinstance(config, dict):
+        try:
+            items = sorted(config.items())
+        except TypeError as error:
+            raise CellSpecError(
+                f"cell config mapping keys must be sortable: {config!r}"
+            ) from error
+        return {str(k): canonicalize(v) for k, v in items}
+    if isinstance(config, (list, tuple)):
+        return [canonicalize(item) for item in config]
+    if isinstance(config, (set, frozenset)):
+        return sorted(canonicalize(item) for item in config)
+    raise CellSpecError(
+        f"cannot canonicalize {type(config).__name__!r} in a cell config"
+    )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent simulation cell.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment identifier (part of the cache key).
+    fn:
+        Module-level callable ``fn(config, seed) -> value``.  It must be
+        importable by name (no lambdas or closures) so worker processes can
+        unpickle it, and its value must itself be picklable.
+    config:
+        The cell's full configuration; canonicalized into the cache key.
+    seed:
+        Master seed for the cell.  Every RNG inside the cell must derive
+        from it, which is what makes serial and pooled runs identical.
+    label:
+        Free-form display label (not part of the cache key).
+    """
+
+    experiment: str
+    fn: Callable[[Any, int], Any]
+    config: Any
+    seed: int
+    label: str = ""
+
+    def key(self) -> str:
+        """Content-addressed cache key for this cell."""
+        return cache_key(self.experiment, self.config, self.seed)
+
+
+@dataclass
+class CellResult:
+    """The outcome of one executed (or cache-restored) cell."""
+
+    experiment: str
+    seed: int
+    label: str
+    key: str
+    value: Any
+    elapsed_s: float
+    cached: bool = field(default=False)
+
+    def value_digest(self) -> str:
+        """SHA-256 of the pickled value (byte-identity across runs)."""
+        return hashlib.sha256(pickle.dumps(self.value)).hexdigest()
+
+
+def cache_key(experiment: str, config: Any, seed: int) -> str:
+    """SHA-256 over (experiment id, canonical config, seed, version)."""
+    payload = {
+        "experiment": experiment,
+        "config": canonicalize(config),
+        "seed": int(seed),
+        "version": _version.__version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

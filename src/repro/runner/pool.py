@@ -1,0 +1,175 @@
+"""Fan experiment cells out across worker processes, with cell caching.
+
+:func:`run_cells` is the shared entry point every multi-cell experiment
+driver routes through.  The default (``parallelism=0``) executes cells
+serially in-process — exactly the behavior the drivers had before the
+runner existed, preserving determinism and debuggability (breakpoints,
+tracebacks, profilers all see one process).  With ``parallelism=N`` the
+uncached cells are submitted to a ``ProcessPoolExecutor`` of ``N`` workers;
+because every cell derives all randomness from its own seed, pooled and
+serial runs produce byte-identical results.
+
+Per-cell timing and cache-hit counters accumulate on the
+:class:`RunnerConfig`'s :class:`RunStats`, so callers (the CLI, the
+benchmark harness) can report the achieved speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.runner.cache import CellCache
+from repro.runner.cellspec import CellResult, CellSpec
+
+
+@dataclass
+class RunStats:
+    """Aggregated counters for one runner's cell executions."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    computed_seconds: float = 0.0
+    saved_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    parallelism: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells restored from the cache."""
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable report of the counters."""
+        return (
+            f"{self.cells} cells, {self.cache_hits} cache hits "
+            f"({100.0 * self.hit_rate:.0f}%), computed "
+            f"{self.computed_seconds:.1f}s, saved ~{self.saved_seconds:.1f}s, "
+            f"wall {self.wall_seconds:.1f}s, jobs {self.parallelism}"
+        )
+
+
+@dataclass
+class RunnerConfig:
+    """How an experiment's cells should be executed.
+
+    The default is the conservative library behavior: serial, in-process,
+    no cache — indistinguishable from calling the cell functions directly.
+    The CLI and benchmark harness opt into workers and caching explicitly.
+
+    Attributes
+    ----------
+    parallelism:
+        0 runs cells serially in-process; ``N >= 1`` fans uncached cells
+        out to ``N`` worker processes.
+    cache_read:
+        Restore completed cells from the on-disk cache.
+    cache_write:
+        Store newly computed cells.  ``--no-cache`` maps to
+        ``cache_read=False, cache_write=True``: bypass reads, still write.
+    cache_dir:
+        Cache location override (default: ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-runner``).
+    stats:
+        Mutable accumulator shared across every ``run_cells`` call made
+        with this config.
+    """
+
+    parallelism: int = 0
+    cache_read: bool = False
+    cache_write: bool = False
+    cache_dir: str | Path | None = None
+    stats: RunStats = field(default_factory=RunStats)
+
+    @classmethod
+    def from_cli(
+        cls, jobs: int = 0, no_cache: bool = False,
+        cache_dir: str | Path | None = None,
+    ) -> "RunnerConfig":
+        """The CLI mapping: caching on by default, ``--no-cache`` skips reads."""
+        return cls(
+            parallelism=jobs,
+            cache_read=not no_cache,
+            cache_write=True,
+            cache_dir=cache_dir,
+        )
+
+
+def _execute_cell(spec: CellSpec) -> CellResult:
+    """Run one cell and time it (top-level so worker processes can load it)."""
+    start = time.perf_counter()
+    value = spec.fn(spec.config, spec.seed)
+    elapsed = time.perf_counter() - start
+    return CellResult(
+        experiment=spec.experiment,
+        seed=spec.seed,
+        label=spec.label,
+        key=spec.key(),
+        value=value,
+        elapsed_s=elapsed,
+    )
+
+
+def run_cells(
+    specs: Sequence[CellSpec], runner: RunnerConfig | None = None
+) -> list[CellResult]:
+    """Execute every cell, reusing cached results, in spec order.
+
+    Cache reads and writes happen in the parent process only, so worker
+    processes never contend on the cache directory.
+    """
+    if runner is None:
+        runner = RunnerConfig()
+    specs = list(specs)
+    wall_start = time.perf_counter()
+    cache = (
+        CellCache(runner.cache_dir)
+        if (runner.cache_read or runner.cache_write)
+        else None
+    )
+
+    results: list[CellResult | None] = [None] * len(specs)
+    misses: list[tuple[int, CellSpec]] = []
+    for index, spec in enumerate(specs):
+        key = spec.key()
+        if cache is not None and runner.cache_read:
+            hit, value, stored_elapsed = cache.get(key)
+            if hit:
+                results[index] = CellResult(
+                    experiment=spec.experiment,
+                    seed=spec.seed,
+                    label=spec.label,
+                    key=key,
+                    value=value,
+                    elapsed_s=stored_elapsed,
+                    cached=True,
+                )
+                continue
+        misses.append((index, spec))
+
+    if misses:
+        miss_specs = [spec for _index, spec in misses]
+        if runner.parallelism >= 1:
+            with ProcessPoolExecutor(max_workers=runner.parallelism) as pool:
+                computed = list(pool.map(_execute_cell, miss_specs))
+        else:
+            computed = [_execute_cell(spec) for spec in miss_specs]
+        for (index, _spec), result in zip(misses, computed):
+            results[index] = result
+            if cache is not None and runner.cache_write:
+                cache.put(result.key, result.value, result.elapsed_s)
+
+    stats = runner.stats
+    stats.parallelism = runner.parallelism
+    stats.wall_seconds += time.perf_counter() - wall_start
+    for result in results:
+        stats.cells += 1
+        if result.cached:
+            stats.cache_hits += 1
+            stats.saved_seconds += result.elapsed_s
+        else:
+            stats.computed_seconds += result.elapsed_s
+    return results

@@ -3,6 +3,11 @@
 The FaaS orchestrator uses this to schedule deferred work such as idle
 instance termination: events registered for time ``t`` fire as soon as the
 clock advances to or past ``t``, in timestamp order.
+
+Cancelled events are compacted lazily: a cancelled entry is dropped when it
+reaches the top of the heap, and when more than half the heap is dead the
+whole queue is rebuilt.  Long campaigns cancel thousands of keep-alive and
+idle-timer events, so without compaction the heap grows without bound.
 """
 
 from __future__ import annotations
@@ -10,9 +15,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.simtime.clock import SimClock
+
+#: Dead entries tolerated before compaction is even considered; keeps tiny
+#: queues from re-heapifying constantly.
+_COMPACT_MIN_DEAD = 64
 
 
 @dataclass(order=True)
@@ -27,10 +36,18 @@ class ScheduledEvent:
     sequence: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _fired: bool = field(default=False, compare=False, repr=False)
+    _owner: Optional["EventScheduler"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if it already fired)."""
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
 
 class EventScheduler:
@@ -55,6 +72,7 @@ class EventScheduler:
         self._clock = clock
         self._queue: list[ScheduledEvent] = []
         self._counter = itertools.count()
+        self._dead = 0
         clock.add_tick_hook(self._on_tick)
 
     def call_at(self, when: float, action: Callable[[], None]) -> ScheduledEvent:
@@ -63,7 +81,12 @@ class EventScheduler:
         Events scheduled in the past fire on the next clock advancement.
         Returns the event so callers may :meth:`~ScheduledEvent.cancel` it.
         """
-        event = ScheduledEvent(when=float(when), sequence=next(self._counter), action=action)
+        event = ScheduledEvent(
+            when=float(when),
+            sequence=next(self._counter),
+            action=action,
+            _owner=self,
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -72,14 +95,29 @@ class EventScheduler:
         return self.call_at(self._clock.now() + delay, action)
 
     def pending(self) -> int:
-        """Return the number of events still waiting to fire."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Return the number of events still waiting to fire (O(1))."""
+        return len(self._queue) - self._dead
+
+    def _note_cancelled(self) -> None:
+        """Count one newly cancelled queued event; compact if >50% dead."""
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     def _on_tick(self, now: float) -> None:
         while self._queue and self._queue[0].when <= now:
             event = heapq.heappop(self._queue)
-            if not event.cancelled:
-                event.action()
+            if event.cancelled:
+                self._dead -= 1
+                continue
+            event._fired = True
+            event.action()
 
     def detach(self) -> None:
         """Stop observing the clock (used when tearing down a simulation)."""

@@ -13,6 +13,16 @@ from repro.hardware.tsc import TimestampCounter
 from repro.simtime.clock import SIM_EPOCH, SimClock
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cell_cache(tmp_path, monkeypatch):
+    """Keep every test's runner cache inside its own tmp directory.
+
+    Without this, CLI/driver tests invoked with caching enabled would read
+    and write ``~/.cache/repro-runner`` on the developer's machine.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cell-cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator."""

@@ -4,7 +4,7 @@ import pytest
 
 from repro import units
 from repro.cloud.services import ServiceConfig
-from repro.core.attack.strategies import naive_launch, optimized_launch
+from repro.core.attack.strategies import optimized_launch
 from repro.core.fingerprint import fingerprint_gen1_instances
 from repro.experiments.base import default_env
 

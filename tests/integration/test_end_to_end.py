@@ -5,7 +5,6 @@ co-location through the covert channel, attack, measure coverage — and
 cross-check every black-box conclusion against the simulator's oracle.
 """
 
-import pytest
 
 from repro import units
 from repro.analysis.metrics import pair_confusion

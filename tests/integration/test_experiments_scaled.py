@@ -5,7 +5,6 @@ full scale); they assert each driver's qualitative result holds and its
 output is well-formed.
 """
 
-import math
 
 import pytest
 

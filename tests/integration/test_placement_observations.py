@@ -6,7 +6,6 @@ mirroring the methodology of the paper's Experiments 1-4.
 
 from collections import Counter
 
-import pytest
 
 from repro import units
 from repro.cloud.services import LARGE, SMALL, ServiceConfig

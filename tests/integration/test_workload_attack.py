@@ -1,11 +1,10 @@
 """Integration: attacking a victim whose fleet follows live traffic."""
 
-import pytest
 
 from repro import units
 from repro.cloud.autoscaler import Autoscaler
 from repro.cloud.services import ServiceConfig
-from repro.cloud.workloads import BurstLoad, DiurnalLoad
+from repro.cloud.workloads import BurstLoad
 from repro.core.attack.residency import ResidencyMaintainer
 from repro.core.attack.strategies import optimized_launch
 

@@ -1,6 +1,5 @@
 """Property-based tests for request patterns and the autoscaler."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro import units

@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import assume, given, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.analysis.drift import DriftFit, estimate_expiration_time
 from repro.core.fingerprint import Gen1Fingerprint, Gen1Sample

@@ -1,6 +1,5 @@
 """Property-based tests for policy inference on synthetic observations."""
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Extra coverage: chart rendering inside registry outputs and misc glue."""
 
-import pytest
 
 from repro.experiments.registry import run_experiment
 

@@ -1,6 +1,5 @@
 """Unit tests for the census and host-tracking attack components."""
 
-import pytest
 
 from repro import units
 from repro.core.attack.census import estimate_cluster_size

@@ -8,7 +8,6 @@ from repro.core.attack.planner import (
     AttackPlanner,
     LaunchSchedule,
     PolicyModel,
-    SchedulePrediction,
 )
 
 

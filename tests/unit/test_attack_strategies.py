@@ -1,6 +1,5 @@
 """Unit tests for the launching strategies."""
 
-import pytest
 
 from repro import units
 from repro.core.attack.strategies import naive_launch, optimized_launch

@@ -1,6 +1,5 @@
 """Unit tests for repeat-attack optimizations (victim profiling)."""
 
-import pytest
 
 from repro import units
 from repro.core.attack.targeting import VictimProfile, multi_account_footprint

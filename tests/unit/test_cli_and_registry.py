@@ -54,6 +54,30 @@ class TestCli:
     def test_scale_flag_parsed(self, capsys):
         assert main(["run", "exp1", "--scale", "quick"]) == 0
 
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["run", "exp1", "--jobs", "-1"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_run_reports_runner_stats(self, capsys):
+        assert main(["run", "exp1"]) == 0
+        out = capsys.readouterr().out
+        assert "[runner]" in out
+        assert "1 cells" in out
+
+    def test_second_run_hits_cache(self, capsys):
+        assert main(["run", "exp1"]) == 0
+        capsys.readouterr()
+        assert main(["run", "exp1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits (100%)" in out
+
+    def test_no_cache_flag_recomputes(self, capsys):
+        assert main(["run", "exp1"]) == 0
+        capsys.readouterr()
+        assert main(["run", "exp1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out
+
 
 class TestChannelStats:
     def test_record_batch_accumulates(self):
@@ -83,6 +107,20 @@ class TestBuildParser:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "exp1", "--scale", "huge"])
+
+    def test_parser_accepts_jobs_and_no_cache(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "fig4", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_parser_defaults_serial_with_cache(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.jobs == 0
+        assert args.no_cache is False
 
     def test_extension_experiments_registered(self):
         assert "surveillance" in EXPERIMENTS

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.billing import BillingMeter, PricingRates, TIER1_RATES, pairwise_test_cost
+from repro.cloud.billing import BillingMeter, TIER1_RATES, pairwise_test_cost
 
 
 class TestPricingRates:

@@ -1,6 +1,5 @@
 """Unit tests for the CPU activity meter and the activity detector."""
 
-import numpy as np
 import pytest
 
 from repro.cloud.services import ServiceConfig

@@ -1,7 +1,5 @@
 """Edge cases around fingerprint collection and placement stability."""
 
-import numpy as np
-import pytest
 
 from repro import units
 from repro.cloud.services import ServiceConfig

@@ -1,7 +1,6 @@
 """Unit tests for the timing-noise and frequency-error models."""
 
 import numpy as np
-import pytest
 
 from repro import units
 from repro.hardware.noise import (

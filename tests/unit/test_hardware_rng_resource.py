@@ -1,6 +1,5 @@
 """Unit tests for the RNG contention resource."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.rng_resource import RngContentionResource

@@ -1,6 +1,5 @@
 """Unit tests for the memory-bus covert channel (prior-work baseline)."""
 
-import pytest
 
 from repro.cloud.services import ServiceConfig
 from repro.core.covert import MemoryBusCovertChannel, RngCovertChannel

@@ -2,9 +2,7 @@
 placement scatter, helper recruitment integration, startup slowdown, and
 per-service bookkeeping."""
 
-import pytest
 
-from repro import units
 from repro.cloud.services import ServiceConfig
 from repro.experiments.base import default_env
 
@@ -130,3 +128,54 @@ class TestServiceBookkeeping:
 
         counts = Counter(orch.true_host_of(h.instance_id) for h in second)
         assert max(counts.values()) - min(counts.values()) <= 2
+
+
+class TestIdleReapLifecycle:
+    """Stale idle-reap events must be cancelled, not left to no-op: a long
+    campaign of connect/disconnect cycles would otherwise pile dead events
+    into the scheduler queue forever."""
+
+    def test_disconnect_schedules_one_reap_per_idle_instance(self, tiny_env):
+        client, name, handles = deploy_and_connect(tiny_env, 10)
+        orch = tiny_env.orchestrator
+        assert orch.scheduler.pending() == 0
+        client.disconnect(name)
+        assert orch.scheduler.pending() == 10
+        assert len(orch._idle_reaps) == 10
+
+    def test_reconnect_cancels_reaps_of_reused_instances(self, tiny_env):
+        client, name, handles = deploy_and_connect(tiny_env, 10)
+        orch = tiny_env.orchestrator
+        client.disconnect(name)
+        client.connect(name, 10)  # reuses the still-warm idle instances
+        reused = sum(1 for h in handles if h.alive)
+        assert orch.scheduler.pending() == 10 - reused
+        assert len(orch._idle_reaps) == 10 - reused
+
+    def test_kill_cancels_pending_reaps(self, tiny_env):
+        client, name, _handles = deploy_and_connect(tiny_env, 10)
+        orch = tiny_env.orchestrator
+        client.disconnect(name)
+        client.kill(name)
+        assert orch.scheduler.pending() == 0
+        assert orch._idle_reaps == {}
+
+    def test_fired_reaps_clear_their_registry_entries(self, tiny_env):
+        client, name, _handles = deploy_and_connect(tiny_env, 10)
+        orch = tiny_env.orchestrator
+        client.disconnect(name)
+        profile = tiny_env.datacenter.profile
+        client.wait(profile.idle_deadline + 1.0)
+        assert orch.scheduler.pending() == 0
+        assert orch._idle_reaps == {}
+
+    def test_churn_does_not_grow_scheduler_queue(self, tiny_env):
+        client, name, _handles = deploy_and_connect(tiny_env, 8)
+        orch = tiny_env.orchestrator
+        for _ in range(30):
+            client.disconnect(name)
+            client.connect(name, 8)
+        # Cancelled reaps from every cycle must not accumulate: the queue
+        # holds at most the live reaps plus a bounded dead remainder.
+        assert orch.scheduler.pending() <= 8
+        assert len(orch.scheduler._queue) <= 8 + 64

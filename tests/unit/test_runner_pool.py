@@ -1,0 +1,98 @@
+"""Unit tests for the process-pool runner and its determinism guarantee."""
+
+from repro.experiments.launch_behavior import _distribution_cell
+from repro.runner import CellSpec, RunnerConfig, RunStats, run_cells
+
+
+def _slow_square(config: dict, seed: int) -> int:
+    return config["x"] * config["x"] + seed
+
+
+def _make_specs(n: int) -> list[CellSpec]:
+    return [
+        CellSpec(
+            experiment="pool-demo",
+            fn=_slow_square,
+            config={"x": i},
+            seed=i,
+            label=f"cell-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunCells:
+    def test_serial_results_in_spec_order(self):
+        results = run_cells(_make_specs(5))
+        assert [r.value for r in results] == [i * i + i for i in range(5)]
+        assert [r.label for r in results] == [f"cell-{i}" for i in range(5)]
+
+    def test_pool_results_in_spec_order(self):
+        runner = RunnerConfig(parallelism=2)
+        results = run_cells(_make_specs(5), runner)
+        assert [r.value for r in results] == [i * i + i for i in range(5)]
+
+    def test_stats_accumulate_across_calls(self):
+        runner = RunnerConfig()
+        run_cells(_make_specs(3), runner)
+        run_cells(_make_specs(2), runner)
+        assert runner.stats.cells == 5
+        assert runner.stats.cache_hits == 0
+        assert runner.stats.wall_seconds > 0.0
+
+    def test_hit_rate_handles_zero_cells(self):
+        assert RunStats().hit_rate == 0.0
+
+    def test_summary_mentions_cells_and_hits(self):
+        stats = RunStats(cells=4, cache_hits=3, parallelism=2)
+        text = stats.summary()
+        assert "4 cells" in text
+        assert "3 cache hits" in text
+        assert "75%" in text
+
+    def test_empty_spec_list(self):
+        assert run_cells([]) == []
+
+
+class TestSerialPoolIdentity:
+    """The satellite-2 regression: the same ``CellSpec`` must produce a
+    byte-identical ``CellResult`` whether it runs in-process or in a
+    worker pool.  This exercises a real simulation cell end-to-end, so it
+    catches any RNG that escapes the cell's master seed (module-level
+    ``random``, iteration-order-dependent draws)."""
+
+    def _real_specs(self) -> list[CellSpec]:
+        params = {"region": "us-east1", "instances": 60, "ground_truth": "oracle"}
+        return [
+            CellSpec(
+                experiment="exp1-test",
+                fn=_distribution_cell,
+                config=params,
+                seed=seed,
+                label=f"seed-{seed}",
+            )
+            for seed in (101, 202)
+        ]
+
+    def test_serial_and_pooled_results_byte_identical(self):
+        serial = run_cells(self._real_specs())
+        pooled = run_cells(self._real_specs(), RunnerConfig(parallelism=2))
+        assert [r.value_digest() for r in serial] == [
+            r.value_digest() for r in pooled
+        ]
+
+    def test_repeat_serial_run_byte_identical(self):
+        first = run_cells(self._real_specs())
+        second = run_cells(self._real_specs())
+        assert [r.value_digest() for r in first] == [
+            r.value_digest() for r in second
+        ]
+
+    def test_cached_value_byte_identical_to_computed(self, tmp_path):
+        runner = RunnerConfig(cache_read=True, cache_write=True, cache_dir=tmp_path)
+        computed = run_cells(self._real_specs(), runner)
+        restored = run_cells(self._real_specs(), runner)
+        assert all(r.cached for r in restored)
+        assert [r.value_digest() for r in computed] == [
+            r.value_digest() for r in restored
+        ]

@@ -108,6 +108,80 @@ class TestSchedulerStress:
         assert fired == sorted(fired)
         assert len(fired) == 300
 
+    def test_cancel_is_idempotent(self, clock):
+        sched = EventScheduler(clock)
+        event = sched.call_after(5.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sched.pending() == 0
+
+    def test_cancel_after_fire_is_noop(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        event = sched.call_after(1.0, lambda: fired.append("x"))
+        clock.sleep(2.0)
+        assert fired == ["x"]
+        event.cancel()  # must not corrupt the dead-entry accounting
+        assert sched.pending() == 0
+        sched.call_after(1.0, lambda: fired.append("y"))
+        assert sched.pending() == 1
+        clock.sleep(2.0)
+        assert fired == ["x", "y"]
+
+    def test_mass_cancel_compacts_queue(self, clock):
+        """Cancelling most of a large queue rebuilds the heap instead of
+        letting dead entries accumulate until their timestamps pass."""
+        sched = EventScheduler(clock)
+        keep = [sched.call_after(1e6 + i, lambda: None) for i in range(100)]
+        doomed = [sched.call_after(2e6 + i, lambda: None) for i in range(900)]
+        for event in doomed:
+            event.cancel()
+        # Far-future events never popped, yet the queue shrank in place.
+        assert len(sched._queue) <= 200
+        assert sched.pending() == len(keep)
+
+    def test_small_queues_skip_compaction(self, clock):
+        """Below the dead-entry floor the heap is left alone (no rebuild
+        churn for tiny queues)."""
+        sched = EventScheduler(clock)
+        events = [sched.call_after(1e6 + i, lambda: None) for i in range(20)]
+        for event in events[:15]:
+            event.cancel()
+        assert len(sched._queue) == 20  # >50% dead but under the floor
+        assert sched.pending() == 5
+
+    def test_cancelled_events_dropped_on_pop(self, clock):
+        sched = EventScheduler(clock)
+        fired = []
+        live = sched.call_after(10.0, lambda: fired.append("live"))
+        dead = sched.call_after(5.0, lambda: fired.append("dead"))
+        dead.cancel()
+        clock.sleep(20.0)
+        assert fired == ["live"]
+        assert live._fired
+        assert sched.pending() == 0
+        assert sched._queue == []
+
+    def test_pending_exact_through_mixed_churn(self, clock):
+        import random
+
+        rnd = random.Random(7)
+        sched = EventScheduler(clock)
+        events = [sched.call_after(rnd.uniform(0, 500), lambda: None)
+                  for _ in range(200)]
+        cancelled = set(rnd.sample(range(200), 80))
+        for i in cancelled:
+            events[i].cancel()
+        assert sched.pending() == 120
+        clock.sleep(250.0)
+        expected = sum(
+            1 for i, e in enumerate(events)
+            if i not in cancelled and not e._fired
+        )
+        assert sched.pending() == expected
+        clock.sleep(300.0)
+        assert sched.pending() == 0
+
     def test_cancel_half_fire_half(self, clock):
         sched = EventScheduler(clock)
         fired = []
