@@ -8,10 +8,16 @@ Examples::
     python -m repro run all --scale quick
     python -m repro run fig4 --scale full --jobs 4
     python -m repro run fig12 --no-cache
+    python -m repro run exp1 --faults "launch=0.1,cell=0.3,seed=7" --max-retries 3
 
 Completed simulation cells are cached under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-runner``), so re-running a command reuses them; ``--jobs N``
 fans the remaining cells out over N worker processes.
+
+``--faults SPEC`` runs the experiment under a seeded deterministic fault
+schedule (launch errors/slow launches, CTest noise and mid-test deaths,
+cell failures — see :mod:`repro.faults`); ``--max-retries`` bounds the
+per-cell retry budget.  Fault-injected runs never touch the cell cache.
 """
 
 from __future__ import annotations
@@ -20,7 +26,9 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.errors import FaultSpecError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.faults import FaultPlan
 from repro.runner import RunnerConfig
 
 
@@ -61,6 +69,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every cell instead of reading the cell cache "
         "(fresh results are still written back)",
     )
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic platform faults, e.g. "
+        "'launch=0.1,slow=0.05,ctest=0.02,death=0.01,cell=0.3,seed=7' "
+        "(disables the cell cache for the run)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget for failed cells (default 1)",
+    )
     return parser
 
 
@@ -78,15 +101,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.jobs < 0:
             print("--jobs must be >= 0", file=sys.stderr)
             return 2
+        if args.max_retries is not None and args.max_retries < 0:
+            print("--max-retries must be >= 0", file=sys.stderr)
+            return 2
+        fault_plan = None
+        if args.faults:
+            try:
+                fault_plan = FaultPlan.from_spec(args.faults)
+            except FaultSpecError as error:
+                print(f"--faults: {error}", file=sys.stderr)
+                return 2
         ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         for eid in ids:
-            runner = RunnerConfig.from_cli(jobs=args.jobs, no_cache=args.no_cache)
+            runner = RunnerConfig.from_cli(
+                jobs=args.jobs,
+                no_cache=args.no_cache,
+                fault_plan=fault_plan,
+                max_retries=args.max_retries,
+            )
             try:
                 report = run_experiment(eid, scale=args.scale, runner=runner)
             except KeyError as error:
                 print(error.args[0], file=sys.stderr)
                 return 2
             print(report)
+            if fault_plan is not None:
+                # Counters are parent-side: exhaustive with --jobs 0; with
+                # workers, injections inside cells stay in the workers and
+                # the [runner] retry/error counters tell the story.
+                print(f"[faults] spec '{args.faults}': {fault_plan.counters.summary()}")
             print()
         return 0
 

@@ -16,7 +16,8 @@ from typing import Callable, TypeVar
 from repro.cloud.instance import ContainerInstance
 from repro.cloud.orchestrator import Orchestrator
 from repro.cloud.services import Service, ServiceConfig
-from repro.errors import CloudError
+from repro.errors import CloudError, LaunchError
+from repro.faults import RetryPolicy
 from repro.sandbox.base import Sandbox
 
 T = TypeVar("T")
@@ -78,13 +79,25 @@ class FaaSClient:
     account_id:
         The account this client authenticates as; it must already be
         registered with the orchestrator.
+    retry_policy:
+        Optional client-side launch-retry discipline: when set, a
+        ``connect`` that fails with :class:`LaunchError` (the platform
+        exhausted its own per-instance retries) waits out the backoff and
+        re-requests the whole target.  ``None`` (the default) propagates
+        the error immediately — the historical behavior.
     """
 
-    def __init__(self, orchestrator: Orchestrator, account_id: str) -> None:
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        account_id: str,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         if account_id not in orchestrator.accounts:
             raise CloudError(f"account {account_id!r} is not registered")
         self._orchestrator = orchestrator
         self.account_id = account_id
+        self.retry_policy = retry_policy
         self._services: dict[str, Service] = {}
 
     @property
@@ -129,9 +142,23 @@ class FaaSClient:
     def connect(self, service_name: str, n_connections: int) -> list[InstanceHandle]:
         """Open ``n_connections`` connections, forcing that many instances.
 
-        Returns handles to the instances serving the connections.
+        Returns handles to the instances serving the connections.  With a
+        ``retry_policy``, platform-side launch failures are retried
+        (already-launched instances are reused, so a retry only asks for
+        the remainder).
         """
-        instances = self._orchestrator.connect(self._service(service_name), n_connections)
+        service = self._service(service_name)
+        attempt = 0
+        while True:
+            try:
+                instances = self._orchestrator.connect(service, n_connections)
+                break
+            except LaunchError:
+                policy = self.retry_policy
+                if policy is None or attempt >= policy.max_retries:
+                    raise
+                self.wait(policy.backoff(attempt))
+                attempt += 1
         return [InstanceHandle(instance) for instance in instances]
 
     def disconnect(self, service_name: str) -> None:

@@ -26,7 +26,8 @@ from repro.cloud.instance import ContainerInstance, InstanceState
 from repro.cloud.loadbalancer import DemandTracker, HelperHostRecruiter
 from repro.cloud.placement import PlacementPolicy, PlacementRequest
 from repro.cloud.services import Service, ServiceConfig
-from repro.errors import CloudError
+from repro.errors import CloudError, LaunchError
+from repro.faults import DEFAULT_LAUNCH_RETRY, FaultPlan, RetryPolicy
 from repro.sandbox.base import Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
@@ -43,14 +44,26 @@ class Orchestrator:
     tsc_policy:
         Fleet-wide TSC exposure policy; set to ``TscPolicy.EMULATED`` to
         enable the paper's §6 mitigation on every host.
+    fault_plan:
+        Optional deterministic fault schedule; injects launch errors and
+        slow launches at instance-creation time.
+    retry_policy:
+        Bounded retry-with-backoff for failed launch attempts (backoff is
+        slept in simulated time).  Defaults to two retries.
     """
 
     def __init__(
-        self, datacenter: DataCenter, tsc_policy: TscPolicy = TscPolicy.NATIVE
+        self,
+        datacenter: DataCenter,
+        tsc_policy: TscPolicy = TscPolicy.NATIVE,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.datacenter = datacenter
         self.clock = datacenter.clock
         self.tsc_policy = tsc_policy
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_LAUNCH_RETRY
         self.scheduler = EventScheduler(self.clock)
         self.accounts: dict[str, Account] = {}
         self.services: dict[str, Service] = {}
@@ -158,8 +171,14 @@ class Orchestrator:
             self._recruiter.recruit(service, new_needed, candidates)
 
         if new_needed > 0:
-            self._create_instances(service, account, new_needed, serving_pool)
-            self.clock.sleep(self._startup_seconds(service, new_needed, target))
+            created = self._create_instances(service, account, new_needed, serving_pool)
+            startup = self._startup_seconds(service, new_needed, target)
+            if self.fault_plan is not None:
+                startup += sum(
+                    self.fault_plan.slow_launch_penalty(i.instance_id)
+                    for i in created
+                )
+            self.clock.sleep(startup)
 
         active = [i for i in self.alive_instances(service) if i.state is InstanceState.ACTIVE]
         return active[:target] if len(active) > target else active
@@ -309,8 +328,9 @@ class Orchestrator:
         now = self.clock.now()
         created = []
         for host_id in host_ids:
-            host_counts[host_id] = host_counts.get(host_id, 0) + 1
             instance_id = f"{service.qualified_name}#{next(self._instance_counter):07d}"
+            self._attempt_launch(instance_id)
+            host_counts[host_id] = host_counts.get(host_id, 0) + 1
             sandbox = self._make_sandbox(service, host_id, instance_id)
             instance = ContainerInstance(
                 instance_id=instance_id,
@@ -324,6 +344,27 @@ class Orchestrator:
             self._service_instances.setdefault(service.qualified_name, []).append(instance)
             created.append(instance)
         return created
+
+    def _attempt_launch(self, instance_id: str) -> None:
+        """Survive injected launch failures with bounded retry-with-backoff.
+
+        Each failed attempt sleeps the policy's backoff in simulated time
+        before retrying; the fault plan keys its decision on the attempt
+        number, so a retry is a genuinely new draw.  Raises
+        :class:`LaunchError` once the retry budget is exhausted.
+        """
+        if self.fault_plan is None:
+            return
+        attempt = 0
+        while self.fault_plan.launch_fails(instance_id, attempt):
+            if attempt >= self.retry_policy.max_retries:
+                raise LaunchError(
+                    f"instance {instance_id!r} failed to launch after "
+                    f"{attempt + 1} attempts"
+                )
+            self.clock.sleep(self.retry_policy.backoff(attempt))
+            self.fault_plan.counters.launch_retries += 1
+            attempt += 1
 
     def _make_sandbox(self, service: Service, host_id: str, instance_id: str) -> Sandbox:
         host = self.datacenter.host(host_id)

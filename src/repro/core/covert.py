@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.cloud.api import InstanceHandle
-from repro.errors import VerificationError
+from repro.errors import InstanceGoneError, VerificationError
+from repro.faults import FaultPlan, current_fault_plan
 
 
 @dataclass(frozen=True)
@@ -44,13 +45,21 @@ class CTestResult:
 
 @dataclass
 class ChannelStats:
-    """Cost accounting for covert-channel usage."""
+    """Cost accounting for covert-channel usage.
+
+    ``retries`` counts tests re-run after an inconsistent verdict (by the
+    verifier's retry policy); ``faults_injected`` counts the noise flips
+    and mid-test deaths an active :class:`~repro.faults.FaultPlan` put
+    into this channel's results.  Both stay 0 on a clean run.
+    """
 
     n_tests: int = 0
     n_instance_slots: int = 0
     busy_seconds: float = 0.0
     batches: int = 0
     per_batch_tests: list[int] = field(default_factory=list)
+    retries: int = 0
+    faults_injected: int = 0
 
     def record_batch(self, group_sizes: Sequence[int], seconds: float) -> None:
         """Record one (possibly parallel) batch of tests."""
@@ -59,6 +68,19 @@ class ChannelStats:
         self.busy_seconds += seconds
         self.batches += 1
         self.per_batch_tests.append(len(group_sizes))
+
+    def summary(self) -> str:
+        """One-line human-readable report of the counters."""
+        text = (
+            f"{self.n_tests} tests in {self.batches} batches, "
+            f"{self.busy_seconds:.1f}s busy"
+        )
+        if self.retries or self.faults_injected:
+            text += (
+                f", {self.retries} retries, "
+                f"{self.faults_injected} faults injected"
+            )
+        return text
 
 
 class CovertChannel(abc.ABC):
@@ -103,6 +125,11 @@ class RngCovertChannel(CovertChannel):
     seconds_per_test:
         Wall-clock duration of one test window (all rounds); concurrent
         groups in a batch share the window.
+    fault_plan:
+        Optional deterministic fault schedule injecting per-test verdict
+        noise and mid-test instance deaths.  Defaults to the ambient plan
+        (:func:`~repro.faults.current_fault_plan`), so channels built
+        inside a fault-injected experiment cell pick it up automatically.
     """
 
     def __init__(
@@ -110,6 +137,7 @@ class RngCovertChannel(CovertChannel):
         total_rounds: int = 60,
         required_rounds: int = 30,
         seconds_per_test: float = 1.2,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         super().__init__()
         if not 0 < required_rounds <= total_rounds:
@@ -120,6 +148,8 @@ class RngCovertChannel(CovertChannel):
         self.total_rounds = total_rounds
         self.required_rounds = required_rounds
         self.seconds_per_test = seconds_per_test
+        self.fault_plan = fault_plan if fault_plan is not None else current_fault_plan()
+        self._batch_serial = 0
 
     # Resource hooks; subclasses pick a different shared resource.
     @staticmethod
@@ -156,32 +186,92 @@ class RngCovertChannel(CovertChannel):
             h.instance_id: t for group, t in zip(groups, thresholds) for h in group
         }
 
+        # One serial number per ctest_batch call keys the fault plan's
+        # decisions, so a *retry* of the same chunks is a fresh draw.
+        serial = self._batch_serial
+        self._batch_serial += 1
+        plan = self.fault_plan
+        death_round: dict[str, int] = {}
+        if plan is not None:
+            for handle in flat:
+                when = plan.ctest_death_round(
+                    f"b{serial}:{handle.instance_id}", self.total_rounds
+                )
+                if when is not None:
+                    death_round[handle.instance_id] = when
+                    self.stats.faults_injected += 1
+
+        # Instances that stop responding mid-test (injected deaths, or a
+        # platform reap racing the test) stop pressuring and report no
+        # further rounds; the attacker reads silence as a negative.
+        dead: set[str] = set()
+        started: list[InstanceHandle] = []
         for handle in flat:
-            handle.run(self._start)
+            try:
+                handle.run(self._start)
+                started.append(handle)
+            except InstanceGoneError:
+                dead.add(handle.instance_id)
         try:
             hits = {handle.instance_id: 0 for handle in flat}
-            for _ in range(self.total_rounds):
+            for round_index in range(self.total_rounds):
                 for handle in flat:
-                    level = handle.run(self._observe)
-                    if level >= threshold_of[handle.instance_id]:
-                        hits[handle.instance_id] += 1
+                    instance_id = handle.instance_id
+                    if instance_id in dead:
+                        continue
+                    if death_round.get(instance_id) == round_index:
+                        dead.add(instance_id)
+                        try:
+                            handle.run(self._stop)
+                        except InstanceGoneError:
+                            pass
+                        continue
+                    try:
+                        level = handle.run(self._observe)
+                    except InstanceGoneError:
+                        dead.add(instance_id)
+                        continue
+                    if level >= threshold_of[instance_id]:
+                        hits[instance_id] += 1
             # The test window occupies wall time *while* the pressure is
             # on — which is exactly what a platform-side abuse monitor
             # gets to observe.
-            if flat:
-                flat[0].run(lambda sandbox: sandbox.sleep(self.seconds_per_test))
-        finally:
             for handle in flat:
-                handle.run(self._stop)
+                if handle.instance_id in dead:
+                    continue
+                try:
+                    handle.run(lambda sandbox: sandbox.sleep(self.seconds_per_test))
+                except InstanceGoneError:
+                    dead.add(handle.instance_id)
+                    continue
+                break
+        finally:
+            for handle in started:
+                if handle.instance_id in dead:
+                    continue
+                try:
+                    handle.run(self._stop)
+                except InstanceGoneError:
+                    pass
 
         self.stats.record_batch([len(g) for g in groups], self.seconds_per_test)
 
         results = []
         for group in groups:
-            positive = tuple(
-                hits[h.instance_id] >= self.required_rounds for h in group
+            positive = []
+            for handle in group:
+                instance_id = handle.instance_id
+                verdict = (
+                    instance_id not in dead
+                    and hits[instance_id] >= self.required_rounds
+                )
+                if plan is not None and plan.ctest_noise(f"b{serial}:{instance_id}"):
+                    verdict = not verdict
+                    self.stats.faults_injected += 1
+                positive.append(verdict)
+            results.append(
+                CTestResult(handles=tuple(group), positive=tuple(positive))
             )
-            results.append(CTestResult(handles=tuple(group), positive=positive))
         return results
 
 

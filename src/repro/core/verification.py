@@ -30,6 +30,7 @@ from repro.cloud.api import InstanceHandle
 from repro.core.clusters import DisjointSet
 from repro.core.covert import CovertChannel, CTestResult
 from repro.errors import VerificationError
+from repro.faults import DEFAULT_CTEST_RETRY, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -199,6 +200,12 @@ class ScalableVerifier:
     assume_no_false_negatives:
         Set for Gen 2 fingerprints: skips step 3 and batches every group
         concurrently (distinct fingerprints guarantee distinct hosts).
+    retry_policy:
+        How often to re-run an *inconsistent* test (fewer positives than
+        the threshold — physically impossible without noise).  The default
+        is the historical single re-run; raise ``max_retries`` when the
+        channel is noisy (e.g. under fault injection).  Re-runs are
+        counted in ``channel.stats.retries``.
     """
 
     def __init__(
@@ -206,12 +213,14 @@ class ScalableVerifier:
         channel: CovertChannel,
         threshold_m: int = 2,
         assume_no_false_negatives: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if threshold_m < 2:
             raise VerificationError(f"threshold m must be >= 2, got {threshold_m}")
         self.channel = channel
         self.m = threshold_m
         self.assume_no_false_negatives = assume_no_false_negatives
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_CTEST_RETRY
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -241,13 +250,21 @@ class ScalableVerifier:
     def _group_by_fingerprint(
         tagged: Sequence[TaggedInstance],
     ) -> list[tuple[str | None, list[InstanceHandle]]]:
-        by_fp: dict[Hashable, tuple[str | None, list[InstanceHandle]]] = {}
+        members: dict[Hashable, list[InstanceHandle]] = {}
+        model_keys: dict[Hashable, str | None] = {}
         for item in tagged:
-            key = item.fingerprint
-            if key not in by_fp:
-                by_fp[key] = (item.model_key, [])
-            by_fp[key][1].append(item.handle)
-        return list(by_fp.values())
+            fp = item.fingerprint
+            if fp not in members:
+                members[fp] = []
+                model_keys[fp] = item.model_key
+            elif model_keys[fp] != item.model_key:
+                # Mixed batching keys within one fingerprint group: no
+                # single key can guarantee host-disjointness against other
+                # groups, so cross-group batching is disabled for the
+                # whole group rather than inheriting the first item's key.
+                model_keys[fp] = None
+            members[fp].append(item.handle)
+        return [(model_keys[fp], handles) for fp, handles in members.items()]
 
     # ------------------------------------------------------------------
     # Step 2: intra-group verification, wave-batched across groups
@@ -361,22 +378,28 @@ class ScalableVerifier:
         Two tests may share a batch when their groups are guaranteed to be
         on different hosts: always true across groups under
         ``assume_no_false_negatives`` (Gen 2), and true for groups with
-        different ``model_key`` otherwise (Gen 1).
+        different ``model_key`` otherwise (Gen 1).  A ``model_key=None``
+        group carries no such guarantee against *anyone*, so it gets an
+        exclusive batch (``keys is None`` below) that no other group may
+        join — previously a keyed group could slip into it and concurrent
+        tests could share a host, silently corrupting verdicts.
         """
         if self.assume_no_false_negatives:
             return [requests]
-        batches: list[tuple[set[str], list[tuple[_GroupTask, list[InstanceHandle]]]]] = []
+        batches: list[
+            tuple[set[str] | None, list[tuple[_GroupTask, list[InstanceHandle]]]]
+        ] = []
         for task, test in requests:
             placed = False
             if task.model_key is not None:
                 for keys, batch in batches:
-                    if task.model_key not in keys:
+                    if keys is not None and task.model_key not in keys:
                         batch.append((task, test))
                         keys.add(task.model_key)
                         placed = True
                         break
             if not placed:
-                keys = {task.model_key} if task.model_key is not None else set()
+                keys = {task.model_key} if task.model_key is not None else None
                 batches.append((keys, [(task, test)]))
         return [batch for _keys, batch in batches]
 
@@ -403,14 +426,18 @@ class ScalableVerifier:
 
         results = self.channel.ctest_batch(chunks, thresholds(chunks))
         # Retry inconsistent results (fewer positives than the threshold is
-        # physically impossible without noise).
+        # physically impossible without noise), up to the retry policy's
+        # budget; each pass only re-runs the still-inconsistent tests.
         limits = thresholds(chunks)
-        retried: list[int] = [
-            i
-            for i, res in enumerate(results)
-            if 0 < res.n_positive < limits[i]
-        ]
-        if retried:
+        for _attempt in range(self.retry_policy.max_retries):
+            retried: list[int] = [
+                i
+                for i, res in enumerate(results)
+                if 0 < res.n_positive < limits[i]
+            ]
+            if not retried:
+                break
+            self.channel.stats.retries += len(retried)
             fresh = self.channel.ctest_batch(
                 [chunks[i] for i in retried], [limits[i] for i in retried]
             )

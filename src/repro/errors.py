@@ -47,9 +47,21 @@ class InstanceGoneError(CloudError):
     """An operation referenced a terminated or unknown container instance."""
 
 
+class LaunchError(CloudError):
+    """An instance launch failed (and bounded retries were exhausted)."""
+
+
 class VerificationError(ReproError):
     """The co-location verification pipeline hit an unrecoverable state."""
 
 
 class FingerprintError(ReproError):
     """A fingerprint could not be computed from the available probes."""
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection spec string or rate could not be validated."""
+
+
+class CellExecutionError(ReproError):
+    """One or more experiment cells failed (after any configured retries)."""

@@ -15,6 +15,12 @@ from repro.cloud.api import FaaSClient
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.orchestrator import Orchestrator
 from repro.cloud.topology import RegionProfile, region_profile
+from repro.faults import (
+    DEFAULT_LAUNCH_RETRY,
+    FaultPlan,
+    RetryPolicy,
+    current_fault_plan,
+)
 from repro.sandbox.base import TscPolicy
 from repro.simtime.clock import SimClock
 
@@ -51,6 +57,8 @@ def default_env(
     seed: int = 0,
     tsc_policy: TscPolicy = TscPolicy.NATIVE,
     profile: RegionProfile | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> SimulationEnv:
     """Build a fresh simulated region with the three evaluation accounts.
 
@@ -64,13 +72,35 @@ def default_env(
         Host TSC exposure (``EMULATED`` enables the §6 mitigation).
     profile:
         Explicit profile override (used by scaled-down tests).
+    fault_plan:
+        Deterministic platform-fault schedule wired into the orchestrator
+        (launch errors, slow launches).  Defaults to the ambient plan
+        (:func:`~repro.faults.current_fault_plan`), so experiment cells
+        running under ``--faults`` inherit it without extra plumbing.
+    retry_policy:
+        Launch-retry discipline for the orchestrator and the clients.
+        When faults are active and no policy is given, clients get the
+        default launch-retry policy so one exhausted platform retry
+        budget doesn't kill a whole campaign.
     """
     clock = SimClock()
     resolved = profile if profile is not None else region_profile(region)
     datacenter = DataCenter(resolved, clock, seed=seed)
-    orchestrator = Orchestrator(datacenter, tsc_policy=tsc_policy)
+    if fault_plan is None:
+        fault_plan = current_fault_plan()
+    orchestrator = Orchestrator(
+        datacenter,
+        tsc_policy=tsc_policy,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+    client_retry = retry_policy
+    if client_retry is None and fault_plan is not None and fault_plan.enabled:
+        client_retry = DEFAULT_LAUNCH_RETRY
     env = SimulationEnv(clock=clock, datacenter=datacenter, orchestrator=orchestrator)
     for account_id in (ATTACKER_ACCOUNT, *VICTIM_ACCOUNTS):
         orchestrator.register_account(Account(account_id))
-        env.clients[account_id] = FaaSClient(orchestrator, account_id)
+        env.clients[account_id] = FaaSClient(
+            orchestrator, account_id, retry_policy=client_retry
+        )
     return env

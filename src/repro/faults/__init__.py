@@ -1,0 +1,36 @@
+"""Deterministic fault injection and bounded-retry recovery.
+
+The subsystem has two halves:
+
+* **Injection** — a seeded :class:`FaultSpec`/:class:`FaultPlan` pair
+  whose per-event decisions are pure hashes of ``(seed, site, token)``,
+  injected at well-defined seams: instance launches
+  (:class:`~repro.cloud.orchestrator.Orchestrator`), CTest execution
+  (:class:`~repro.core.covert.RngCovertChannel`), and experiment cells
+  (:func:`~repro.runner.pool.run_cells`).
+* **Recovery** — :class:`RetryPolicy` driving bounded
+  retry-with-backoff at each of those seams, plus per-cell error
+  isolation in the runner.
+
+With all rates zero (or no plan installed) every seam is bit-for-bit
+identical to the fault-free code path.
+"""
+
+from repro.faults.context import current_fault_plan, fault_context
+from repro.faults.plan import FaultCounters, FaultPlan, FaultSpec
+from repro.faults.retry import (
+    DEFAULT_CTEST_RETRY,
+    DEFAULT_LAUNCH_RETRY,
+    RetryPolicy,
+)
+
+__all__ = [
+    "DEFAULT_CTEST_RETRY",
+    "DEFAULT_LAUNCH_RETRY",
+    "FaultCounters",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "current_fault_plan",
+    "fault_context",
+]

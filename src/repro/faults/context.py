@@ -1,0 +1,47 @@
+"""Ambient fault plan: thread a :class:`FaultPlan` through deep call stacks.
+
+Experiment cells build their own simulated regions and covert channels
+several layers below :func:`~repro.runner.pool.run_cells`, so passing a
+fault plan explicitly would mean threading a parameter through every
+driver and cell function.  Instead, the runner activates the plan around
+each cell execution and fault-aware constructors
+(:func:`~repro.experiments.base.default_env`,
+:class:`~repro.core.covert.RngCovertChannel`) consult the ambient plan
+when none is passed explicitly.
+
+Because the plan's decisions are stateless hashes of ``(seed, site,
+token)``, activating the same plan in a worker process or in the parent
+yields the same fault schedule — serial and pooled runs stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.faults.plan import FaultPlan
+
+_ACTIVE_PLAN: ContextVar[FaultPlan | None] = ContextVar(
+    "repro_fault_plan", default=None
+)
+
+
+def current_fault_plan() -> FaultPlan | None:
+    """The ambient fault plan, or ``None`` when no injection is active."""
+    return _ACTIVE_PLAN.get()
+
+
+@contextmanager
+def fault_context(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
+    """Activate ``plan`` as the ambient fault plan for the enclosed block.
+
+    ``fault_context(None)`` is a harmless no-op scope (it shadows any
+    outer plan with "no faults", which is what a nested clean run wants).
+    """
+    token = _ACTIVE_PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN.reset(token)

@@ -1,0 +1,67 @@
+"""Bounded retry-with-backoff policies for the recovery half of faults.
+
+Injection without recovery just crashes runs earlier; the policies here
+bound how hard each layer fights back.  One frozen :class:`RetryPolicy`
+describes a whole retry discipline — how many times to retry and how long
+to back off between attempts — and is shared by:
+
+* the orchestrator (per-instance launch retries, backoff in simulated
+  time),
+* :class:`~repro.cloud.api.FaaSClient` (whole-launch retries after the
+  orchestrator gives up),
+* :class:`~repro.core.verification.ScalableVerifier` (re-running
+  inconsistent CTests), and
+* :func:`~repro.runner.pool.run_cells` (re-executing failed cells, via
+  ``RunnerConfig.max_retries``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultSpecError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a failed operation.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *after* the initial attempt; 0 disables retrying.
+    backoff_seconds:
+        Sleep before the first retry.
+    backoff_multiplier:
+        Exponential growth factor for subsequent retries.
+    """
+
+    max_retries: int = 1
+    backoff_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultSpecError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_seconds < 0.0:
+            raise FaultSpecError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise FaultSpecError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return self.backoff_seconds * self.backoff_multiplier**attempt
+
+
+#: Orchestrator default: two launch retries, 0.5 s / 1 s backoff.
+DEFAULT_LAUNCH_RETRY = RetryPolicy(max_retries=2, backoff_seconds=0.5)
+
+#: Verifier default: exactly the historical single re-run of an
+#: inconsistent CTest, so accounting is unchanged when faults are off.
+DEFAULT_CTEST_RETRY = RetryPolicy(max_retries=1, backoff_seconds=0.0)

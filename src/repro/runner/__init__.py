@@ -8,6 +8,7 @@ threaded through from the CLI's ``--jobs`` / ``--no-cache`` flags or the
 benchmark harness.
 """
 
+from repro.errors import CellExecutionError
 from repro.runner.cache import CACHE_DIR_ENV, CellCache, default_cache_dir
 from repro.runner.cellspec import (
     CellResult,
@@ -21,6 +22,7 @@ from repro.runner.pool import RunnerConfig, RunStats, run_cells
 __all__ = [
     "CACHE_DIR_ENV",
     "CellCache",
+    "CellExecutionError",
     "CellResult",
     "CellSpec",
     "CellSpecError",

@@ -98,7 +98,12 @@ class CellSpec:
 
 @dataclass
 class CellResult:
-    """The outcome of one executed (or cache-restored) cell."""
+    """The outcome of one executed (or cache-restored) cell.
+
+    A cell that raised carries ``error`` (``"label: ExcType: message"``)
+    and ``value=None`` instead of aborting its whole run; see
+    :func:`~repro.runner.pool.run_cells` for how errors propagate.
+    """
 
     experiment: str
     seed: int
@@ -107,6 +112,12 @@ class CellResult:
     value: Any
     elapsed_s: float
     cached: bool = field(default=False)
+    error: str | None = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a value (no captured error)."""
+        return self.error is None
 
     def value_digest(self) -> str:
         """SHA-256 of the pickled value (byte-identity across runs)."""

@@ -9,19 +9,37 @@ uncached cells are submitted to a ``ProcessPoolExecutor`` of ``N`` workers;
 because every cell derives all randomness from its own seed, pooled and
 serial runs produce byte-identical results.
 
-Per-cell timing and cache-hit counters accumulate on the
+Failure discipline: a raising cell never takes its siblings down.  Each
+cell's exception is captured as a structured :class:`CellResult` error,
+completed cells are written to the cache *as they finish* (not in a batch
+at the end), failed cells are retried up to ``RunnerConfig.max_retries``
+times, and only then does the run either raise a
+:class:`~repro.errors.CellExecutionError` naming the failed cells
+(default) or — with ``isolate_errors=True`` — return the error results
+in-line for the caller to triage.
+
+An attached :class:`~repro.faults.FaultPlan` injects deterministic cell
+failures (and, through the ambient fault context, launch/CTest faults
+inside the cell's own simulation).  Fault-injected runs bypass the cache
+entirely: their values are not clean results and must never collide with
+a fault-free run's cache keys.
+
+Per-cell timing, cache-hit, retry, and error counters accumulate on the
 :class:`RunnerConfig`'s :class:`RunStats`, so callers (the CLI, the
-benchmark harness) can report the achieved speedup.
+benchmark harness) can report the achieved speedup and observed faults.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.errors import CellExecutionError
+from repro.faults import FaultPlan, fault_context
 from repro.runner.cache import CellCache
 from repro.runner.cellspec import CellResult, CellSpec
 
@@ -36,6 +54,8 @@ class RunStats:
     saved_seconds: float = 0.0
     wall_seconds: float = 0.0
     parallelism: int = 0
+    cell_retries: int = 0
+    cell_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -44,12 +64,18 @@ class RunStats:
 
     def summary(self) -> str:
         """One-line human-readable report of the counters."""
-        return (
+        text = (
             f"{self.cells} cells, {self.cache_hits} cache hits "
             f"({100.0 * self.hit_rate:.0f}%), computed "
             f"{self.computed_seconds:.1f}s, saved ~{self.saved_seconds:.1f}s, "
             f"wall {self.wall_seconds:.1f}s, jobs {self.parallelism}"
         )
+        if self.cell_errors or self.cell_retries:
+            text += (
+                f", {self.cell_errors} cell errors, "
+                f"{self.cell_retries} cell retries"
+            )
+        return text
 
 
 @dataclass
@@ -73,6 +99,21 @@ class RunnerConfig:
     cache_dir:
         Cache location override (default: ``$REPRO_CACHE_DIR`` or
         ``~/.cache/repro-runner``).
+    fault_plan:
+        Optional deterministic fault schedule (``--faults`` on the CLI):
+        injects cell failures and is activated as the ambient plan around
+        each cell execution.  An *enabled* plan disables the cache for
+        the run — faulted values must never poison clean cache entries.
+    max_retries:
+        How many times a failed cell is re-executed before its error is
+        kept (0 disables retrying).  The fault plan keys its decision on
+        the attempt number, so retries deterministically escape injected
+        transients.
+    isolate_errors:
+        When True, cells that still fail after retries are returned as
+        structured error results; when False (default), ``run_cells``
+        raises :class:`~repro.errors.CellExecutionError` naming them —
+        after every completed sibling has been computed and cached.
     stats:
         Mutable accumulator shared across every ``run_cells`` call made
         with this config.
@@ -82,12 +123,17 @@ class RunnerConfig:
     cache_read: bool = False
     cache_write: bool = False
     cache_dir: str | Path | None = None
+    fault_plan: FaultPlan | None = None
+    max_retries: int = 1
+    isolate_errors: bool = False
     stats: RunStats = field(default_factory=RunStats)
 
     @classmethod
     def from_cli(
         cls, jobs: int = 0, no_cache: bool = False,
         cache_dir: str | Path | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int | None = None,
     ) -> "RunnerConfig":
         """The CLI mapping: caching on by default, ``--no-cache`` skips reads."""
         return cls(
@@ -95,13 +141,35 @@ class RunnerConfig:
             cache_read=not no_cache,
             cache_write=True,
             cache_dir=cache_dir,
+            fault_plan=fault_plan,
+            max_retries=max_retries if max_retries is not None else 1,
         )
 
 
-def _execute_cell(spec: CellSpec) -> CellResult:
-    """Run one cell and time it (top-level so worker processes can load it)."""
+def _execute_cell(
+    spec: CellSpec,
+    fault_plan: FaultPlan | None = None,
+    attempt: int = 0,
+) -> CellResult:
+    """Run one cell and time it (top-level so worker processes can load it).
+
+    Exceptions from the cell function are captured into the result's
+    ``error`` field rather than propagated, so one bad cell cannot abort
+    a whole pooled run.  The fault plan (if any) is consulted for an
+    injected failure and activated as the ambient plan so the cell's own
+    simulation picks up launch/CTest faults.
+    """
     start = time.perf_counter()
-    value = spec.fn(spec.config, spec.seed)
+    value, error = None, None
+    try:
+        if fault_plan is not None and fault_plan.cell_fails(spec.key(), attempt):
+            raise CellExecutionError(
+                f"injected fault (attempt {attempt})"
+            )
+        with fault_context(fault_plan):
+            value = spec.fn(spec.config, spec.seed)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        error = f"{spec.label or spec.experiment}: {type(exc).__name__}: {exc}"
     elapsed = time.perf_counter() - start
     return CellResult(
         experiment=spec.experiment,
@@ -110,6 +178,7 @@ def _execute_cell(spec: CellSpec) -> CellResult:
         key=spec.key(),
         value=value,
         elapsed_s=elapsed,
+        error=error,
     )
 
 
@@ -119,15 +188,21 @@ def run_cells(
     """Execute every cell, reusing cached results, in spec order.
 
     Cache reads and writes happen in the parent process only, so worker
-    processes never contend on the cache directory.
+    processes never contend on the cache directory; writes happen as each
+    cell completes, so siblings of a failing cell are never lost.
     """
     if runner is None:
         runner = RunnerConfig()
     specs = list(specs)
     wall_start = time.perf_counter()
+    stats = runner.stats
+    plan = runner.fault_plan
+    faulted = plan is not None and plan.enabled
+    # Fault-injected values are resilience-drill output, not clean
+    # results: never read them from or write them to the shared cache.
     cache = (
         CellCache(runner.cache_dir)
-        if (runner.cache_read or runner.cache_write)
+        if (not faulted and (runner.cache_read or runner.cache_write))
         else None
     )
 
@@ -150,21 +225,40 @@ def run_cells(
                 continue
         misses.append((index, spec))
 
-    if misses:
-        miss_specs = [spec for _index, spec in misses]
-        if runner.parallelism >= 1:
-            with ProcessPoolExecutor(max_workers=runner.parallelism) as pool:
-                computed = list(pool.map(_execute_cell, miss_specs))
-        else:
-            computed = [_execute_cell(spec) for spec in miss_specs]
-        for (index, _spec), result in zip(misses, computed):
-            results[index] = result
-            if cache is not None and runner.cache_write:
-                cache.put(result.key, result.value, result.elapsed_s)
+    def finish(index: int, result: CellResult) -> None:
+        results[index] = result
+        if cache is not None and runner.cache_write and result.error is None:
+            cache.put(result.key, result.value, result.elapsed_s)
 
-    stats = runner.stats
+    if misses and runner.parallelism >= 1:
+        with ProcessPoolExecutor(max_workers=runner.parallelism) as pool:
+            pending = {
+                pool.submit(_execute_cell, spec, plan, 0): (index, spec, 0)
+                for index, spec in misses
+            }
+            while pending:
+                done, _ = wait_futures(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, spec, attempt = pending.pop(future)
+                    result = future.result()
+                    if result.error is not None and attempt < runner.max_retries:
+                        stats.cell_retries += 1
+                        retry = pool.submit(_execute_cell, spec, plan, attempt + 1)
+                        pending[retry] = (index, spec, attempt + 1)
+                    else:
+                        finish(index, result)
+    elif misses:
+        for index, spec in misses:
+            for attempt in range(runner.max_retries + 1):
+                result = _execute_cell(spec, plan, attempt)
+                if result.error is None or attempt == runner.max_retries:
+                    break
+                stats.cell_retries += 1
+            finish(index, result)
+
     stats.parallelism = runner.parallelism
     stats.wall_seconds += time.perf_counter() - wall_start
+    failed: list[CellResult] = []
     for result in results:
         stats.cells += 1
         if result.cached:
@@ -172,4 +266,15 @@ def run_cells(
             stats.saved_seconds += result.elapsed_s
         else:
             stats.computed_seconds += result.elapsed_s
+        if result.error is not None:
+            failed.append(result)
+    stats.cell_errors += len(failed)
+
+    if failed and not runner.isolate_errors:
+        labels = ", ".join(r.label or r.experiment for r in failed)
+        raise CellExecutionError(
+            f"{len(failed)} of {len(specs)} cells failed after "
+            f"{runner.max_retries} retries [{labels}]; first error: "
+            f"{failed[0].error}"
+        )
     return results

@@ -88,7 +88,17 @@ def tiny_env() -> SimulationEnv:
 def tiny_env_factory():
     """Factory for tiny environments with custom seeds/profile overrides."""
 
-    def build(seed: int = 42, **profile_overrides) -> SimulationEnv:
-        return default_env(profile=tiny_profile(**profile_overrides), seed=seed)
+    def build(
+        seed: int = 42,
+        fault_plan=None,
+        retry_policy=None,
+        **profile_overrides,
+    ) -> SimulationEnv:
+        return default_env(
+            profile=tiny_profile(**profile_overrides),
+            seed=seed,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
 
     return build

@@ -7,7 +7,6 @@ from repro.cloud.services import ServiceConfig
 from repro.core.covert import RngCovertChannel
 from repro.core.fingerprint import fingerprint_gen1_instances
 from repro.core.verification import ScalableVerifier, TaggedInstance
-from repro.errors import InstanceGoneError
 
 
 def launch_and_tag(env, n, name="svc"):
@@ -67,11 +66,14 @@ class TestAbuseMonitor:
         monitor.attach()
         tagged, handles = launch_and_tag(tiny_env, 40)
         # Termination mid-campaign surfaces as dead instances under the
-        # verifier's probes.
-        with pytest.raises(InstanceGoneError):
-            ScalableVerifier(RngCovertChannel()).verify(tagged)
+        # verifier's probes.  The channel degrades gracefully — silence
+        # reads as a negative verdict — so the run completes instead of
+        # crashing, but the campaign itself is still stopped cold.
+        report = ScalableVerifier(RngCovertChannel()).verify(tagged)
         assert "account-1" in monitor.flagged_accounts
         assert all(not h.alive for h in handles)
+        covered = {h.instance_id for c in report.clusters for h in c}
+        assert covered == {t.handle.instance_id for t in tagged}
 
     def test_detach_stops_observing(self, tiny_env):
         monitor = AbuseMonitor(tiny_env.orchestrator, host_threshold=5)

@@ -78,6 +78,34 @@ class TestCli:
         out = capsys.readouterr().out
         assert "0 cache hits" in out
 
+    def test_faults_flag_reports_counters(self, capsys):
+        assert main(["run", "exp1", "--faults", "cell=0.2,seed=3", "--max-retries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment 1" in out
+        assert "[faults] spec 'cell=0.2,seed=3':" in out
+        assert "faults injected" in out
+
+    def test_fault_run_never_reads_cache(self, capsys):
+        assert main(["run", "exp1"]) == 0  # populate the cache
+        capsys.readouterr()
+        assert main(["run", "exp1", "--faults", "cell=0.1,seed=1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out
+
+    def test_invalid_fault_spec_rejected(self, capsys):
+        assert main(["run", "exp1", "--faults", "warp=0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--faults" in err
+        assert "unknown fault spec key" in err
+
+    def test_out_of_range_fault_rate_rejected(self, capsys):
+        assert main(["run", "exp1", "--faults", "cell=1.5"]) == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_negative_max_retries_rejected(self, capsys):
+        assert main(["run", "exp1", "--max-retries", "-1"]) == 2
+        assert "--max-retries" in capsys.readouterr().err
+
 
 class TestChannelStats:
     def test_record_batch_accumulates(self):
@@ -121,6 +149,17 @@ class TestBuildParser:
         args = build_parser().parse_args(["run", "fig4"])
         assert args.jobs == 0
         assert args.no_cache is False
+        assert args.faults is None
+        assert args.max_retries is None
+
+    def test_parser_accepts_faults_and_max_retries(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "exp1", "--faults", "launch=0.1,seed=7", "--max-retries", "3"]
+        )
+        assert args.faults == "launch=0.1,seed=7"
+        assert args.max_retries == 3
 
     def test_extension_experiments_registered(self):
         assert "surveillance" in EXPERIMENTS

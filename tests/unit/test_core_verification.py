@@ -1,10 +1,12 @@
 """Unit tests for the scalable co-location verifier."""
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.analysis.metrics import pair_confusion
 from repro.cloud.services import ServiceConfig
-from repro.core.covert import RngCovertChannel
+from repro.core.covert import CovertChannel, CTestResult, RngCovertChannel
 from repro.core.fingerprint import (
     Gen1Fingerprint,
     fingerprint_gen1_instances,
@@ -14,9 +16,11 @@ from repro.core.verification import (
     ScalableVerifier,
     TaggedInstance,
     _balanced_chunks,
+    _GroupTask,
     tag_instances,
 )
 from repro.errors import VerificationError
+from repro.faults import DEFAULT_CTEST_RETRY, RetryPolicy
 
 
 def launch_and_tag(env, n, generation="gen1", name="svc"):
@@ -194,6 +198,222 @@ class TestBalancedChunks:
         items = list(range(23))
         chunks = _balanced_chunks(items, 3)
         assert sorted(i for c in chunks for i in c) == items
+
+
+@dataclass(frozen=True)
+class FakeHandle:
+    """Minimal stand-in for an InstanceHandle."""
+
+    instance_id: str
+
+
+class TestGroupByFingerprint:
+    def test_uniform_keys_preserved(self):
+        tagged = [
+            TaggedInstance(FakeHandle("a"), "fp1", "xeon"),
+            TaggedInstance(FakeHandle("b"), "fp1", "xeon"),
+            TaggedInstance(FakeHandle("c"), "fp2", "epyc"),
+        ]
+        groups = dict(
+            (key, [h.instance_id for h in members])
+            for key, members in ScalableVerifier._group_by_fingerprint(tagged)
+        )
+        assert groups == {"xeon": ["a", "b"], "epyc": ["c"]}
+
+    def test_mixed_keys_demote_group_to_none(self):
+        """One fingerprint group with two different model keys cannot carry
+        a host-disjointness guarantee against anyone — the group's batching
+        key must become None, not the first member's key."""
+        tagged = [
+            TaggedInstance(FakeHandle("a"), "fp1", "xeon"),
+            TaggedInstance(FakeHandle("b"), "fp1", "epyc"),
+        ]
+        groups = ScalableVerifier._group_by_fingerprint(tagged)
+        assert len(groups) == 1
+        key, members = groups[0]
+        assert key is None
+        assert [h.instance_id for h in members] == ["a", "b"]
+
+    def test_key_vs_none_also_demotes(self):
+        tagged = [
+            TaggedInstance(FakeHandle("a"), "fp1", "xeon"),
+            TaggedInstance(FakeHandle("b"), "fp1", None),
+        ]
+        (key, _members), = ScalableVerifier._group_by_fingerprint(tagged)
+        assert key is None
+
+    def test_membership_unaffected_by_demotion(self):
+        tagged = [
+            TaggedInstance(FakeHandle("a"), "fp1", "xeon"),
+            TaggedInstance(FakeHandle("b"), "fp2", "xeon"),
+            TaggedInstance(FakeHandle("c"), "fp1", "epyc"),
+        ]
+        groups = ScalableVerifier._group_by_fingerprint(tagged)
+        members = {
+            frozenset(h.instance_id for h in handles) for _key, handles in groups
+        }
+        assert members == {frozenset({"a", "c"}), frozenset({"b"})}
+
+
+class TestPlanBatches:
+    """The satellite-1 regression: ``model_key=None`` groups carry no
+    host-disjointness guarantee, so their tests must run alone — no keyed
+    group may share their batch (previously ``key not in set()`` let any
+    keyed group slip in)."""
+
+    @staticmethod
+    def _request(model_key, *ids):
+        handles = [FakeHandle(i) for i in ids]
+        return (_GroupTask(handles, model_key), handles)
+
+    @staticmethod
+    def _plan(requests, **kwargs):
+        verifier = ScalableVerifier(RngCovertChannel(), **kwargs)
+        return ScalableVerifier._plan_batches(verifier, requests)
+
+    def test_none_key_batch_is_exclusive(self):
+        requests = [
+            self._request(None, "a1", "a2"),
+            self._request("xeon", "b1", "b2"),
+            self._request("epyc", "c1", "c2"),
+        ]
+        batches = self._plan(requests)
+        for batch in batches:
+            if any(task.model_key is None for task, _test in batch):
+                assert len(batch) == 1
+        # The two keyed groups still share one batch with each other.
+        assert len(batches) == 2
+
+    def test_keyed_group_does_not_join_earlier_none_batch(self):
+        # None first is the order that triggered the historical bug.
+        requests = [self._request(None, "a1", "a2"), self._request("xeon", "b1", "b2")]
+        batches = self._plan(requests)
+        assert [len(b) for b in batches] == [1, 1]
+
+    def test_every_none_group_runs_alone(self):
+        requests = [self._request(None, f"g{k}a", f"g{k}b") for k in range(3)]
+        batches = self._plan(requests)
+        assert [len(b) for b in batches] == [1, 1, 1]
+
+    def test_same_key_groups_split_across_batches(self):
+        requests = [
+            self._request("xeon", "a1", "a2"),
+            self._request("xeon", "b1", "b2"),
+        ]
+        batches = self._plan(requests)
+        assert [len(b) for b in batches] == [1, 1]
+
+    def test_distinct_keys_share_a_batch(self):
+        requests = [
+            self._request("xeon", "a1", "a2"),
+            self._request("epyc", "b1", "b2"),
+        ]
+        batches = self._plan(requests)
+        assert [len(b) for b in batches] == [2]
+
+    def test_gen2_mode_batches_everything(self):
+        requests = [
+            self._request(None, "a1", "a2"),
+            self._request("xeon", "b1", "b2"),
+        ]
+        batches = self._plan(requests, assume_no_false_negatives=True)
+        assert [len(b) for b in batches] == [2]
+
+    def test_all_requests_planned_exactly_once(self):
+        requests = [
+            self._request("xeon", "a1"),
+            self._request(None, "b1"),
+            self._request("epyc", "c1"),
+            self._request("xeon", "d1"),
+        ]
+        batches = self._plan(requests)
+        planned = [task for batch in batches for task, _test in batch]
+        assert sorted(id(t) for t in planned) == sorted(
+            id(t) for t, _test in requests
+        )
+
+
+class ScriptedChannel(CovertChannel):
+    """Replays scripted verdicts: ``scripts[call][group]`` is the positive
+    tuple for that group in that call (the last call's script repeats)."""
+
+    def __init__(self, scripts):
+        super().__init__()
+        self.scripts = [list(call) for call in scripts]
+        self.calls = 0
+
+    def ctest_batch(self, groups, threshold_m):
+        script = self.scripts[min(self.calls, len(self.scripts) - 1)]
+        self.calls += 1
+        self.stats.record_batch([len(g) for g in groups], 1.0)
+        return [
+            CTestResult(
+                handles=tuple(group), positive=tuple(script[i][: len(group)])
+            )
+            for i, group in enumerate(groups)
+        ]
+
+
+class TestCTestRetryPolicy:
+    def _chunk(self):
+        return [FakeHandle("a"), FakeHandle("b")]
+
+    def test_default_policy_is_single_rerun(self):
+        verifier = ScalableVerifier(ScriptedChannel([[[True, True]]]))
+        assert verifier.retry_policy == DEFAULT_CTEST_RETRY
+
+    def test_inconsistent_result_retried_and_counted(self):
+        # 1 positive of a pair at threshold 2 is physically impossible
+        # without noise; one re-run resolves it.
+        channel = ScriptedChannel([[[True, False]], [[True, True]]])
+        verifier = ScalableVerifier(channel)
+        (result,) = verifier._run_batch([self._chunk()])
+        assert result.positive == (True, True)
+        assert channel.calls == 2
+        assert channel.stats.retries == 1
+
+    def test_retry_budget_exhausted_keeps_last_result(self):
+        channel = ScriptedChannel([[[True, False]]])
+        verifier = ScalableVerifier(channel)  # default: one re-run
+        (result,) = verifier._run_batch([self._chunk()])
+        assert result.positive == (True, False)
+        assert channel.calls == 2
+        assert channel.stats.retries == 1
+
+    def test_larger_budget_outlasts_longer_noise(self):
+        channel = ScriptedChannel(
+            [[[True, False]], [[False, True]], [[True, False]], [[False, False]]]
+        )
+        verifier = ScalableVerifier(channel, retry_policy=RetryPolicy(max_retries=3))
+        (result,) = verifier._run_batch([self._chunk()])
+        assert result.positive == (False, False)
+        assert channel.calls == 4
+        assert channel.stats.retries == 3
+
+    def test_consistent_results_never_retried(self):
+        channel = ScriptedChannel([[[True, True]]])
+        verifier = ScalableVerifier(channel, retry_policy=RetryPolicy(max_retries=5))
+        verifier._run_batch([self._chunk()])
+        assert channel.calls == 1
+        assert channel.stats.retries == 0
+
+    def test_only_inconsistent_slots_rerun(self):
+        # Two chunks in one batch: the first is consistent, the second is
+        # not — only the second is re-run (once inconsistently, then fine).
+        channel = ScriptedChannel(
+            [
+                [[True, True], [True, False]],
+                [[False, True]],
+                [[True, True]],
+            ]
+        )
+        verifier = ScalableVerifier(channel, retry_policy=RetryPolicy(max_retries=3))
+        chunks = [self._chunk(), [FakeHandle("c"), FakeHandle("d")]]
+        first, second = verifier._run_batch(chunks)
+        assert first.positive == (True, True)
+        assert second.positive == (True, True)
+        assert channel.calls == 3
+        assert channel.stats.retries == 2
 
 
 class TestTagInstances:
