@@ -17,15 +17,25 @@ The multi-cell benchmarks route through :mod:`repro.runner`; set
 processes and ``REPRO_BENCH_CACHE=1`` to reuse completed cells from the
 on-disk cache (off by default — a cached benchmark measures cache reads,
 not the simulation).
+
+Set ``REPRO_BENCH_METRICS_DIR=DIR`` to collect telemetry during each
+benchmark and drop a per-figure metric snapshot (counters, gauges,
+timing histograms) as ``DIR/BENCH_<test>.metrics.json`` — handy for
+comparing instance-launch volume, CTest counts, or cell timings across
+harness revisions.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
+from pathlib import Path
 
 import pytest
 
 from repro.runner import RunnerConfig
+from repro.telemetry import Telemetry, metrics_snapshot, telemetry_context
 
 
 def bench_runner() -> RunnerConfig:
@@ -48,6 +58,31 @@ def run_once(benchmark, fn):
     them only re-measures the same code path, so one round suffices.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics(request):
+    """Snapshot each benchmark's telemetry metrics when asked to.
+
+    With ``REPRO_BENCH_METRICS_DIR`` unset this activates nothing: the
+    ambient handle stays :data:`~repro.telemetry.NULL_TELEMETRY` and the
+    benchmark measures the uninstrumented path.
+    """
+    directory = os.environ.get("REPRO_BENCH_METRICS_DIR")
+    if not directory:
+        yield
+        return
+    telemetry = Telemetry()
+    with telemetry_context(telemetry):
+        yield
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = out_dir / f"BENCH_{name}.metrics.json"
+    path.write_text(
+        json.dumps(metrics_snapshot(telemetry), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture

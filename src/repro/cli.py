@@ -18,11 +18,19 @@ fans the remaining cells out over N worker processes.
 schedule (launch errors/slow launches, CTest noise and mid-test deaths,
 cell failures — see :mod:`repro.faults`); ``--max-retries`` bounds the
 per-cell retry budget.  Fault-injected runs never touch the cell cache.
+
+``--trace PATH`` records the run's telemetry spans (simulated-time phase
+tree: launches, CTest rounds, verification waves, campaign phases) to a
+deterministic JSONL file — byte-identical across reruns, ``--jobs``
+counts, and hash seeds.  ``--metrics`` prints the collected counters,
+gauges, and timing histograms after each report.  Both flags may be given
+before or after the subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -30,6 +38,37 @@ from repro.errors import FaultSpecError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.faults import FaultPlan
 from repro.runner import RunnerConfig
+from repro.telemetry import (
+    Telemetry,
+    format_metrics,
+    telemetry_context,
+    write_jsonl,
+)
+
+
+def _add_telemetry_flags(
+    parser: argparse.ArgumentParser, top_level: bool
+) -> None:
+    """Add ``--trace`` / ``--metrics`` to one parser.
+
+    The flags live on the top-level parser *and* the ``run`` subparser so
+    both ``repro --trace t.jsonl run exp1`` and ``repro run exp1 --trace
+    t.jsonl`` work.  The subparser copies use ``argparse.SUPPRESS``
+    defaults: a subparser's defaults would otherwise overwrite values
+    already parsed at the top level.
+    """
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None if top_level else argparse.SUPPRESS,
+        help="write a deterministic JSONL span trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=False if top_level else argparse.SUPPRESS,
+        help="print collected telemetry counters and histograms",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,11 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
             "on Public Cloud FaaS' (ASPLOS 2024) on a simulated substrate."
         ),
     )
+    _add_telemetry_flags(parser, top_level=True)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
 
     run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    _add_telemetry_flags(run, top_level=False)
     run.add_argument(
         "experiment",
         help="experiment id from 'repro list', or 'all'",
@@ -111,26 +152,45 @@ def main(argv: Sequence[str] | None = None) -> int:
             except FaultSpecError as error:
                 print(f"--faults: {error}", file=sys.stderr)
                 return 2
+        telemetry = Telemetry() if (args.trace or args.metrics) else None
+        scope = (
+            telemetry_context(telemetry)
+            if telemetry is not None
+            else contextlib.nullcontext()
+        )
         ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        for eid in ids:
-            runner = RunnerConfig.from_cli(
-                jobs=args.jobs,
-                no_cache=args.no_cache,
-                fault_plan=fault_plan,
-                max_retries=args.max_retries,
-            )
-            try:
-                report = run_experiment(eid, scale=args.scale, runner=runner)
-            except KeyError as error:
-                print(error.args[0], file=sys.stderr)
-                return 2
-            print(report)
-            if fault_plan is not None:
-                # Counters are parent-side: exhaustive with --jobs 0; with
-                # workers, injections inside cells stay in the workers and
-                # the [runner] retry/error counters tell the story.
-                print(f"[faults] spec '{args.faults}': {fault_plan.counters.summary()}")
-            print()
+        with scope:
+            for eid in ids:
+                runner = RunnerConfig.from_cli(
+                    jobs=args.jobs,
+                    no_cache=args.no_cache,
+                    fault_plan=fault_plan,
+                    max_retries=args.max_retries,
+                )
+                try:
+                    report = run_experiment(eid, scale=args.scale, runner=runner)
+                except KeyError as error:
+                    print(error.args[0], file=sys.stderr)
+                    return 2
+                print(report)
+                if fault_plan is not None:
+                    # Counters are parent-side: exhaustive with --jobs 0; with
+                    # workers, injections inside cells stay in the workers and
+                    # the [runner] retry/error counters tell the story.  (The
+                    # telemetry mirrors — see --metrics — *are* exhaustive:
+                    # each cell's counters merge back into the parent.)
+                    print(
+                        f"[faults] spec '{args.faults}': "
+                        f"{fault_plan.counters.summary()}"
+                    )
+                print()
+        if telemetry is not None:
+            if args.trace:
+                write_jsonl(telemetry, args.trace)
+                print(f"[trace] {len(telemetry.records())} spans -> {args.trace}")
+            if args.metrics:
+                print("[metrics]")
+                print(format_metrics(telemetry.metrics))
         return 0
 
     return 2  # pragma: no cover - argparse enforces valid commands

@@ -32,6 +32,7 @@ from repro.sandbox.base import Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
 from repro.simtime.scheduler import EventScheduler, ScheduledEvent
+from repro.telemetry import current_telemetry
 
 
 class Orchestrator:
@@ -138,6 +139,7 @@ class Orchestrator:
                 f"{service.config.max_instances} instances (requested {target})"
             )
         account.check_instance_quota(target)
+        telemetry = current_telemetry()
 
         now = self.clock.now()
         serving_pool = self.datacenter.serving_pool()  # also triggers rotation
@@ -148,39 +150,54 @@ class Orchestrator:
             # Scale in: idle out the most recently created extras.
             for instance in active[target:]:
                 self._idle_out(instance, now)
+            telemetry.count("orchestrator.scale_ins")
             self._demand.record_demand(service, now, target)
             return active[:target]
 
-        # Scale out: reuse just enough idle instances, then create the rest.
-        idle = [i for i in alive if i.state is InstanceState.IDLE]
-        for instance in idle[: target - len(active)]:
-            instance.go_active(now)
-            self._cancel_idle_reap(instance.instance_id)
-        new_needed = max(0, target - len(active) - len(idle))
+        with telemetry.span(
+            "orchestrator.launch",
+            service=service.qualified_name,
+            target=target,
+        ) as span:
+            # Scale out: reuse just enough idle instances, create the rest.
+            idle = [i for i in alive if i.state is InstanceState.IDLE]
+            for instance in idle[: target - len(active)]:
+                instance.go_active(now)
+                self._cancel_idle_reap(instance.instance_id)
+            new_needed = max(0, target - len(active) - len(idle))
 
-        # Hotness is judged on *past* demand, before recording this launch.
-        hot = self._demand.is_hot(service, now)
-        self._demand.record_demand(service, now, target)
+            # Hotness is judged on *past* demand, before this launch.
+            hot = self._demand.is_hot(service, now)
+            self._demand.record_demand(service, now, target)
+            span.set(created=new_needed, hot=hot)
+            telemetry.count("orchestrator.launch_batches")
+            telemetry.count("orchestrator.instances_created", new_needed)
 
-        base_hosts = self._base_hosts(account)
-        if hot and new_needed > 0 and self.datacenter.profile.defense != "tenant_isolation":
-            # Under tenant isolation the load balancer may not spill a
-            # tenant onto shared hosts, so no helper recruitment happens.
-            known = set(base_hosts) | set(service.helper_host_ids)
-            candidates = [h for h in serving_pool if h not in known]
-            self._recruiter.recruit(service, new_needed, candidates)
+            base_hosts = self._base_hosts(account)
+            if hot and new_needed > 0 and self.datacenter.profile.defense != "tenant_isolation":
+                # Under tenant isolation the load balancer may not spill a
+                # tenant onto shared hosts, so no helper recruitment happens.
+                known = set(base_hosts) | set(service.helper_host_ids)
+                candidates = [h for h in serving_pool if h not in known]
+                self._recruiter.recruit(service, new_needed, candidates)
 
-        if new_needed > 0:
-            created = self._create_instances(service, account, new_needed, serving_pool)
-            startup = self._startup_seconds(service, new_needed, target)
-            if self.fault_plan is not None:
-                startup += sum(
-                    self.fault_plan.slow_launch_penalty(i.instance_id)
-                    for i in created
+            if new_needed > 0:
+                created = self._create_instances(
+                    service, account, new_needed, serving_pool
                 )
-            self.clock.sleep(startup)
+                startup = self._startup_seconds(service, new_needed, target)
+                if self.fault_plan is not None:
+                    startup += sum(
+                        self.fault_plan.slow_launch_penalty(i.instance_id)
+                        for i in created
+                    )
+                self.clock.sleep(startup)
 
-        active = [i for i in self.alive_instances(service) if i.state is InstanceState.ACTIVE]
+            active = [
+                i
+                for i in self.alive_instances(service)
+                if i.state is InstanceState.ACTIVE
+            ]
         return active[:target] if len(active) > target else active
 
     def disconnect(self, service: Service) -> None:
@@ -364,6 +381,7 @@ class Orchestrator:
                 )
             self.clock.sleep(self.retry_policy.backoff(attempt))
             self.fault_plan.counters.launch_retries += 1
+            current_telemetry().count("faults.launch_retries")
             attempt += 1
 
     def _make_sandbox(self, service: Service, host_id: str, instance_id: str) -> Sandbox:
@@ -416,6 +434,7 @@ class Orchestrator:
     def _terminate(self, instance: ContainerInstance, now: float) -> None:
         if not instance.alive:
             return
+        current_telemetry().count("orchestrator.terminations")
         self._cancel_idle_reap(instance.instance_id)
         instance.terminate(now)
         self._settle_billing(instance)

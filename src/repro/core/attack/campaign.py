@@ -28,6 +28,7 @@ from repro.core.fingerprint import (
 )
 from repro.core.attack.strategies import LaunchOutcome
 from repro.core.verification import ScalableVerifier, TaggedInstance, VerificationReport
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -99,34 +100,60 @@ class ColocationCampaign:
         channel: RngCovertChannel | None = None,
     ) -> CoverageResult:
         """Execute the campaign and measure victim instance coverage."""
-        outcome = self.strategy(self.attacker)
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "campaign", generation=self.generation, victims=n_victim_instances
+        ) as campaign_span:
+            with telemetry.span("campaign.attacker_launch") as span:
+                outcome = self.strategy(self.attacker)
+                span.set(
+                    instances=len(outcome.handles),
+                    cost_usd=round(outcome.cost_usd, 6),
+                )
 
-        victim_service = self.victim.deploy(
-            ServiceConfig(
-                name=victim_service_name,
-                size=victim_size,
-                generation=self.generation,
-                max_instances=max(100, n_victim_instances),
+            with telemetry.span(
+                "campaign.victim_scale", target=n_victim_instances
+            ) as span:
+                victim_service = self.victim.deploy(
+                    ServiceConfig(
+                        name=victim_service_name,
+                        size=victim_size,
+                        generation=self.generation,
+                        max_instances=max(100, n_victim_instances),
+                    )
+                )
+                victim_handles = self.victim.connect(
+                    victim_service, n_victim_instances
+                )
+                span.set(connected=len(victim_handles))
+
+            with telemetry.span("campaign.verification") as span:
+                report = self._verify(outcome.handles, victim_handles, channel)
+                span.set(clusters=len(report.clusters), tests=report.n_tests)
+
+            cluster_of = report.cluster_index()
+            attacker_ids = [h.instance_id for h in outcome.handles if h.alive]
+            victim_ids = [h.instance_id for h in victim_handles]
+            coverage = victim_instance_coverage(victim_ids, attacker_ids, cluster_of)
+
+            attacker_clusters = {
+                cluster_of[i] for i in attacker_ids if i in cluster_of
+            }
+            victim_clusters = {cluster_of[i] for i in victim_ids if i in cluster_of}
+            campaign_span.set(
+                coverage=round(coverage, 6),
+                shared_hosts=len(attacker_clusters & victim_clusters),
             )
-        )
-        victim_handles = self.victim.connect(victim_service, n_victim_instances)
-
-        report = self._verify(outcome.handles, victim_handles, channel)
-        cluster_of = report.cluster_index()
-        attacker_ids = [h.instance_id for h in outcome.handles if h.alive]
-        victim_ids = [h.instance_id for h in victim_handles]
-        coverage = victim_instance_coverage(victim_ids, attacker_ids, cluster_of)
-
-        attacker_clusters = {cluster_of[i] for i in attacker_ids if i in cluster_of}
-        victim_clusters = {cluster_of[i] for i in victim_ids if i in cluster_of}
-        return CoverageResult(
-            coverage=coverage,
-            attacker_hosts=len(attacker_clusters),
-            victim_hosts=len(victim_clusters),
-            shared_hosts=len(attacker_clusters & victim_clusters),
-            attacker_cost_usd=outcome.cost_usd,
-            verification=report,
-        )
+            telemetry.count("campaign.runs")
+            telemetry.observe("campaign.coverage", coverage)
+            return CoverageResult(
+                coverage=coverage,
+                attacker_hosts=len(attacker_clusters),
+                victim_hosts=len(victim_clusters),
+                shared_hosts=len(attacker_clusters & victim_clusters),
+                attacker_cost_usd=outcome.cost_usd,
+                verification=report,
+            )
 
     def _verify(
         self,
@@ -135,20 +162,29 @@ class ColocationCampaign:
         channel: RngCovertChannel | None,
     ) -> VerificationReport:
         combined = [h for h in attacker_handles if h.alive] + list(victim_handles)
-        if self.generation == "gen2":
-            tagged_pairs = fingerprint_gen2_instances(combined)
-            tagged = [
-                TaggedInstance(handle=h, fingerprint=fp) for h, fp in tagged_pairs
-            ]
-            verifier = ScalableVerifier(
-                channel or RngCovertChannel(), assume_no_false_negatives=True
-            )
-        else:
-            tagged_pairs = fingerprint_gen1_instances(combined, p_boot=self.p_boot)
-            tagged = [
-                TaggedInstance(handle=h, fingerprint=fp, model_key=fp.cpu_model)
-                for h, fp in tagged_pairs
-                if isinstance(fp, Gen1Fingerprint)
-            ]
-            verifier = ScalableVerifier(channel or RngCovertChannel())
+        with current_telemetry().span(
+            "campaign.fingerprint",
+            generation=self.generation,
+            instances=len(combined),
+        ) as span:
+            if self.generation == "gen2":
+                tagged_pairs = fingerprint_gen2_instances(combined)
+                tagged = [
+                    TaggedInstance(handle=h, fingerprint=fp)
+                    for h, fp in tagged_pairs
+                ]
+                verifier = ScalableVerifier(
+                    channel or RngCovertChannel(), assume_no_false_negatives=True
+                )
+            else:
+                tagged_pairs = fingerprint_gen1_instances(
+                    combined, p_boot=self.p_boot
+                )
+                tagged = [
+                    TaggedInstance(handle=h, fingerprint=fp, model_key=fp.cpu_model)
+                    for h, fp in tagged_pairs
+                    if isinstance(fp, Gen1Fingerprint)
+                ]
+                verifier = ScalableVerifier(channel or RngCovertChannel())
+            span.set(tagged=len(tagged))
         return verifier.verify(tagged)

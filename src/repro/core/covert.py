@@ -17,12 +17,13 @@ both background false positives and scheduling false negatives.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cloud.api import InstanceHandle
 from repro.errors import InstanceGoneError, VerificationError
 from repro.faults import FaultPlan, current_fault_plan
+from repro.telemetry import MetricSet, current_telemetry
 
 
 @dataclass(frozen=True)
@@ -43,9 +44,15 @@ class CTestResult:
         return sum(self.positive)
 
 
-@dataclass
 class ChannelStats:
-    """Cost accounting for covert-channel usage.
+    """Cost accounting for covert-channel usage, backed by typed counters.
+
+    The legacy field names (``n_tests``, ``busy_seconds``, ...) remain as
+    properties over a per-channel :class:`~repro.telemetry.MetricSet`, so
+    existing consumers keep working while the counters gain the telemetry
+    semantics: re-entrant consumers take a :meth:`snapshot` before a call
+    and read :meth:`since` deltas after, instead of resetting shared state
+    (which double-counts when two verifications share one channel).
 
     ``retries`` counts tests re-run after an inconsistent verdict (by the
     verifier's retry policy); ``faults_injected`` counts the noise flips
@@ -53,20 +60,57 @@ class ChannelStats:
     into this channel's results.  Both stay 0 on a clean run.
     """
 
-    n_tests: int = 0
-    n_instance_slots: int = 0
-    busy_seconds: float = 0.0
-    batches: int = 0
-    per_batch_tests: list[int] = field(default_factory=list)
-    retries: int = 0
-    faults_injected: int = 0
+    def __init__(self) -> None:
+        self.metrics = MetricSet()
+        self.per_batch_tests: list[int] = []
+
+    @property
+    def n_tests(self) -> int:
+        return int(self.metrics.counter("tests"))
+
+    @property
+    def n_instance_slots(self) -> int:
+        return int(self.metrics.counter("instance_slots"))
+
+    @property
+    def busy_seconds(self) -> float:
+        return float(self.metrics.counter("busy_seconds"))
+
+    @property
+    def batches(self) -> int:
+        return int(self.metrics.counter("batches"))
+
+    @property
+    def retries(self) -> int:
+        return int(self.metrics.counter("retries"))
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self.metrics.counters["retries"] = value
+
+    @property
+    def faults_injected(self) -> int:
+        return int(self.metrics.counter("faults_injected"))
+
+    @faults_injected.setter
+    def faults_injected(self, value: int) -> None:
+        self.metrics.counters["faults_injected"] = value
+
+    def snapshot(self) -> dict[str, float]:
+        """Counter snapshot for re-entrancy-safe per-call deltas."""
+        return self.metrics.snapshot()
+
+    def since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Counter growth since :meth:`snapshot` (absent keys grew by 0)."""
+        return self.metrics.since(snapshot)
 
     def record_batch(self, group_sizes: Sequence[int], seconds: float) -> None:
         """Record one (possibly parallel) batch of tests."""
-        self.n_tests += len(group_sizes)
-        self.n_instance_slots += sum(group_sizes)
-        self.busy_seconds += seconds
-        self.batches += 1
+        self.metrics.inc("tests", len(group_sizes))
+        self.metrics.inc("instance_slots", sum(group_sizes))
+        self.metrics.inc("busy_seconds", seconds)
+        self.metrics.inc("batches")
+        self.metrics.observe("batch_tests", len(group_sizes))
         self.per_batch_tests.append(len(group_sizes))
 
     def summary(self) -> str:
@@ -190,6 +234,36 @@ class RngCovertChannel(CovertChannel):
         # decisions, so a *retry* of the same chunks is a fresh draw.
         serial = self._batch_serial
         self._batch_serial += 1
+        telemetry = current_telemetry()
+        span = telemetry.span(
+            "ctest.batch",
+            serial=serial,
+            groups=len(groups),
+            sizes=[len(group) for group in groups],
+            thresholds=list(thresholds),
+            rounds=self.total_rounds,
+        )
+        try:
+            results = self._run_ctest_batch(groups, thresholds, serial)
+        finally:
+            span.close()
+        span.set(positives=[result.n_positive for result in results])
+        telemetry.count("ctest.tests", len(groups))
+        telemetry.count("ctest.instance_slots", sum(len(g) for g in groups))
+        telemetry.count("ctest.busy_seconds", self.seconds_per_test)
+        telemetry.count("ctest.batches")
+        return results
+
+    def _run_ctest_batch(
+        self,
+        groups: Sequence[Sequence[InstanceHandle]],
+        thresholds: list[int],
+        serial: int,
+    ) -> list[CTestResult]:
+        flat: list[InstanceHandle] = [h for group in groups for h in group]
+        threshold_of = {
+            h.instance_id: t for group, t in zip(groups, thresholds) for h in group
+        }
         plan = self.fault_plan
         death_round: dict[str, int] = {}
         if plan is not None:

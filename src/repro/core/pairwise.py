@@ -16,6 +16,7 @@ from typing import Sequence
 from repro.cloud.api import InstanceHandle
 from repro.core.clusters import DisjointSet
 from repro.core.covert import CovertChannel
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -42,33 +43,39 @@ class PairwiseVerifier:
 
     def verify(self, handles: Sequence[InstanceHandle]) -> PairwiseReport:
         """Verify co-location of ``handles`` with serialized pairwise tests."""
-        tests0 = self.channel.stats.n_tests
-        busy0 = self.channel.stats.busy_seconds
+        before = self.channel.stats.snapshot()
 
-        candidates = list(handles)
-        eliminated = 0
-        if self.use_sie and len(candidates) > 2:
-            result = self.channel.ctest(candidates, threshold_m=2)
-            kept = [h for h, p in zip(result.handles, result.positive) if p]
-            eliminated = len(candidates) - len(kept)
-            candidates = kept
+        with current_telemetry().span(
+            "verify.pairwise", instances=len(handles), sie=self.use_sie
+        ) as span:
+            candidates = list(handles)
+            eliminated = 0
+            if self.use_sie and len(candidates) > 2:
+                result = self.channel.ctest(candidates, threshold_m=2)
+                kept = [h for h, p in zip(result.handles, result.positive) if p]
+                eliminated = len(candidates) - len(kept)
+                candidates = kept
 
-        ds = DisjointSet(h.instance_id for h in handles)
-        by_id = {h.instance_id: h for h in handles}
-        for i in range(len(candidates)):
-            for j in range(i + 1, len(candidates)):
-                if ds.same(candidates[i].instance_id, candidates[j].instance_id):
-                    continue  # already known co-located via transitivity
-                result = self.channel.ctest(
-                    [candidates[i], candidates[j]], threshold_m=2
-                )
-                if all(result.positive):
-                    ds.union(candidates[i].instance_id, candidates[j].instance_id)
+            ds = DisjointSet(h.instance_id for h in handles)
+            by_id = {h.instance_id: h for h in handles}
+            for i in range(len(candidates)):
+                for j in range(i + 1, len(candidates)):
+                    if ds.same(candidates[i].instance_id, candidates[j].instance_id):
+                        continue  # already known co-located via transitivity
+                    result = self.channel.ctest(
+                        [candidates[i], candidates[j]], threshold_m=2
+                    )
+                    if all(result.positive):
+                        ds.union(
+                            candidates[i].instance_id, candidates[j].instance_id
+                        )
 
-        clusters = [[by_id[iid] for iid in cluster] for cluster in ds.clusters()]
-        return PairwiseReport(
-            clusters=clusters,
-            n_tests=self.channel.stats.n_tests - tests0,
-            busy_seconds=self.channel.stats.busy_seconds - busy0,
-            eliminated_by_sie=eliminated,
-        )
+            clusters = [[by_id[iid] for iid in cluster] for cluster in ds.clusters()]
+            delta = self.channel.stats.since(before)
+            span.set(clusters=len(clusters), eliminated_by_sie=eliminated)
+            return PairwiseReport(
+                clusters=clusters,
+                n_tests=int(delta.get("tests", 0)),
+                busy_seconds=float(delta.get("busy_seconds", 0.0)),
+                eliminated_by_sie=eliminated,
+            )

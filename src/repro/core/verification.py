@@ -31,6 +31,7 @@ from repro.core.clusters import DisjointSet
 from repro.core.covert import CovertChannel, CTestResult
 from repro.errors import VerificationError
 from repro.faults import DEFAULT_CTEST_RETRY, RetryPolicy
+from repro.telemetry import current_telemetry
 
 
 @dataclass(frozen=True)
@@ -226,21 +227,47 @@ class ScalableVerifier:
     # Public entry point
     # ------------------------------------------------------------------
     def verify(self, tagged: Sequence[TaggedInstance]) -> VerificationReport:
-        """Produce verified co-location clusters for ``tagged`` instances."""
+        """Produce verified co-location clusters for ``tagged`` instances.
+
+        Safe to call repeatedly on one channel: per-call cost accounting
+        is a snapshot/delta over the channel's counters, so sequential
+        runs report their own cost while ``channel.stats`` keeps the
+        cumulative totals.
+        """
+        telemetry = current_telemetry()
         report = VerificationReport()
-        tests0 = self.channel.stats.n_tests
-        busy0 = self.channel.stats.busy_seconds
-        batches0 = self.channel.stats.batches
+        before = self.channel.stats.snapshot()
 
-        groups = self._group_by_fingerprint(tagged)
-        clusters = self._verify_groups(groups, report)
-        if not self.assume_no_false_negatives:
-            clusters = self._merge_false_negatives(clusters, report)
-        report.clusters = clusters
+        with telemetry.span(
+            "verify",
+            instances=len(tagged),
+            threshold_m=self.m,
+            no_false_negatives=self.assume_no_false_negatives,
+        ) as span:
+            groups = self._group_by_fingerprint(tagged)
+            span.set(groups=len(groups))
+            clusters = self._verify_groups(groups, report)
+            if not self.assume_no_false_negatives:
+                clusters = self._merge_false_negatives(clusters, report)
+            report.clusters = clusters
 
-        report.n_tests = self.channel.stats.n_tests - tests0
-        report.busy_seconds = self.channel.stats.busy_seconds - busy0
-        report.n_batches = self.channel.stats.batches - batches0
+            delta = self.channel.stats.since(before)
+            report.n_tests = int(delta.get("tests", 0))
+            report.busy_seconds = float(delta.get("busy_seconds", 0.0))
+            report.n_batches = int(delta.get("batches", 0))
+            span.set(
+                clusters=len(report.clusters),
+                tests=report.n_tests,
+                fallback_groups=report.fallback_groups,
+                merged_false_negatives=report.merged_false_negatives,
+            )
+        telemetry.count("verify.calls")
+        telemetry.count("verify.tests", report.n_tests)
+        telemetry.count("verify.busy_seconds", report.busy_seconds)
+        telemetry.count("verify.fallback_groups", report.fallback_groups)
+        telemetry.count(
+            "verify.merged_false_negatives", report.merged_false_negatives
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -286,6 +313,8 @@ class ScalableVerifier:
             task.pending_chunks = _balanced_chunks(members, 2 * self.m - 1)
             tasks.append(task)
 
+        telemetry = current_telemetry()
+        wave = 0
         while any(not task.done() for task in tasks):
             requests: list[tuple[_GroupTask, list[InstanceHandle]]] = []
             for task in tasks:
@@ -294,10 +323,16 @@ class ScalableVerifier:
                     requests.append((task, test))
             if not requests:
                 break
-            for batch in self._plan_batches(requests):
-                results = self._run_batch([test for _task, test in batch])
-                for (task, _test), result in zip(batch, results):
-                    self._feed_result(task, result)
+            with telemetry.span(
+                "verify.wave", wave=wave, requests=len(requests)
+            ) as span:
+                batches = self._plan_batches(requests)
+                span.set(batches=len(batches))
+                for batch in batches:
+                    results = self._run_batch([test for _task, test in batch])
+                    for (task, _test), result in zip(batch, results):
+                        self._feed_result(task, result)
+            wave += 1
 
         for task in tasks:
             if task.fell_back:
@@ -429,6 +464,7 @@ class ScalableVerifier:
         # physically impossible without noise), up to the retry policy's
         # budget; each pass only re-runs the still-inconsistent tests.
         limits = thresholds(chunks)
+        telemetry = current_telemetry()
         for _attempt in range(self.retry_policy.max_retries):
             retried: list[int] = [
                 i
@@ -438,8 +474,17 @@ class ScalableVerifier:
             if not retried:
                 break
             self.channel.stats.retries += len(retried)
-            fresh = self.channel.ctest_batch(
-                [chunks[i] for i in retried], [limits[i] for i in retried]
+            before = self.channel.stats.snapshot()
+            with telemetry.span(
+                "verify.inconsistent_rerun", attempt=_attempt, tests=len(retried)
+            ):
+                fresh = self.channel.ctest_batch(
+                    [chunks[i] for i in retried], [limits[i] for i in retried]
+                )
+            telemetry.count("verify.rerun_tests", len(retried))
+            telemetry.count(
+                "verify.rerun_busy_seconds",
+                self.channel.stats.since(before).get("busy_seconds", 0.0),
             )
             for slot, res in zip(retried, fresh):
                 results[slot] = res
@@ -457,31 +502,36 @@ class ScalableVerifier:
             return clusters
         # The sweep uses m = 2 regardless of the step-2 threshold: a false
         # negative may involve just two co-located representatives.
-        reps = [cluster[0] for cluster in clusters]
-        result = self._run_batch([reps], force_threshold=2)[0]
-        positives = [idx for idx, flag in enumerate(result.positive) if flag]
-        if len(positives) < 2:
-            return clusters
+        with current_telemetry().span(
+            "verify.false_negative_hunt", clusters=len(clusters)
+        ) as span:
+            reps = [cluster[0] for cluster in clusters]
+            result = self._run_batch([reps], force_threshold=2)[0]
+            positives = [idx for idx, flag in enumerate(result.positive) if flag]
+            span.set(positives=len(positives))
+            if len(positives) < 2:
+                return clusters
 
-        # Refine: pairwise tests among the positive representatives reveal
-        # which of their clusters actually share hosts.
-        ds = DisjointSet(range(len(clusters)))
-        for a in range(len(positives)):
-            for b in range(a + 1, len(positives)):
-                i, j = positives[a], positives[b]
-                if ds.same(i, j):
-                    continue
-                pair = self._run_batch([[reps[i], reps[j]]])[0]
-                if all(pair.positive):
-                    ds.union(i, j)
-                    report.merged_false_negatives += 1
-        merged: list[list[InstanceHandle]] = []
-        for index_cluster in ds.clusters():
-            block: list[InstanceHandle] = []
-            for idx in index_cluster:
-                block.extend(clusters[idx])
-            merged.append(block)
-        return merged
+            # Refine: pairwise tests among the positive representatives
+            # reveal which of their clusters actually share hosts.
+            ds = DisjointSet(range(len(clusters)))
+            for a in range(len(positives)):
+                for b in range(a + 1, len(positives)):
+                    i, j = positives[a], positives[b]
+                    if ds.same(i, j):
+                        continue
+                    pair = self._run_batch([[reps[i], reps[j]]])[0]
+                    if all(pair.positive):
+                        ds.union(i, j)
+                        report.merged_false_negatives += 1
+            span.set(merged=report.merged_false_negatives)
+            merged: list[list[InstanceHandle]] = []
+            for index_cluster in ds.clusters():
+                block: list[InstanceHandle] = []
+                for idx in index_cluster:
+                    block.extend(clusters[idx])
+                merged.append(block)
+            return merged
 
 
 def _balanced_chunks(items: list, size: int) -> list[list]:

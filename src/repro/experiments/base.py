@@ -23,6 +23,7 @@ from repro.faults import (
 )
 from repro.sandbox.base import TscPolicy
 from repro.simtime.clock import SimClock
+from repro.telemetry import current_telemetry
 
 #: The accounts used throughout the paper's evaluation.
 ATTACKER_ACCOUNT = "account-1"
@@ -84,6 +85,7 @@ def default_env(
         budget doesn't kill a whole campaign.
     """
     clock = SimClock()
+    current_telemetry().use_clock(clock)
     resolved = profile if profile is not None else region_profile(region)
     datacenter = DataCenter(resolved, clock, seed=seed)
     if fault_plan is None:

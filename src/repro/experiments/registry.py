@@ -31,6 +31,7 @@ from repro.experiments import (
 from repro.experiments.base import default_env
 from repro.experiments.report import ComparisonRow, format_comparison, format_series, pct
 from repro.runner import RunnerConfig
+from repro.telemetry import current_telemetry
 
 
 def _reps(scale: str, full: int, quick: int = 1) -> int:
@@ -424,7 +425,10 @@ def run_experiment(
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
-    report = runner_fn(scale, runner)
+    with current_telemetry().span(
+        "experiment", experiment=experiment_id, scale=scale
+    ):
+        report = runner_fn(scale, runner)
     if runner is not None and runner.stats.cells:
         report += f"\n\n[runner] {runner.stats.summary()}"
     return report

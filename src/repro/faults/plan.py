@@ -22,7 +22,11 @@ Counters are the only mutable state, and they are advisory: they feed the
 ``[runner]`` / :class:`~repro.core.covert.ChannelStats` reporting, never a
 decision.  (When a plan is pickled into a worker process the worker's
 counter increments stay in the worker; parent-side accounting is derived
-from structured results instead.)
+from structured results instead.)  Every increment is also mirrored to
+the ambient :mod:`repro.telemetry` handle as a ``faults.*`` counter —
+and because the runner merges each cell's telemetry back into the
+parent, those counters *are* exhaustive under ``--jobs``, unlike the
+plan's own in-process counters.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ import hashlib
 from dataclasses import dataclass, fields, replace
 
 from repro.errors import FaultSpecError
+from repro.telemetry import current_telemetry
 
 #: ``FaultSpec.parse`` aliases: short CLI-friendly names for spec fields.
 _SPEC_ALIASES = {
@@ -224,12 +229,14 @@ class FaultPlan:
         )
         if failed:
             self.counters.launch_errors += 1
+            current_telemetry().count("faults.launch_errors")
         return failed
 
     def slow_launch_penalty(self, instance_id: str) -> float:
         """Extra cold-start seconds for one launched instance (0 if none)."""
         if self.uniform("slow-launch", instance_id) < self.spec.slow_launch_rate:
             self.counters.slow_launches += 1
+            current_telemetry().count("faults.slow_launches")
             return self.spec.slow_launch_seconds
         return 0.0
 
@@ -238,6 +245,7 @@ class FaultPlan:
         flipped = self.uniform("ctest-noise", token) < self.spec.ctest_noise_rate
         if flipped:
             self.counters.ctest_noise += 1
+            current_telemetry().count("faults.ctest_noise")
         return flipped
 
     def ctest_death_round(self, token: str, total_rounds: int) -> int | None:
@@ -251,6 +259,7 @@ class FaultPlan:
         if rate <= 0.0 or draw >= rate:
             return None
         self.counters.ctest_deaths += 1
+        current_telemetry().count("faults.ctest_deaths")
         return min(int(draw / rate * total_rounds), total_rounds - 1)
 
     def cell_fails(self, cell_key: str, attempt: int) -> bool:
@@ -261,4 +270,5 @@ class FaultPlan:
         )
         if failed:
             self.counters.cell_errors += 1
+            current_telemetry().count("faults.cell_errors")
         return failed

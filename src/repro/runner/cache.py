@@ -44,10 +44,12 @@ class CellCache:
         """File path of the entry for ``key`` (two-level fan-out)."""
         return self.directory / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> tuple[bool, object, float]:
+    def get(self, key: str) -> tuple[bool, object, float, dict | None]:
         """Look up a cell value.
 
-        Returns ``(hit, value, stored_elapsed_s)``.  Any read or decode
+        Returns ``(hit, value, stored_elapsed_s, trace)`` where ``trace``
+        is the telemetry snapshot recorded when the cell was computed
+        (``None`` for entries written without tracing).  Any read or decode
         failure — missing file, truncated pickle, foreign format, key
         mismatch — is a miss; unreadable entries are deleted best-effort.
         """
@@ -61,17 +63,28 @@ class CellCache:
                 or entry.get("key") != key
             ):
                 raise ValueError(f"not a {_ENTRY_FORMAT} entry")
-            return True, entry["value"], float(entry.get("elapsed_s", 0.0))
+            return (
+                True,
+                entry["value"],
+                float(entry.get("elapsed_s", 0.0)),
+                entry.get("trace"),
+            )
         except FileNotFoundError:
-            return False, None, 0.0
+            return False, None, 0.0, None
         except Exception:
             try:
                 path.unlink()
             except OSError:
                 pass
-            return False, None, 0.0
+            return False, None, 0.0, None
 
-    def put(self, key: str, value: object, elapsed_s: float) -> None:
+    def put(
+        self,
+        key: str,
+        value: object,
+        elapsed_s: float,
+        trace: dict | None = None,
+    ) -> None:
         """Store a cell value atomically (write-to-temp, then rename).
 
         Failures are swallowed: a read-only or full filesystem must never
@@ -83,6 +96,7 @@ class CellCache:
             "key": key,
             "elapsed_s": float(elapsed_s),
             "value": value,
+            "trace": trace,
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -113,6 +113,9 @@ class CellResult:
     elapsed_s: float
     cached: bool = field(default=False)
     error: str | None = field(default=None)
+    #: Telemetry snapshot (spans + metrics) captured while the cell ran;
+    #: ``None`` when tracing was off.  Not part of the cell's identity.
+    trace: dict | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:

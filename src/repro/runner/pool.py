@@ -31,6 +31,7 @@ benchmark harness) can report the achieved speedup and observed faults.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as wait_futures
@@ -42,20 +43,85 @@ from repro.errors import CellExecutionError
 from repro.faults import FaultPlan, fault_context
 from repro.runner.cache import CellCache
 from repro.runner.cellspec import CellResult, CellSpec
+from repro.telemetry import MetricSet, Telemetry, current_telemetry, telemetry_context
 
 
-@dataclass
 class RunStats:
-    """Aggregated counters for one runner's cell executions."""
+    """Aggregated counters for one runner's cell executions.
 
-    cells: int = 0
-    cache_hits: int = 0
-    computed_seconds: float = 0.0
-    saved_seconds: float = 0.0
-    wall_seconds: float = 0.0
-    parallelism: int = 0
-    cell_retries: int = 0
-    cell_errors: int = 0
+    Backed by a telemetry :class:`~repro.telemetry.MetricSet` rather than
+    plain fields, so per-call deltas are available via
+    :meth:`snapshot` / :meth:`since` and repeated ``run_cells`` calls on
+    one config accumulate without double-counting.
+    """
+
+    _COUNTERS = (
+        "cells",
+        "cache_hits",
+        "cell_retries",
+        "cell_errors",
+        "computed_seconds",
+        "saved_seconds",
+        "wall_seconds",
+    )
+
+    def __init__(self, **values: float) -> None:
+        self.metrics = MetricSet()
+        for name, value in values.items():
+            if name not in (*self._COUNTERS, "parallelism"):
+                raise TypeError(f"RunStats has no counter {name!r}")
+            setattr(self, name, value)
+
+    def _get(self, name: str) -> float:
+        return self.metrics.counters.get(name, 0)
+
+    def _set(self, name: str, value: float) -> None:
+        self.metrics.counters[name] = value
+
+    cells = property(
+        lambda self: int(self._get("cells")),
+        lambda self, v: self._set("cells", v),
+    )
+    cache_hits = property(
+        lambda self: int(self._get("cache_hits")),
+        lambda self, v: self._set("cache_hits", v),
+    )
+    cell_retries = property(
+        lambda self: int(self._get("cell_retries")),
+        lambda self, v: self._set("cell_retries", v),
+    )
+    cell_errors = property(
+        lambda self: int(self._get("cell_errors")),
+        lambda self, v: self._set("cell_errors", v),
+    )
+    computed_seconds = property(
+        lambda self: float(self._get("computed_seconds")),
+        lambda self, v: self._set("computed_seconds", v),
+    )
+    saved_seconds = property(
+        lambda self: float(self._get("saved_seconds")),
+        lambda self, v: self._set("saved_seconds", v),
+    )
+    wall_seconds = property(
+        lambda self: float(self._get("wall_seconds")),
+        lambda self, v: self._set("wall_seconds", v),
+    )
+
+    @property
+    def parallelism(self) -> int:
+        return int(self.metrics.gauges.get("parallelism", 0))
+
+    @parallelism.setter
+    def parallelism(self, value: int) -> None:
+        self.metrics.gauge("parallelism", value)
+
+    def snapshot(self) -> dict[str, float]:
+        """Freeze current counter totals (pair with :meth:`since`)."""
+        return self.metrics.snapshot()
+
+    def since(self, before: dict[str, float]) -> dict[str, float]:
+        """Counter growth since a :meth:`snapshot` (one run's deltas)."""
+        return self.metrics.since(before)
 
     @property
     def hit_rate(self) -> float:
@@ -150,6 +216,7 @@ def _execute_cell(
     spec: CellSpec,
     fault_plan: FaultPlan | None = None,
     attempt: int = 0,
+    collect_trace: bool = False,
 ) -> CellResult:
     """Run one cell and time it (top-level so worker processes can load it).
 
@@ -158,16 +225,27 @@ def _execute_cell(
     a whole pooled run.  The fault plan (if any) is consulted for an
     injected failure and activated as the ambient plan so the cell's own
     simulation picks up launch/CTest faults.
+
+    With ``collect_trace`` the cell runs under a *fresh* child
+    :class:`~repro.telemetry.Telemetry` — in the parent process and in
+    workers alike — and the captured spans/metrics travel back on the
+    result's ``trace``.  Uniform capture is what makes serial and pooled
+    traces byte-identical: spans never interleave with sibling cells.
     """
     start = time.perf_counter()
     value, error = None, None
+    child = Telemetry() if collect_trace else None
+    scope = (
+        telemetry_context(child) if child is not None else contextlib.nullcontext()
+    )
     try:
-        if fault_plan is not None and fault_plan.cell_fails(spec.key(), attempt):
-            raise CellExecutionError(
-                f"injected fault (attempt {attempt})"
-            )
-        with fault_context(fault_plan):
-            value = spec.fn(spec.config, spec.seed)
+        with scope:
+            if fault_plan is not None and fault_plan.cell_fails(spec.key(), attempt):
+                raise CellExecutionError(
+                    f"injected fault (attempt {attempt})"
+                )
+            with fault_context(fault_plan):
+                value = spec.fn(spec.config, spec.seed)
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         error = f"{spec.label or spec.experiment}: {type(exc).__name__}: {exc}"
     elapsed = time.perf_counter() - start
@@ -179,6 +257,7 @@ def _execute_cell(
         value=value,
         elapsed_s=elapsed,
         error=error,
+        trace=child.snapshot_trace() if child is not None else None,
     )
 
 
@@ -198,6 +277,8 @@ def run_cells(
     stats = runner.stats
     plan = runner.fault_plan
     faulted = plan is not None and plan.enabled
+    telemetry = current_telemetry()
+    collect = telemetry.enabled
     # Fault-injected values are resilience-drill output, not clean
     # results: never read them from or write them to the shared cache.
     cache = (
@@ -211,8 +292,12 @@ def run_cells(
     for index, spec in enumerate(specs):
         key = spec.key()
         if cache is not None and runner.cache_read:
-            hit, value, stored_elapsed = cache.get(key)
-            if hit:
+            hit, value, stored_elapsed, stored_trace = cache.get(key)
+            # An entry written by a trace-less run cannot reproduce the
+            # cell's spans, and a warm trace must equal a cold one — so
+            # with tracing on, such an entry is a miss (and gets rewritten
+            # with its trace below).
+            if hit and (not collect or stored_trace is not None):
                 results[index] = CellResult(
                     experiment=spec.experiment,
                     seed=spec.seed,
@@ -221,19 +306,27 @@ def run_cells(
                     value=value,
                     elapsed_s=stored_elapsed,
                     cached=True,
+                    trace=stored_trace if collect else None,
                 )
                 continue
         misses.append((index, spec))
 
+    def absorb_superseded(result: CellResult) -> None:
+        # A retried attempt's spans are discarded, but its counters (e.g.
+        # injected-fault tallies) still happened: merge just the metrics
+        # so totals stay exhaustive and order-independent.
+        if result.trace is not None:
+            telemetry.metrics.merge(MetricSet.from_state(result.trace["metrics"]))
+
     def finish(index: int, result: CellResult) -> None:
         results[index] = result
         if cache is not None and runner.cache_write and result.error is None:
-            cache.put(result.key, result.value, result.elapsed_s)
+            cache.put(result.key, result.value, result.elapsed_s, result.trace)
 
     if misses and runner.parallelism >= 1:
         with ProcessPoolExecutor(max_workers=runner.parallelism) as pool:
             pending = {
-                pool.submit(_execute_cell, spec, plan, 0): (index, spec, 0)
+                pool.submit(_execute_cell, spec, plan, 0, collect): (index, spec, 0)
                 for index, spec in misses
             }
             while pending:
@@ -243,17 +336,23 @@ def run_cells(
                     result = future.result()
                     if result.error is not None and attempt < runner.max_retries:
                         stats.cell_retries += 1
-                        retry = pool.submit(_execute_cell, spec, plan, attempt + 1)
+                        telemetry.count("runner.cell_retries")
+                        absorb_superseded(result)
+                        retry = pool.submit(
+                            _execute_cell, spec, plan, attempt + 1, collect
+                        )
                         pending[retry] = (index, spec, attempt + 1)
                     else:
                         finish(index, result)
     elif misses:
         for index, spec in misses:
             for attempt in range(runner.max_retries + 1):
-                result = _execute_cell(spec, plan, attempt)
+                result = _execute_cell(spec, plan, attempt, collect)
                 if result.error is None or attempt == runner.max_retries:
                     break
                 stats.cell_retries += 1
+                telemetry.count("runner.cell_retries")
+                absorb_superseded(result)
             finish(index, result)
 
     stats.parallelism = runner.parallelism
@@ -261,14 +360,30 @@ def run_cells(
     failed: list[CellResult] = []
     for result in results:
         stats.cells += 1
+        telemetry.count("runner.cells")
         if result.cached:
             stats.cache_hits += 1
             stats.saved_seconds += result.elapsed_s
+            telemetry.count("runner.cache_hits")
         else:
             stats.computed_seconds += result.elapsed_s
+            telemetry.observe("runner.cell_seconds", result.elapsed_s)
         if result.error is not None:
             failed.append(result)
+        if result.trace is not None:
+            # Splice in spec order — never completion order — so pooled
+            # and serial runs export identical traces.
+            attrs = {
+                "experiment": result.experiment,
+                "label": result.label,
+                "seed": result.seed,
+            }
+            if result.error is not None:
+                attrs["error"] = result.error
+            telemetry.splice(result.trace, name="cell", **attrs)
     stats.cell_errors += len(failed)
+    if failed:
+        telemetry.count("runner.cell_errors", len(failed))
 
     if failed and not runner.isolate_errors:
         labels = ", ".join(r.label or r.experiment for r in failed)

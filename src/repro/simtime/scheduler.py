@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.simtime.clock import SimClock
+from repro.telemetry import current_telemetry
 
 #: Dead entries tolerated before compaction is even considered; keeps tiny
 #: queues from re-heapifying constantly.
@@ -101,6 +102,7 @@ class EventScheduler:
     def _note_cancelled(self) -> None:
         """Count one newly cancelled queued event; compact if >50% dead."""
         self._dead += 1
+        current_telemetry().count("simtime.events_cancelled")
         if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._queue):
             self._compact()
 
@@ -109,15 +111,20 @@ class EventScheduler:
         self._queue = [event for event in self._queue if not event.cancelled]
         heapq.heapify(self._queue)
         self._dead = 0
+        current_telemetry().count("simtime.compactions")
 
     def _on_tick(self, now: float) -> None:
+        fired = 0
         while self._queue and self._queue[0].when <= now:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 self._dead -= 1
                 continue
             event._fired = True
+            fired += 1
             event.action()
+        if fired:
+            current_telemetry().count("simtime.events_fired", fired)
 
     def detach(self) -> None:
         """Stop observing the clock (used when tearing down a simulation)."""

@@ -1,0 +1,58 @@
+"""Unified telemetry: deterministic sim-time tracing plus typed metrics.
+
+The subsystem has three pieces:
+
+* :class:`Telemetry` — records a span tree (simulated-time ``sim`` spans,
+  runner-time ``wall`` spans, zero-duration events) and a
+  :class:`MetricSet` of counters/gauges/histograms.
+* the ambient context — :func:`current_telemetry` /
+  :func:`telemetry_context` thread one handle through the orchestrator,
+  covert channel, verifier, and runner without parameter plumbing; the
+  default is :data:`NULL_TELEMETRY`, whose operations are allocation-free
+  no-ops, so instrumented code never branches on enablement.
+* exports — :func:`write_jsonl` (deterministic, golden-diffable trace),
+  :func:`render_tree` (human tree), :func:`format_metrics` /
+  :func:`metrics_snapshot` (metric dumps).
+
+Enable it from the CLI with ``--trace PATH`` / ``--metrics``, or in code::
+
+    from repro.telemetry import Telemetry, telemetry_context, write_jsonl
+
+    tm = Telemetry()
+    with telemetry_context(tm):
+        run_experiment("exp1")
+    write_jsonl(tm, "trace.jsonl")
+"""
+
+from repro.telemetry.export import (
+    format_metrics,
+    metrics_snapshot,
+    render_tree,
+    span_lines,
+    write_jsonl,
+)
+from repro.telemetry.metrics import HistogramSummary, MetricSet
+from repro.telemetry.tracer import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    current_telemetry,
+    telemetry_context,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "HistogramSummary",
+    "MetricSet",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "current_telemetry",
+    "format_metrics",
+    "metrics_snapshot",
+    "render_tree",
+    "span_lines",
+    "telemetry_context",
+    "write_jsonl",
+]

@@ -1,0 +1,131 @@
+"""Trace and metric exports: deterministic JSONL, a human tree, metrics.
+
+The JSONL schema (one span per line, sorted keys)::
+
+    {"attrs": {...}, "id": 3, "kind": "sim", "name": "verify",
+     "parent": 2, "t0": 1700000123.0, "t1": 1700000181.4}
+
+``wall`` spans carry no ``t0``/``t1`` and — in the default deterministic
+mode — no duration either: wall-clock measurements vary run to run, so
+they are only written under ``include_wall=True``.  Everything else in a
+trace derives from seeded simulation, which is what makes golden-trace
+regression testing (byte-for-byte comparison) possible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.telemetry.metrics import MetricSet
+from repro.telemetry.tracer import Telemetry
+
+
+def _sanitize(value):
+    """Reduce an attribute value to a deterministic JSON-able form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_sanitize(item) for item in value)
+    return repr(value)
+
+
+def span_lines(telemetry: Telemetry, include_wall: bool = False) -> list[str]:
+    """Render every span as one canonical JSON line (no newlines)."""
+    lines = []
+    for span in telemetry.records():
+        record = {
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "kind": span.kind,
+            "t0": span.t0,
+            "t1": span.t1,
+            "attrs": _sanitize(span.attrs),
+        }
+        if include_wall and span.wall_s is not None:
+            record["wall_s"] = span.wall_s
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_jsonl(
+    telemetry: Telemetry,
+    destination: str | Path | IO[str],
+    include_wall: bool = False,
+) -> None:
+    """Write the trace as JSONL to a path or open text stream."""
+    text = "\n".join(span_lines(telemetry, include_wall=include_wall))
+    if text:
+        text += "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        Path(destination).write_text(text, encoding="utf-8")
+
+
+def render_tree(telemetry: Telemetry, max_attrs: int = 4) -> str:
+    """A human-readable indented span tree.
+
+    Sim spans show their simulated duration, wall spans their measured
+    seconds; up to ``max_attrs`` attributes are inlined per span.
+    """
+    children: dict[int | None, list] = {}
+    for span in telemetry.records():
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def emit(span, depth: int) -> None:
+        if span.kind == "wall":
+            timing = f" [{span.wall_s:.3f}s wall]" if span.wall_s is not None else ""
+        elif span.t0 is not None and span.t1 is not None:
+            timing = f" [{span.t1 - span.t0:.1f}s sim]"
+        else:
+            timing = ""
+        shown = list(span.attrs.items())[:max_attrs]
+        attrs = (
+            " {" + ", ".join(f"{k}={v!r}" for k, v in shown) + "}" if shown else ""
+        )
+        lines.append(f"{'  ' * depth}{span.name}{timing}{attrs}")
+        for child in children.get(span.span_id, ()):
+            emit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: MetricSet) -> str:
+    """A sorted, aligned text table of every counter/gauge/histogram."""
+    rows: list[tuple[str, str]] = []
+    for name in sorted(metrics.counters):
+        value = metrics.counters[name]
+        rows.append((name, f"{value:g}"))
+    for name in sorted(metrics.gauges):
+        rows.append((f"{name} (gauge)", f"{metrics.gauges[name]:g}"))
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        rows.append(
+            (
+                f"{name} (hist)",
+                f"n={hist.count} mean={hist.mean:.4g} "
+                f"min={hist.min:.4g} max={hist.max:.4g}"
+                if hist.count
+                else "n=0",
+            )
+        )
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(name) for name, _v in rows)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+def metrics_snapshot(telemetry: Telemetry) -> dict:
+    """Deterministically ordered JSON-able metrics dump."""
+    return telemetry.metrics.as_dict()

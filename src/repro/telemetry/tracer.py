@@ -1,0 +1,328 @@
+"""Deterministic tracing: spans in simulated time, wall clock kept apart.
+
+A :class:`Telemetry` handle records a tree of :class:`Span` records plus a
+:class:`~repro.telemetry.metrics.MetricSet`.  Two span kinds:
+
+* ``sim`` — timestamped from the bound :class:`~repro.simtime.clock.SimClock`
+  (scheduler dispatch, launch batches, CTest rounds, verifier phases).
+  Simulated time is a pure function of the seeds, so these spans are
+  byte-identical across runs, process counts, and hash seeds.
+* ``wall`` — runner-side work measured with ``time.perf_counter`` (cell
+  execution, cache traffic).  The wall duration lives in a field the
+  deterministic JSONL export *omits*, so traces stay diffable while the
+  measurement is still available to metrics and opt-in exports.
+
+The handle is threaded ambiently through a :mod:`contextvars` context —
+the same pattern as :mod:`repro.faults.context` — so deep call stacks
+(orchestrator, covert channel, verifier) reach it without parameter
+plumbing.  When no telemetry is active, :func:`current_telemetry` returns
+the process-wide :data:`NULL_TELEMETRY`, whose every operation is a no-op
+returning shared singletons: the disabled path allocates nothing and
+cannot perturb an experiment.
+
+Worker processes build their own handle, and the parent splices the
+serialized result into its tree in submission order
+(:meth:`Telemetry.splice`), which is what keeps serial and pooled traces
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.telemetry.metrics import MetricSet
+
+#: Span kinds; ``event`` is a zero-duration marker.
+SIM = "sim"
+WALL = "wall"
+EVENT = "event"
+
+
+class Span:
+    """One recorded (possibly still open) span.
+
+    Spans are context managers handed out by :meth:`Telemetry.span` /
+    :meth:`Telemetry.wall_span`; use :meth:`set` to attach attributes that
+    are only known mid-span (verdicts, created counts).
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "kind", "t0", "t1", "wall_s",
+        "attrs", "_telemetry", "_wall_start",
+    )
+
+    def __init__(
+        self,
+        telemetry: "Telemetry",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        kind: str,
+        attrs: dict,
+    ) -> None:
+        self._telemetry = telemetry
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.t0: float | None = None
+        self.t1: float | None = None
+        self.wall_s: float | None = None
+        self.attrs = attrs
+        self._wall_start: float | None = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach or overwrite span attributes; returns the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def close(self) -> None:
+        """Close the span explicitly (``with`` does this automatically)."""
+        self._telemetry._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.close()
+        return False
+
+    def to_dict(self) -> dict:
+        """Serializable record (includes wall_s; exports may strip it)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "t0": self.t0,
+            "t1": self.t1,
+            "wall_s": self.wall_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path (no allocation)."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled telemetry handle: every operation is a shared no-op.
+
+    ``span``/``wall_span``/``event`` return process-wide singletons and
+    record nothing, so code can call telemetry unconditionally without
+    branching on enablement — the disabled path stays allocation-free and
+    the experiment output byte-identical to an uninstrumented run.
+    """
+
+    enabled = False
+
+    def use_clock(self, clock) -> None:
+        pass
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def wall_span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def count(self, name: str, n: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def splice(self, trace: dict | None, name: str = "cell", **attrs) -> None:
+        pass
+
+
+#: The process-wide disabled handle (also the ambient default).
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """An enabled tracing + metrics handle.
+
+    Span identifiers are assigned sequentially at open time, and the
+    record list is kept in id order, so the export order is a pure
+    function of the instrumented code path — never of thread/process
+    completion order.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.metrics = MetricSet()
+        self._records: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._clock = None
+
+    # ------------------------------------------------------------------
+    # Clock binding
+    # ------------------------------------------------------------------
+    def use_clock(self, clock) -> None:
+        """Bind the :class:`~repro.simtime.clock.SimClock` that stamps
+        ``sim`` spans (rebinding is fine: each simulation cell binds its
+        own fresh clock on construction)."""
+        self._clock = clock
+
+    def _sim_now(self) -> float | None:
+        return self._clock.now() if self._clock is not None else None
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def _open(self, name: str, kind: str, attrs: dict) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, self._next_id, parent, name, kind, attrs)
+        self._next_id += 1
+        self._records.append(span)
+        if kind == WALL:
+            span._wall_start = time.perf_counter()
+        else:
+            span.t0 = self._sim_now()
+        if kind != EVENT:
+            self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if span.kind == WALL:
+            if span._wall_start is not None:
+                span.wall_s = time.perf_counter() - span._wall_start
+        else:
+            span.t1 = self._sim_now()
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a simulated-time span (closed by the ``with`` exit)."""
+        return self._open(name, SIM, attrs)
+
+    def wall_span(self, name: str, **attrs) -> Span:
+        """Open a wall-clock (runner-time) span."""
+        return self._open(name, WALL, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-duration marker at the current simulated time."""
+        span = self._open(name, EVENT, attrs)
+        span.t1 = span.t0
+
+    # ------------------------------------------------------------------
+    # Metrics facade
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name``."""
+        self.metrics.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        self.metrics.observe(name, value)
+
+    # ------------------------------------------------------------------
+    # Reading / transfer
+    # ------------------------------------------------------------------
+    def records(self) -> list[Span]:
+        """All recorded spans, in id (open) order."""
+        return list(self._records)
+
+    def snapshot_trace(self) -> dict:
+        """Serializable ``{"spans": [...], "metrics": {...}}`` state.
+
+        This is what a worker process sends back in its
+        :class:`~repro.runner.cellspec.CellResult` for the parent to
+        :meth:`splice`.
+        """
+        return {
+            "spans": [span.to_dict() for span in self._records],
+            "metrics": self.metrics.to_state(),
+        }
+
+    def splice(self, trace: dict | None, name: str = "cell", **attrs) -> None:
+        """Graft a child trace under the currently open span.
+
+        A wrapper span named ``name`` is created, every child record gets
+        a freshly assigned id (parent links remapped), and the child's
+        metrics merge into this handle's.  Called in *submission* order by
+        the runner, this reconstructs the exact tree a serial in-process
+        run would have produced — regardless of worker completion order.
+        """
+        if trace is None:
+            return
+        with self.wall_span(name, **attrs) as wrapper:
+            id_map: dict[int, int] = {}
+            for rec in trace.get("spans", ()):
+                span = Span(
+                    self,
+                    self._next_id,
+                    id_map.get(rec["parent"], wrapper.span_id),
+                    rec["name"],
+                    rec["kind"],
+                    dict(rec["attrs"]),
+                )
+                self._next_id += 1
+                span.t0 = rec["t0"]
+                span.t1 = rec["t1"]
+                span.wall_s = rec["wall_s"]
+                id_map[rec["id"]] = span.span_id
+                self._records.append(span)
+        self.metrics.merge(MetricSet.from_state(trace.get("metrics", {})))
+
+
+_ACTIVE: ContextVar[Telemetry | NullTelemetry] = ContextVar(
+    "repro_telemetry", default=NULL_TELEMETRY
+)
+
+
+def current_telemetry() -> Telemetry | NullTelemetry:
+    """The ambient telemetry handle (:data:`NULL_TELEMETRY` when off)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def telemetry_context(
+    telemetry: Telemetry | NullTelemetry,
+) -> Iterator[Telemetry | NullTelemetry]:
+    """Activate ``telemetry`` as the ambient handle for the block.
+
+    ``telemetry_context(NULL_TELEMETRY)`` explicitly disables collection
+    inside the block (shadowing any outer handle).
+    """
+    token = _ACTIVE.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,1 @@
+"""Golden-trace scenarios and their checked-in canonical JSONL traces."""

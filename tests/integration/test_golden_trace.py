@@ -1,0 +1,88 @@
+"""Golden-trace regression tests.
+
+The deterministic JSONL export of each scenario in
+:mod:`tests.golden.scenarios` is pinned byte-for-byte against a
+checked-in golden file.  A diff here means the *shape* of the
+instrumented execution changed — new/renamed spans, different phase
+structure, changed simulated timing — which is either a regression or an
+intentional change that must be re-blessed:
+
+    REPRO_BLESS=1 python -m pytest tests/integration/test_golden_trace.py
+
+(then review and commit the rewritten ``tests/golden/*.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import span_lines
+from tests.golden import scenarios
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def _text(telemetry) -> str:
+    return "\n".join(span_lines(telemetry)) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(scenarios.SCENARIOS))
+def test_trace_matches_golden(name):
+    text = _text(scenarios.SCENARIOS[name]())
+    golden = GOLDEN_DIR / f"{name}.jsonl"
+    if os.environ.get("REPRO_BLESS"):
+        golden.write_text(text, encoding="utf-8")
+        pytest.skip(f"blessed {golden.name}")
+    assert golden.exists(), (
+        f"missing golden {golden}; generate it with REPRO_BLESS=1"
+    )
+    assert text == golden.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name", sorted(scenarios.SCENARIOS))
+def test_pooled_run_traces_identically_to_serial(name):
+    builder = scenarios.SCENARIOS[name]
+    assert _text(builder(parallelism=2)) == _text(builder(parallelism=0))
+
+
+def test_warm_cache_trace_matches_cold(tmp_path):
+    cold = _text(scenarios.attack_trace(cache=True, cache_dir=tmp_path))
+    warm = _text(scenarios.attack_trace(cache=True, cache_dir=tmp_path))
+    assert warm == cold
+
+
+def test_attack_trace_reconstructs_full_phase_tree():
+    names = {
+        json.loads(line)["name"]
+        for line in _text(scenarios.attack_trace()).splitlines()
+    }
+    for expected in (
+        "experiment",
+        "cell",
+        "campaign",
+        "campaign.attacker_launch",
+        "orchestrator.launch",
+        "campaign.victim_scale",
+        "campaign.fingerprint",
+        "campaign.verification",
+        "verify",
+        "verify.wave",
+        "ctest.batch",
+    ):
+        assert expected in names, f"span {expected!r} missing from attack trace"
+
+
+def test_faulted_trace_records_recovery_spans():
+    telemetry = scenarios.faulted_verification_trace()
+    names = [span.name for span in telemetry.records()]
+    assert "verify.false_negative_hunt" in names
+    counters = telemetry.metrics.counters
+    assert counters.get("faults.cell_errors", 0) > 0
+    assert counters.get("runner.cell_retries", 0) > 0
+    # The fault mirrors are exhaustive: spliced cell metrics carry the
+    # worker-side injections back to the parent handle.
+    assert counters.get("faults.launch_errors", 0) > 0

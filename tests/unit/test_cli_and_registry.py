@@ -164,3 +164,53 @@ class TestBuildParser:
     def test_extension_experiments_registered(self):
         assert "surveillance" in EXPERIMENTS
         assert "defenses" in EXPERIMENTS
+
+
+class TestCliTelemetry:
+    def test_trace_flag_writes_deterministic_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "out.jsonl"
+        assert main(["--trace", str(trace), "run", "exp1"]) == 0
+        out = capsys.readouterr().out
+        assert "[trace]" in out
+        lines = trace.read_text(encoding="utf-8").splitlines()
+        assert lines, "trace file is empty"
+        names = [json.loads(line)["name"] for line in lines]
+        assert names[0] == "experiment"
+        assert "cell" in names
+        assert "orchestrator.launch" in names
+        # Wall-clock measurements never leak into the deterministic export.
+        assert all("wall_s" not in json.loads(line) for line in lines)
+
+    def test_trace_flag_accepted_after_subcommand(self, tmp_path):
+        trace = tmp_path / "sub.jsonl"
+        assert main(["run", "exp1", "--trace", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_trace_is_identical_across_jobs_counts(self, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        pooled = tmp_path / "pooled.jsonl"
+        assert main(["run", "exp1", "--no-cache", "--trace", str(serial)]) == 0
+        assert main(
+            ["run", "exp1", "--no-cache", "--jobs", "2", "--trace", str(pooled)]
+        ) == 0
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_metrics_flag_prints_counters(self, capsys):
+        assert main(["--metrics", "run", "exp1"]) == 0
+        out = capsys.readouterr().out
+        assert "[metrics]" in out
+        assert "runner.cells" in out
+        assert "orchestrator.instances_created" in out
+
+    def test_disabled_telemetry_output_is_unchanged(self, capsys):
+        """The no-op guarantee, CLI edition: the report body of a traced
+        run equals a plain run's output exactly (minus the appended
+        [trace]/[metrics] sections)."""
+        assert main(["run", "exp1", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["--metrics", "run", "exp1", "--no-cache"]) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain)
+        assert "[metrics]" not in plain

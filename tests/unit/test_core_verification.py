@@ -424,3 +424,55 @@ class TestTagInstances:
         pairs = fingerprint_gen1_instances(handles, p_boot=1.0)
         tagged = tag_instances(pairs, model_key_fn=lambda fp: fp.cpu_model)
         assert all(t.model_key == t.fingerprint.cpu_model for t in tagged)
+
+
+class TestReentrantStats:
+    """Regression: per-call report totals on a shared channel.
+
+    ``VerificationReport`` costs used to be computed by subtracting a
+    baseline captured at ``verify()`` entry from raw stats fields — a
+    scheme that silently double-counts if the fields are ever reset or the
+    channel is reused concurrently.  The snapshot/delta discipline on
+    :class:`~repro.telemetry.MetricSet` makes sequential reuse exact:
+    each report carries only its own call's tests while the channel's
+    stats keep the cumulative totals.
+    """
+
+    def test_two_sequential_verifies_report_per_call_and_cumulative(
+        self, tiny_env_factory
+    ):
+        channel = RngCovertChannel()
+        verifier = ScalableVerifier(channel)
+
+        env_a = tiny_env_factory(seed=7)
+        tagged_a, _ = launch_and_tag(env_a, 30)
+        report_a = verifier.verify(tagged_a)
+
+        after_first = channel.stats.n_tests
+        assert after_first == report_a.n_tests > 0
+        assert channel.stats.busy_seconds == pytest.approx(report_a.busy_seconds)
+
+        env_b = tiny_env_factory(seed=8)
+        tagged_b, _ = launch_and_tag(env_b, 24)
+        report_b = verifier.verify(tagged_b)
+
+        assert report_b.n_tests > 0
+        # Per-call: the second report covers only the second call.
+        assert report_b.n_tests == channel.stats.n_tests - after_first
+        # Cumulative: the shared channel keeps the grand totals.
+        assert channel.stats.n_tests == report_a.n_tests + report_b.n_tests
+        assert channel.stats.busy_seconds == pytest.approx(
+            report_a.busy_seconds + report_b.busy_seconds
+        )
+        assert channel.stats.batches == report_a.n_batches + report_b.n_batches
+
+    def test_snapshot_since_isolates_a_window(self, tiny_env):
+        channel = RngCovertChannel()
+        tagged, _ = launch_and_tag(tiny_env, 20)
+        ScalableVerifier(channel).verify(tagged)
+        before = channel.stats.snapshot()
+        assert channel.stats.since(before) == {}
+        ScalableVerifier(channel).verify(tagged)
+        delta = channel.stats.since(before)
+        assert delta.get("tests", 0) > 0
+        assert delta["tests"] <= channel.stats.n_tests

@@ -95,13 +95,22 @@ class TestCellCache:
     def test_roundtrip(self, tmp_path):
         cache = CellCache(tmp_path)
         cache.put("ab" + "0" * 62, {"v": 1}, 2.5)
-        hit, value, elapsed = cache.get("ab" + "0" * 62)
+        hit, value, elapsed, trace = cache.get("ab" + "0" * 62)
         assert hit
         assert value == {"v": 1}
         assert elapsed == 2.5
+        assert trace is None
+
+    def test_trace_roundtrip(self, tmp_path):
+        cache = CellCache(tmp_path)
+        trace = {"spans": [{"id": 0, "name": "cell"}], "metrics": {}}
+        cache.put("cc" + "0" * 62, {"v": 2}, 1.0, trace)
+        hit, _, _, stored = cache.get("cc" + "0" * 62)
+        assert hit
+        assert stored == trace
 
     def test_missing_entry_is_a_miss(self, tmp_path):
-        hit, value, _ = CellCache(tmp_path).get("cd" + "0" * 62)
+        hit, value, _, _ = CellCache(tmp_path).get("cd" + "0" * 62)
         assert not hit
         assert value is None
 
@@ -111,7 +120,7 @@ class TestCellCache:
         cache.put(key, [1, 2, 3], 1.0)
         path = cache.path_for(key)
         path.write_bytes(b"not a pickle at all")
-        hit, _, _ = cache.get(key)
+        hit, _, _, _ = cache.get(key)
         assert not hit
         assert not path.exists()
 
@@ -123,7 +132,7 @@ class TestCellCache:
         path = cache.path_for(key)
         path.parent.mkdir(parents=True)
         path.write_bytes(pickle.dumps({"format": "something-else", "key": key}))
-        hit, _, _ = cache.get(key)
+        hit, _, _, _ = cache.get(key)
         assert not hit
 
     def test_key_mismatch_is_a_miss(self, tmp_path):
@@ -133,7 +142,7 @@ class TestCellCache:
         cache.put(key_a, "value", 0.1)
         # Simulate a renamed/misplaced entry.
         cache.path_for(key_a).rename(cache.path_for(key_b))
-        hit, _, _ = cache.get(key_b)
+        hit, _, _, _ = cache.get(key_b)
         assert not hit
 
     def test_put_failure_is_swallowed(self, tmp_path):
@@ -141,7 +150,7 @@ class TestCellCache:
         blocker.write_text("a file where the directory should go")
         cache = CellCache(blocker / "sub")
         cache.put("aa" + "0" * 62, "value", 0.1)  # must not raise
-        hit, _, _ = cache.get("aa" + "0" * 62)
+        hit, _, _, _ = cache.get("aa" + "0" * 62)
         assert not hit
 
     def test_default_dir_honors_env(self, monkeypatch, tmp_path):

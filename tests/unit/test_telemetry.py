@@ -1,0 +1,322 @@
+"""Unit tests for the telemetry subsystem (spans, metrics, exports)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.simtime.clock import SimClock
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    HistogramSummary,
+    MetricSet,
+    Telemetry,
+    current_telemetry,
+    format_metrics,
+    metrics_snapshot,
+    render_tree,
+    span_lines,
+    telemetry_context,
+    write_jsonl,
+)
+from repro.telemetry.tracer import _NULL_SPAN
+
+
+class TestHistogramSummary:
+    def test_empty(self):
+        hist = HistogramSummary()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.as_dict() == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_observe_tracks_extremes_and_mean(self):
+        hist = HistogramSummary()
+        for value in (4.0, 1.0, 7.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 1.0
+        assert hist.max == 7.0
+        assert hist.mean == 4.0
+
+    def test_merge_matches_combined_stream(self):
+        a, b, combined = HistogramSummary(), HistogramSummary(), HistogramSummary()
+        for value in (1.0, 5.0):
+            a.observe(value)
+            combined.observe(value)
+        for value in (0.5, 9.0, 2.0):
+            b.observe(value)
+            combined.observe(value)
+        a.merge(b)
+        assert a == combined
+
+    def test_merge_with_empty_is_identity(self):
+        hist = HistogramSummary()
+        hist.observe(3.0)
+        before = hist.as_dict()
+        hist.merge(HistogramSummary())
+        assert hist.as_dict() == before
+
+
+class TestMetricSet:
+    def test_counter_defaults_to_zero(self):
+        assert MetricSet().counter("missing") == 0
+
+    def test_inc_and_snapshot_since(self):
+        ms = MetricSet()
+        ms.inc("a")
+        before = ms.snapshot()
+        ms.inc("a", 2)
+        ms.inc("b", 5)
+        assert ms.since(before) == {"a": 2, "b": 5}
+        assert ms.counter("a") == 3
+
+    def test_since_omits_unchanged_counters(self):
+        ms = MetricSet()
+        ms.inc("steady", 4)
+        before = ms.snapshot()
+        ms.inc("moving")
+        assert ms.since(before) == {"moving": 1}
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricSet(), MetricSet()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.observe("h", 1.0)
+        b.observe("h", 3.0)
+        b.gauge("g", 7)
+        a.merge(b)
+        assert a.counter("x") == 3
+        assert a.counter("y") == 3
+        assert a.histograms["h"].count == 2
+        assert a.gauges["g"] == 7
+
+    def test_state_roundtrip(self):
+        ms = MetricSet()
+        ms.inc("c", 2)
+        ms.gauge("g", 1.5)
+        ms.observe("h", 4.0)
+        rebuilt = MetricSet.from_state(ms.to_state())
+        assert rebuilt.as_dict() == ms.as_dict()
+
+    def test_as_dict_sorts_keys(self):
+        ms = MetricSet()
+        ms.inc("zeta")
+        ms.inc("alpha")
+        assert list(ms.as_dict()["counters"]) == ["alpha", "zeta"]
+
+
+class TestSpans:
+    def test_sim_span_timestamps_from_bound_clock(self):
+        tm = Telemetry()
+        clock = SimClock()
+        tm.use_clock(clock)
+        start = clock.now()
+        with tm.span("work", label="x"):
+            clock.sleep(10.0)
+        (span,) = tm.records()
+        assert span.kind == "sim"
+        assert span.t0 == start
+        assert span.t1 == start + 10.0
+        assert span.attrs == {"label": "x"}
+
+    def test_nesting_assigns_parents_in_open_order(self):
+        tm = Telemetry()
+        with tm.span("outer"):
+            with tm.span("inner"):
+                tm.event("marker")
+        outer, inner, marker = tm.records()
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert marker.parent_id == inner.span_id
+        assert [s.span_id for s in tm.records()] == [0, 1, 2]
+
+    def test_event_is_zero_duration(self):
+        tm = Telemetry()
+        tm.use_clock(SimClock())
+        tm.event("tick", n=1)
+        (span,) = tm.records()
+        assert span.kind == "event"
+        assert span.t0 == span.t1
+
+    def test_wall_span_measures_seconds_not_sim_time(self):
+        tm = Telemetry()
+        with tm.wall_span("cell"):
+            pass
+        (span,) = tm.records()
+        assert span.kind == "wall"
+        assert span.t0 is None and span.t1 is None
+        assert span.wall_s is not None and span.wall_s >= 0.0
+
+    def test_exception_marks_span_with_error(self):
+        tm = Telemetry()
+        try:
+            with tm.span("risky"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = tm.records()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_manual_close_pops_the_stack(self):
+        tm = Telemetry()
+        span = tm.span("manual")
+        span.close()
+        with tm.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_set_returns_span_and_overwrites(self):
+        tm = Telemetry()
+        with tm.span("s", a=1) as span:
+            assert span.set(a=2, b=3) is span
+        assert span.attrs == {"a": 2, "b": 3}
+
+
+class TestSplice:
+    def test_splice_remaps_ids_under_wrapper(self):
+        child = Telemetry()
+        child.use_clock(SimClock())
+        with child.span("child-root"):
+            child.event("child-leaf")
+        child.count("c", 2)
+        trace = child.snapshot_trace()
+
+        parent = Telemetry()
+        parent.count("c", 1)
+        with parent.span("run"):
+            parent.splice(trace, name="cell", label="L")
+        run, wrapper, root, leaf = parent.records()
+        assert wrapper.name == "cell"
+        assert wrapper.parent_id == run.span_id
+        assert root.parent_id == wrapper.span_id
+        assert leaf.parent_id == root.span_id
+        assert root.t0 is not None  # child sim timestamps preserved
+        assert parent.metrics.counter("c") == 3
+
+    def test_splice_none_is_a_noop(self):
+        parent = Telemetry()
+        parent.splice(None)
+        assert parent.records() == []
+
+    def test_two_splices_reproduce_serial_tree(self):
+        def cell_trace(tag):
+            tm = Telemetry()
+            tm.use_clock(SimClock())
+            with tm.span(f"work-{tag}"):
+                tm.event("step")
+            return tm.snapshot_trace()
+
+        a = Telemetry()
+        a.splice(cell_trace("x"), name="cell")
+        a.splice(cell_trace("y"), name="cell")
+        names = [s.name for s in a.records()]
+        assert names == ["cell", "work-x", "step", "cell", "work-y", "step"]
+        assert span_lines(a) == span_lines(a)  # stable
+
+
+class TestNullTelemetry:
+    def test_ambient_default_is_null(self):
+        assert current_telemetry() is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+
+    def test_null_operations_allocate_nothing(self):
+        span = NULL_TELEMETRY.span("anything", x=1)
+        assert span is _NULL_SPAN
+        assert NULL_TELEMETRY.wall_span("w") is _NULL_SPAN
+        assert span.set(y=2) is span
+        with span:
+            pass
+        NULL_TELEMETRY.count("c")
+        NULL_TELEMETRY.gauge("g", 1)
+        NULL_TELEMETRY.observe("h", 1.0)
+        NULL_TELEMETRY.event("e")
+        NULL_TELEMETRY.splice({"spans": [], "metrics": {}})
+        NULL_TELEMETRY.use_clock(SimClock())
+
+    def test_context_activates_and_restores(self):
+        tm = Telemetry()
+        with telemetry_context(tm):
+            assert current_telemetry() is tm
+            with telemetry_context(NULL_TELEMETRY):
+                assert current_telemetry() is NULL_TELEMETRY
+            assert current_telemetry() is tm
+        assert current_telemetry() is NULL_TELEMETRY
+
+
+class TestExports:
+    def _traced(self) -> Telemetry:
+        tm = Telemetry()
+        tm.use_clock(SimClock())
+        with tm.span("root", region="tiny"):
+            with tm.wall_span("cell", label="c0"):
+                tm.event("mark", n=2)
+        return tm
+
+    def test_span_lines_are_canonical_json(self):
+        tm = self._traced()
+        lines = span_lines(tm)
+        assert len(lines) == 3
+        for line in lines:
+            assert "\n" not in line
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+    def test_default_export_omits_wall_seconds(self):
+        tm = self._traced()
+        plain = [json.loads(line) for line in span_lines(tm)]
+        assert all("wall_s" not in record for record in plain)
+        walled = [
+            json.loads(line) for line in span_lines(tm, include_wall=True)
+        ]
+        assert any("wall_s" in record for record in walled)
+
+    def test_attrs_are_sanitized_deterministically(self):
+        tm = Telemetry()
+        with tm.span("s", items={2, 1}, mapping={"b": 1, "a": (2, 3)}):
+            pass
+        record = json.loads(span_lines(tm)[0])
+        assert record["attrs"] == {
+            "items": [1, 2],
+            "mapping": {"a": [2, 3], "b": 1},
+        }
+
+    def test_write_jsonl_to_stream_and_path(self, tmp_path):
+        tm = self._traced()
+        stream = io.StringIO()
+        write_jsonl(tm, stream)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tm, path)
+        assert stream.getvalue() == path.read_text(encoding="utf-8")
+        assert stream.getvalue().endswith("\n")
+
+    def test_write_jsonl_empty_trace_writes_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_jsonl(Telemetry(), path)
+        assert path.read_text(encoding="utf-8") == ""
+
+    def test_render_tree_indents_children(self):
+        tm = self._traced()
+        tree = render_tree(tm)
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  cell")
+        assert lines[2].startswith("    mark")
+
+    def test_format_metrics_empty_and_populated(self):
+        assert format_metrics(MetricSet()) == "(no metrics recorded)"
+        ms = MetricSet()
+        ms.inc("runs", 2)
+        ms.gauge("jobs", 4)
+        ms.observe("seconds", 1.5)
+        text = format_metrics(ms)
+        assert "runs" in text
+        assert "jobs (gauge)" in text
+        assert "seconds (hist)" in text
+
+    def test_metrics_snapshot_is_plain_json(self):
+        tm = self._traced()
+        tm.count("a")
+        snap = metrics_snapshot(tm)
+        json.dumps(snap)  # must be JSON-able
+        assert snap["counters"] == {"a": 1}
