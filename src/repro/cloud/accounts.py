@@ -32,7 +32,7 @@ class Account:
 
     account_id: str
     max_instances_per_service: int = 1000
-    base_host_ids: dict[str, list[str]] = field(default_factory=dict)
+    base_host_ids: dict[str, tuple[str, ...]] = field(default_factory=dict)
     billing: BillingMeter = field(default_factory=BillingMeter)
 
     def check_instance_quota(self, requested: int) -> None:

@@ -6,6 +6,14 @@ which is why a census across many launches keeps discovering new hosts while
 any single moment shows far fewer (paper Fig. 12).  The serving pool is
 partitioned into fixed *shards*; an account's base hosts are its shard
 (Observations 3-4).
+
+Fleet-scalar state (pool membership, shard assignment, capacity and load
+slots) lives in the columnar :class:`~repro.fleet.FleetStore`; the rich
+:class:`~repro.hardware.host.PhysicalHost` objects keep only the non-scalar
+hardware surfaces (CPU identity, TSC, RNG/memory-bus contention domains,
+noise models).  Pool rotation and shard lookup are index operations, and
+``serving_pool()``/``shard_hosts()`` return cached immutable tuples instead
+of fresh list copies.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import numpy as np
 
 from repro.cloud.topology import RegionProfile
 from repro.errors import CloudError
+from repro.fleet import FleetStore, FleetView, HostHandle
 from repro.hardware.host import HostFleetConfig, PhysicalHost, build_fleet
 from repro.simtime.clock import SimClock
 
@@ -44,30 +53,40 @@ class DataCenter:
         self.hosts_by_id: dict[str, PhysicalHost] = {
             host.host_id: host for host in self.hosts
         }
-
-        all_ids = [host.host_id for host in self.hosts]
-        pool_idx = self._rng.choice(
-            len(all_ids), size=profile.active_hosts, replace=False
+        # The columnar store is authoritative for all per-host scalars from
+        # here on; the synthesis values on PhysicalHost are only the seed.
+        self.fleet = FleetStore(
+            host_ids=[host.host_id for host in self.hosts],
+            capacity_slots=[host.capacity_slots for host in self.hosts],
+            problematic_timing=[host.problematic_timing for host in self.hosts],
         )
-        self._serving_pool: list[str] = [all_ids[i] for i in pool_idx]
-        self._rotated_out: list[str] = [
-            host_id for host_id in all_ids if host_id not in set(self._serving_pool)
-        ]
+        self.fleet_view = FleetView(self.fleet)
+
+        pool_idx = self._rng.choice(
+            profile.n_hosts, size=profile.active_hosts, replace=False
+        )
+        self.fleet.set_pool(pool_idx)
         # Shards are fixed at the initial pool membership: an account's base
         # hosts stay pinned even if they later rotate out of the pool.
-        self._shards: list[list[str]] = [
-            self._serving_pool[i * profile.shard_size : (i + 1) * profile.shard_size]
-            for i in range(profile.n_shards)
-        ]
+        self.fleet.assign_shards(profile.shard_size, profile.n_shards)
         self._last_rotation = clock.now()
 
     # ------------------------------------------------------------------
     # Serving pool and rotation
     # ------------------------------------------------------------------
-    def serving_pool(self) -> list[str]:
-        """Current serving-pool host ids (rotates over time)."""
+    def serving_pool(self) -> tuple[str, ...]:
+        """Current serving-pool host ids (rotates over time).
+
+        Returns a cached immutable tuple; between rotations repeated calls
+        are O(1).
+        """
         self._maybe_rotate()
-        return list(self._serving_pool)
+        return self.fleet_view.serving_pool_ids()
+
+    def serving_pool_indices(self) -> np.ndarray:
+        """Current serving-pool host indices in pool order (read-only)."""
+        self._maybe_rotate()
+        return self.fleet.pool_order
 
     def _maybe_rotate(self) -> None:
         now = self.clock.now()
@@ -77,35 +96,30 @@ class DataCenter:
             self._rotate_once()
 
     def _rotate_once(self) -> None:
-        swap = int(round(self.profile.rotation_fraction * len(self._serving_pool)))
-        swap = min(swap, len(self._rotated_out))
+        pool_size = len(self.fleet.pool_order)
+        rotated_size = len(self.fleet.rotated_order)
+        swap = int(round(self.profile.rotation_fraction * pool_size))
+        swap = min(swap, rotated_size)
         if swap <= 0:
             return
-        out_idx = self._rng.choice(len(self._serving_pool), size=swap, replace=False)
-        in_idx = self._rng.choice(len(self._rotated_out), size=swap, replace=False)
-        # Keep the swapped ids in RNG draw order, not set order: set iteration
-        # follows string hashing, which varies with PYTHONHASHSEED and would
-        # make the pool layout (and every later draw over it) irreproducible
-        # across interpreter invocations.
-        out_ids = [self._serving_pool[i] for i in out_idx]
-        in_ids = [self._rotated_out[i] for i in in_idx]
-        out_set = set(out_ids)
-        in_set = set(in_ids)
-        self._serving_pool = [h for h in self._serving_pool if h not in out_set]
-        self._serving_pool.extend(in_ids)
-        self._rotated_out = [h for h in self._rotated_out if h not in in_set]
-        self._rotated_out.extend(out_ids)
+        # Draw positions into the *ordered* pool/rotated index arrays so
+        # the swap is independent of PYTHONHASHSEED (set iteration would
+        # follow string hashing and change the layout across interpreter
+        # invocations).
+        out_pos = self._rng.choice(pool_size, size=swap, replace=False)
+        in_pos = self._rng.choice(rotated_size, size=swap, replace=False)
+        self.fleet.rotate(out_pos, in_pos)
 
     # ------------------------------------------------------------------
     # Shards and base-host assignment
     # ------------------------------------------------------------------
-    def shard_hosts(self, shard_index: int) -> list[str]:
-        """Host ids of one placement shard."""
-        if not 0 <= shard_index < len(self._shards):
+    def shard_hosts(self, shard_index: int) -> tuple[str, ...]:
+        """Host ids of one placement shard (cached immutable tuple)."""
+        if not 0 <= shard_index < self.fleet.n_shards:
             raise CloudError(
-                f"shard {shard_index} out of range (region has {len(self._shards)})"
+                f"shard {shard_index} out of range (region has {self.fleet.n_shards})"
             )
-        return list(self._shards[shard_index])
+        return self.fleet_view.shard_ids(shard_index)
 
     def shard_for_account(self, account_id: str) -> int:
         """Map an account to its placement shard.
@@ -115,11 +129,11 @@ class DataCenter:
         """
         pinned = self.profile.plan.account_shards.get(account_id)
         if pinned is not None:
-            return pinned % len(self._shards)
+            return pinned % self.fleet.n_shards
         digest = hashlib.sha256(
             f"{self.profile.name}:{account_id}".encode()
         ).digest()
-        return int.from_bytes(digest[:4], "big") % len(self._shards)
+        return int.from_bytes(digest[:4], "big") % self.fleet.n_shards
 
     def dynamism_for_account(self, account_id: str) -> float:
         """Per-account probability of scattering off base hosts."""
@@ -138,6 +152,10 @@ class DataCenter:
             return self.hosts_by_id[host_id]
         except KeyError:
             raise CloudError(f"unknown host {host_id!r}") from None
+
+    def host_handle(self, host_id: str) -> HostHandle:
+        """A per-host scalar-state cursor into the fleet store."""
+        return HostHandle(self.fleet, self.fleet.index_of(host_id))
 
     @property
     def rng(self) -> np.random.Generator:

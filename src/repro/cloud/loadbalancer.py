@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.cloud.services import Service
 from repro.cloud.topology import RegionProfile
+from repro.fleet import FleetStore
 
 
 class DemandTracker:
@@ -65,7 +66,8 @@ class HelperHostRecruiter:
         self,
         service: Service,
         new_instance_count: int,
-        candidate_host_ids: list[str],
+        candidates: np.ndarray,
+        store: FleetStore,
     ) -> list[str]:
         """Recruit helper hosts for ``service`` and return the new ones.
 
@@ -75,20 +77,23 @@ class HelperHostRecruiter:
             The hot service being scaled out.
         new_instance_count:
             Instances the orchestrator must newly create for this launch.
-        candidate_host_ids:
-            Serving-pool hosts not already used by this service (neither
-            base nor existing helpers).
+        candidates:
+            Index array (into ``store``) of serving-pool hosts not already
+            used by this service (neither base nor existing helpers), in
+            pool order — the draw below indexes into this order.
+        store:
+            The fleet store resolving indices back to host ids.
         """
-        if new_instance_count <= 0 or not candidate_host_ids:
+        if new_instance_count <= 0 or candidates.size == 0:
             return []
         room = self._profile.helper_pool_cap - len(service.helper_host_ids)
         if room <= 0:
             return []
         want = math.ceil(new_instance_count * self._profile.helper_recruit_fraction)
-        count = min(want, room, len(candidate_host_ids))
+        count = min(want, room, candidates.size)
         if count <= 0:
             return []
-        picked_idx = self._rng.choice(len(candidate_host_ids), size=count, replace=False)
-        picked = [candidate_host_ids[i] for i in picked_idx]
+        picked_pos = self._rng.choice(candidates.size, size=count, replace=False)
+        picked = [store.host_id(int(candidates[pos])) for pos in picked_pos]
         service.helper_host_ids.extend(picked)
         return picked

@@ -28,6 +28,7 @@ from repro.cloud.placement import PlacementPolicy, PlacementRequest
 from repro.cloud.services import Service, ServiceConfig
 from repro.errors import CloudError, LaunchError
 from repro.faults import DEFAULT_LAUNCH_RETRY, FaultPlan, RetryPolicy
+from repro.fleet import HostHandle
 from repro.sandbox.base import Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
@@ -69,15 +70,14 @@ class Orchestrator:
         self.accounts: dict[str, Account] = {}
         self.services: dict[str, Service] = {}
         self.instances: dict[str, ContainerInstance] = {}
+        self.fleet = datacenter.fleet
         self._rng = np.random.default_rng(datacenter.rng.integers(2**63))
         self._placement = PlacementPolicy(self._rng)
         self._demand = DemandTracker(datacenter.profile)
         self._recruiter = HelperHostRecruiter(datacenter.profile, self._rng)
-        self._load_slots: dict[str, float] = {}
         self._billed_seconds: dict[str, float] = {}
         self._idle_reaps: dict[str, ScheduledEvent] = {}
         self._service_instances: dict[str, list[ContainerInstance]] = {}
-        self._service_host_counts: dict[str, dict[str, int]] = {}
         self._route_counters: dict[str, int] = {}
         self._instance_counter = itertools.count()
         self._image_counter = itertools.count()
@@ -142,7 +142,7 @@ class Orchestrator:
         telemetry = current_telemetry()
 
         now = self.clock.now()
-        serving_pool = self.datacenter.serving_pool()  # also triggers rotation
+        self.datacenter.serving_pool()  # triggers serving-pool rotation
         alive = self.alive_instances(service)
         active = [i for i in alive if i.state is InstanceState.ACTIVE]
 
@@ -177,14 +177,20 @@ class Orchestrator:
             if hot and new_needed > 0 and self.datacenter.profile.defense != "tenant_isolation":
                 # Under tenant isolation the load balancer may not spill a
                 # tenant onto shared hosts, so no helper recruitment happens.
-                known = set(base_hosts) | set(service.helper_host_ids)
-                candidates = [h for h in serving_pool if h not in known]
-                self._recruiter.recruit(service, new_needed, candidates)
+                # Candidate selection is index-mask math in pool order: the
+                # serving pool minus the hosts the service already uses.
+                pool_idx = self.fleet.pool_order
+                known_idx = np.concatenate(
+                    [
+                        self.fleet.indices_of(base_hosts),
+                        self.fleet.indices_of(service.helper_host_ids),
+                    ]
+                )
+                candidates = pool_idx[~np.isin(pool_idx, known_idx)]
+                self._recruiter.recruit(service, new_needed, candidates, self.fleet)
 
             if new_needed > 0:
-                created = self._create_instances(
-                    service, account, new_needed, serving_pool
-                )
+                created = self._create_instances(service, account, new_needed)
                 startup = self._startup_seconds(service, new_needed, target)
                 if self.fault_plan is not None:
                     startup += sum(
@@ -264,7 +270,7 @@ class Orchestrator:
 
     def host_load_slots(self, host_id: str) -> float:
         """Current committed capacity slots on a host."""
-        return self._load_slots.get(host_id, 0.0)
+        return self.datacenter.host_handle(host_id).load_slots
 
     def account_cost_usd(self, account_id: str) -> float:
         """Account bill including accrued-but-unsettled active time."""
@@ -298,7 +304,7 @@ class Orchestrator:
         except KeyError:
             raise CloudError(f"account {account_id!r} is not registered") from None
 
-    def _base_hosts(self, account: Account) -> list[str]:
+    def _base_hosts(self, account: Account) -> tuple[str, ...]:
         profile = self.datacenter.profile
         if profile.defense == "randomized_base":
             # §6 defense: no stable per-account hosts — a fresh sample from
@@ -306,7 +312,7 @@ class Orchestrator:
             pool = self.datacenter.serving_pool()
             size = min(profile.shard_size, len(pool))
             picked = self._rng.choice(len(pool), size=size, replace=False)
-            return [pool[i] for i in picked]
+            return tuple(pool[i] for i in picked)
         region = profile.name
         hosts = account.base_host_ids.get(region)
         if hosts is None:
@@ -320,34 +326,40 @@ class Orchestrator:
         service: Service,
         account: Account,
         count: int,
-        serving_pool: list[str],
     ) -> list[ContainerInstance]:
+        fleet = self.fleet
         base_hosts = self._base_hosts(account)
-        allowed = base_hosts + [
-            h for h in service.helper_host_ids if h not in set(base_hosts)
-        ]
-        host_counts = self._service_host_counts.setdefault(service.qualified_name, {})
+        base_idx = fleet.indices_of(base_hosts)
+        helper_idx = fleet.indices_of(service.helper_host_ids)
+        if helper_idx.size:
+            allowed = np.concatenate(
+                [base_idx, helper_idx[~np.isin(helper_idx, base_idx)]]
+            )
+        else:
+            allowed = base_idx
+        qualified = service.qualified_name
         isolated = self.datacenter.profile.defense == "tenant_isolation"
         request = PlacementRequest(
             count=count,
             slots_per_instance=service.config.size.slots,
-            allowed_host_ids=allowed,
-            service_host_counts=host_counts,
+            allowed=allowed,
+            service_counts=fleet.service_counts(qualified),
             scatter_probability=(
                 0.0 if isolated
                 else self.datacenter.dynamism_for_account(account.account_id)
             ),
-            scatter_candidate_ids=[h.host_id for h in self.datacenter.hosts],
+            scatter_candidates=fleet.all_indices,
         )
-        capacities = {h.host_id: h.capacity_slots for h in self.datacenter.hosts}
-        host_ids = self._placement.place(request, self._load_slots, capacities)
+        chosen = self._placement.place(request, fleet)
 
         now = self.clock.now()
         created = []
-        for host_id in host_ids:
-            instance_id = f"{service.qualified_name}#{next(self._instance_counter):07d}"
+        for host_index in chosen:
+            handle = HostHandle(fleet, int(host_index))
+            host_id = handle.host_id
+            instance_id = f"{qualified}#{next(self._instance_counter):07d}"
             self._attempt_launch(instance_id)
-            host_counts[host_id] = host_counts.get(host_id, 0) + 1
+            handle.inc_service(qualified)
             sandbox = self._make_sandbox(service, host_id, instance_id)
             instance = ContainerInstance(
                 instance_id=instance_id,
@@ -358,7 +370,7 @@ class Orchestrator:
             )
             self.instances[instance_id] = instance
             self._billed_seconds[instance_id] = 0.0
-            self._service_instances.setdefault(service.qualified_name, []).append(instance)
+            self._service_instances.setdefault(qualified, []).append(instance)
             created.append(instance)
         return created
 
@@ -438,12 +450,9 @@ class Orchestrator:
         self._cancel_idle_reap(instance.instance_id)
         instance.terminate(now)
         self._settle_billing(instance)
-        slots = instance.service.config.size.slots
-        remaining = self._load_slots.get(instance.host_id, 0.0) - slots
-        self._load_slots[instance.host_id] = max(0.0, remaining)
-        counts = self._service_host_counts.get(instance.service.qualified_name)
-        if counts is not None and counts.get(instance.host_id, 0) > 0:
-            counts[instance.host_id] -= 1
+        handle = self.datacenter.host_handle(instance.host_id)
+        handle.release_load(instance.service.config.size.slots)
+        handle.dec_service(instance.service.qualified_name)
 
     def _settle_billing(self, instance: ContainerInstance) -> None:
         account = self._account(instance.service.account_id)

@@ -13,6 +13,20 @@ spread 800 instances 10-11 per host (Exp. 1) regardless of other tenants.
 In dynamic regions (us-central1), a per-account fraction of instances
 scatters off the allowed set onto arbitrary fleet hosts; see
 :class:`~repro.cloud.topology.AccountPlacementPlan`.
+
+Placement runs against the columnar :class:`~repro.fleet.FleetStore`:
+requests carry host *index* arrays, and load/capacity reads and writes are
+column operations.  Two equivalent execution paths exist:
+
+* the **heap path** — a min-heap over ``(service count, random tiebreak,
+  host index)``, byte-for-byte identical to the historical dict-based
+  implementation (same RNG draw order, same float accumulation);
+* a **vectorized fast path** for scatter-free requests where no host can
+  fill during the batch — the common fleet-scale case.  The pick sequence
+  of the heap is exactly the sorted multiset ``{(c, tiebreak_h) : c >=
+  c0_h}``, so the fast path materializes per-host levels and lexsorts.  A
+  draw-order-identity test pins both paths to the same host sequence and
+  the same RNG end state.
 """
 
 from __future__ import annotations
@@ -23,11 +37,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NoCapacityError
+from repro.fleet import FleetStore
 
 
 @dataclass
 class PlacementRequest:
-    """One batch placement request.
+    """One batch placement request (all hosts given as fleet indices).
 
     Attributes
     ----------
@@ -36,21 +51,26 @@ class PlacementRequest:
     slots_per_instance:
         Host capacity slots each instance consumes (see
         :meth:`repro.cloud.services.ContainerSize.slots`).
-    allowed_host_ids:
-        The service's preferred hosts (base plus recruited helpers).
+    allowed:
+        Index array of the service's preferred hosts (base plus recruited
+        helpers), in preference order — tiebreaks are drawn in this order.
+    service_counts:
+        Full-fleet per-host instance-count column for the launching
+        service (``None`` reads as all-zero).
     scatter_probability:
         Per-instance chance of being scattered onto a random fleet host
         instead of the allowed set (0 outside dynamic regions).
-    scatter_candidate_ids:
-        Hosts eligible as scatter targets (normally the whole fleet).
+    scatter_candidates:
+        Index array of hosts eligible as scatter targets (normally the
+        whole fleet).
     """
 
     count: int
     slots_per_instance: float
-    allowed_host_ids: list[str]
-    service_host_counts: dict[str, int] | None = None
+    allowed: np.ndarray
+    service_counts: np.ndarray | None = None
     scatter_probability: float = 0.0
-    scatter_candidate_ids: list[str] | None = None
+    scatter_candidates: np.ndarray | None = None
 
 
 class PlacementPolicy:
@@ -59,100 +79,185 @@ class PlacementPolicy:
     def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
 
-    def place(
-        self,
-        request: PlacementRequest,
-        load_slots: dict[str, float],
-        capacity_slots: dict[str, float],
-    ) -> list[str]:
-        """Choose a host for each requested instance.
+    def place(self, request: PlacementRequest, store: FleetStore) -> np.ndarray:
+        """Choose a host index for each requested instance.
 
-        Parameters
-        ----------
-        request:
-            The batch to place.
-        load_slots:
-            Current slot usage per host (mutated as instances are placed so
-            the batch itself spreads uniformly).
-        capacity_slots:
-            Slot capacity per host.
-
-        Returns
-        -------
-        list of host ids, one per instance.
+        Mutates ``store.load_slots`` as instances are placed so the batch
+        itself spreads uniformly.  Returns an int64 index array of length
+        ``request.count``.
 
         Raises
         ------
         NoCapacityError
             If no feasible host remains for some instance.
         """
-        if not request.allowed_host_ids:
+        allowed = np.asarray(request.allowed, dtype=np.int64)
+        if allowed.size == 0:
             raise NoCapacityError("placement request has no allowed hosts")
 
-        service_counts = request.service_host_counts or {}
-        # Min-heap over (service instance count, random tiebreak, host).
-        # Counts only grow during a batch, so hosts popped as full stay full.
-        heap: list[tuple[int, float, str]] = [
-            (service_counts.get(h, 0), float(self._rng.random()), h)
-            for h in request.allowed_host_ids
-        ]
-        heapq.heapify(heap)
-        scatter_pool = request.scatter_candidate_ids or []
+        if request.service_counts is not None:
+            counts0 = request.service_counts[allowed]
+        else:
+            counts0 = np.zeros(allowed.size, dtype=np.int64)
+        # One tiebreak per allowed host, drawn in allowed order.  A single
+        # array draw consumes the identical RNG stream as the historical
+        # per-host scalar draws.
+        tiebreaks = self._rng.random(allowed.size)
 
-        chosen: list[str] = []
-        for _ in range(request.count):
-            host_id: str | None = None
+        scatter = (
+            request.scatter_candidates
             if (
                 request.scatter_probability > 0.0
-                and scatter_pool
-                and self._rng.random() < request.scatter_probability
-            ):
-                host_id = self._pick_scatter_host(
-                    scatter_pool, request.slots_per_instance, load_slots, capacity_slots
-                )
-            if host_id is None:
-                host_id = self._pop_least_used(
-                    heap, request.slots_per_instance, load_slots, capacity_slots
-                )
-            if host_id is None:
-                raise NoCapacityError(
-                    f"no host among {len(request.allowed_host_ids)} allowed and "
-                    f"{len(scatter_pool)} scatter candidates has "
-                    f"{request.slots_per_instance} free slots"
-                )
-            load_slots[host_id] = (
-                load_slots.get(host_id, 0.0) + request.slots_per_instance
+                and request.scatter_candidates is not None
+                and request.scatter_candidates.size > 0
             )
-            chosen.append(host_id)
+            else None
+        )
+        if scatter is None and self._no_host_can_fill(request, store, allowed):
+            return self._place_vectorized(request, store, allowed, counts0, tiebreaks)
+        return self._place_heap(request, store, allowed, counts0, tiebreaks, scatter)
+
+    # ------------------------------------------------------------------
+    # Heap path (reference semantics)
+    # ------------------------------------------------------------------
+    def _place_heap(
+        self,
+        request: PlacementRequest,
+        store: FleetStore,
+        allowed: np.ndarray,
+        counts0: np.ndarray,
+        tiebreaks: np.ndarray,
+        scatter: np.ndarray | None,
+    ) -> np.ndarray:
+        load = store.load_slots
+        capacity = store.capacity_slots
+        slots = request.slots_per_instance
+        # Min-heap over (service instance count, random tiebreak, host index).
+        # Counts only grow during a batch, so hosts popped as full stay full.
+        heap: list[tuple[int, float, int]] = [
+            (int(counts0[i]), float(tiebreaks[i]), int(allowed[i]))
+            for i in range(allowed.size)
+        ]
+        heapq.heapify(heap)
+
+        chosen = np.empty(request.count, dtype=np.int64)
+        for k in range(request.count):
+            host = -1
+            if scatter is not None and self._rng.random() < request.scatter_probability:
+                host = self._pick_scatter_host(scatter, slots, load, capacity)
+            if host < 0:
+                host = self._pop_least_used(heap, slots, load, capacity)
+            if host < 0:
+                raise NoCapacityError(
+                    f"no host among {allowed.size} allowed and "
+                    f"{0 if scatter is None else scatter.size} scatter "
+                    f"candidates has {slots} free slots"
+                )
+            load[host] += slots
+            chosen[k] = host
         return chosen
 
     def _pop_least_used(
         self,
-        heap: list[tuple[int, float, str]],
+        heap: list[tuple[int, float, int]],
         slots: float,
-        load_slots: dict[str, float],
-        capacity_slots: dict[str, float],
-    ) -> str | None:
+        load: np.ndarray,
+        capacity: np.ndarray,
+    ) -> int:
         while heap:
-            count, tiebreak, host_id = heapq.heappop(heap)
-            load = load_slots.get(host_id, 0.0)
-            if load + slots > capacity_slots.get(host_id, 0.0):
+            count, tiebreak, host = heapq.heappop(heap)
+            if load[host] + slots > capacity[host]:
                 continue  # permanently full for this batch
-            heapq.heappush(heap, (count + 1, tiebreak, host_id))
-            return host_id
-        return None
+            heapq.heappush(heap, (count + 1, tiebreak, host))
+            return host
+        return -1
 
     def _pick_scatter_host(
         self,
-        scatter_pool: list[str],
+        scatter: np.ndarray,
         slots: float,
-        load_slots: dict[str, float],
-        capacity_slots: dict[str, float],
-    ) -> str | None:
+        load: np.ndarray,
+        capacity: np.ndarray,
+    ) -> int:
         """Pick a random feasible scatter target (a few rejection samples)."""
         for _ in range(16):
-            host_id = scatter_pool[int(self._rng.integers(len(scatter_pool)))]
-            load = load_slots.get(host_id, 0.0)
-            if load + slots <= capacity_slots.get(host_id, 0.0):
-                return host_id
-        return None
+            host = int(scatter[int(self._rng.integers(scatter.size))])
+            if load[host] + slots <= capacity[host]:
+                return host
+        return -1
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+    def _no_host_can_fill(
+        self, request: PlacementRequest, store: FleetStore, allowed: np.ndarray
+    ) -> bool:
+        """True when no allowed host can reach capacity during this batch.
+
+        The margin of one extra instance absorbs any difference between
+        repeated float addition and the closed-form bound, so the heap
+        path's feasibility check provably never fires when this holds.
+        """
+        slots = request.slots_per_instance
+        budget = (request.count + 1) * slots
+        return bool(
+            np.all(
+                store.load_slots[allowed] + budget <= store.capacity_slots[allowed]
+            )
+        )
+
+    def _place_vectorized(
+        self,
+        request: PlacementRequest,
+        store: FleetStore,
+        allowed: np.ndarray,
+        counts0: np.ndarray,
+        tiebreaks: np.ndarray,
+    ) -> np.ndarray:
+        """Batch equivalent of the heap path for the scatter-free case.
+
+        With no scatter draws and no capacity rejections, the heap pops
+        exactly the ``count`` smallest elements of the infinite multiset
+        ``{(c, tiebreak_h) : c >= c0_h}`` in sorted order.  Materialize
+        just enough levels per host and lexsort.
+        """
+        count = request.count
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        c0 = counts0.astype(np.int64)
+        n = allowed.size
+
+        # Smallest level bound L with sum(max(0, L - c0)) >= count; every
+        # pick then sits strictly below level L.
+        lo, hi = int(c0.min()) + 1, int(c0.min()) + count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if int(np.maximum(0, mid - c0).sum()) >= count:
+                hi = mid
+            else:
+                lo = mid + 1
+        levels_per_host = np.maximum(0, lo - c0)
+
+        host_rep = np.repeat(np.arange(n, dtype=np.int64), levels_per_host)
+        offsets = np.cumsum(levels_per_host) - levels_per_host
+        level = (
+            np.arange(host_rep.size, dtype=np.int64)
+            - np.repeat(offsets, levels_per_host)
+            + np.repeat(c0, levels_per_host)
+        )
+        order = np.lexsort((np.repeat(tiebreaks, levels_per_host), level))[:count]
+        chosen_local = host_rep[order]
+
+        # Apply loads with the heap path's exact float semantics: each
+        # chosen host accumulates `slots` by repeated addition, once per
+        # instance it received.
+        slots = request.slots_per_instance
+        picks = np.bincount(chosen_local, minlength=n)
+        remaining = picks.copy()
+        while True:
+            active = remaining > 0
+            if not active.any():
+                break
+            store.load_slots[allowed[active]] += slots
+            remaining[active] -= 1
+        return allowed[chosen_local]

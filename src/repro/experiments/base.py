@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cloud.accounts import Account
 from repro.cloud.api import FaaSClient
 from repro.cloud.datacenter import DataCenter
@@ -51,6 +53,32 @@ class SimulationEnv:
     @property
     def region(self) -> str:
         return self.datacenter.profile.name
+
+
+def host_coverage(
+    env: SimulationEnv, attacker_handles, victim_handles
+) -> tuple[float, int]:
+    """Oracle-scored co-location coverage, as index-mask math.
+
+    Resolves every instance's true host to its fleet index and intersects
+    a boolean attacker-presence mask with the victim index array — no
+    per-campaign host-id set churn.  Returns ``(coverage, attacker_hosts)``
+    where coverage is the fraction of victim instances landing on a host
+    that also runs a live attacker instance.
+    """
+    fleet = env.datacenter.fleet
+    orch = env.orchestrator
+    attacker_mask = np.zeros(fleet.n_hosts, dtype=bool)
+    for handle in attacker_handles:
+        if handle.alive:
+            index = fleet.index_of(orch.true_host_of(handle.instance_id))
+            attacker_mask[index] = True
+    victim_idx = fleet.indices_of(
+        orch.true_host_of(handle.instance_id) for handle in victim_handles
+    )
+    if victim_idx.size == 0:
+        return 0.0, int(attacker_mask.sum())
+    return float(attacker_mask[victim_idx].mean()), int(attacker_mask.sum())
 
 
 def default_env(

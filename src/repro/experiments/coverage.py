@@ -196,15 +196,16 @@ def run_cell(
 
 
 def _oracle_campaign(env, config: CoverageConfig) -> tuple[float, int, float]:
-    """Fast-path campaign scored against the simulator's placement map."""
+    """Fast-path campaign scored against the simulator's placement map.
+
+    Coverage is computed with fleet-index masks (:func:`host_coverage`)
+    rather than per-campaign host-id sets.
+    """
     from repro.cloud.services import ServiceConfig
+    from repro.experiments.base import host_coverage
 
     strategy = _strategy_fn(config)
     outcome = strategy(env.attacker)
-    orchestrator = env.orchestrator
-    attacker_hosts = {
-        orchestrator.true_host_of(h.instance_id) for h in outcome.handles if h.alive
-    }
     victim = env.victim(config.victim_account)
     service = victim.deploy(
         ServiceConfig(
@@ -215,9 +216,8 @@ def _oracle_campaign(env, config: CoverageConfig) -> tuple[float, int, float]:
         )
     )
     handles = victim.connect(service, config.n_victim_instances)
-    victim_hosts = [orchestrator.true_host_of(h.instance_id) for h in handles]
-    coverage = sum(1 for h in victim_hosts if h in attacker_hosts) / len(victim_hosts)
-    return coverage, len(attacker_hosts), outcome.cost_usd
+    coverage, attacker_hosts = host_coverage(env, outcome.handles, handles)
+    return coverage, attacker_hosts, outcome.cost_usd
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from repro.experiments import (
     launch_behavior,
     verification_cost,
 )
-from repro.experiments.base import default_env
+from repro.experiments.base import default_env, host_coverage
 from repro.experiments.report import ComparisonRow, format_comparison, format_series, pct
 from repro.runner import RunnerConfig
 from repro.telemetry import current_telemetry
@@ -347,19 +347,11 @@ def _defenses(scale: str, runner: RunnerConfig | None = None) -> str:
         profile = dataclasses.replace(REGION_PROFILES["us-east1"], defense=defense)
         env = default_env(profile=profile, seed=990, tsc_policy=policy)
         outcome = optimized_launch(env.attacker)
-        orch = env.orchestrator
-        attacker_hosts = {
-            orch.true_host_of(h.instance_id) for h in outcome.handles if h.alive
-        }
         victim = env.victim("account-2")
         victim_handles = victim.connect(
             victim.deploy(ServiceConfig(name="victim")), 100
         )
-        coverage = sum(
-            1
-            for h in victim_handles
-            if orch.true_host_of(h.instance_id) in attacker_hosts
-        ) / len(victim_handles)
+        coverage, _ = host_coverage(env, outcome.handles, victim_handles)
         label = defense if policy is TscPolicy.NATIVE else "tsc_emulation"
         rows.append(ComparisonRow(label, "-", pct(coverage)))
     return format_comparison("§6 — attack coverage under each defense", rows)

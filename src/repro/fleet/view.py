@@ -1,0 +1,148 @@
+"""Read-only and per-host facades over the fleet store.
+
+:class:`FleetView` is what observers (experiments, analysis, defenses) use:
+cached id tuples for the serving pool and shards, membership masks, and
+column reads — no mutation surface.  :class:`HostHandle` is the narrow
+per-host mutator the orchestrator goes through on launch, idle-reap, and
+kill paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.fleet.store import BoolColumn, FleetStore, IndexArray
+
+
+class HostHandle:
+    """Mutable access to one host's scalar columns.
+
+    Handles are cheap, stateless cursors: they hold only the store and the
+    host index, so the orchestrator can create one per bookkeeping
+    operation without allocation pressure.
+    """
+
+    __slots__ = ("_store", "index")
+
+    def __init__(self, store: FleetStore, index: int) -> None:
+        self._store = store
+        self.index = index
+
+    @property
+    def host_id(self) -> str:
+        return self._store.host_id(self.index)
+
+    @property
+    def load_slots(self) -> float:
+        return float(self._store.load_slots[self.index])
+
+    @property
+    def capacity_slots(self) -> float:
+        return float(self._store.capacity_slots[self.index])
+
+    @property
+    def in_pool(self) -> bool:
+        return bool(self._store.in_pool[self.index])
+
+    @property
+    def shard(self) -> int:
+        """Shard index, or -1 when the host is outside every shard."""
+        return int(self._store.shard_index[self.index])
+
+    @property
+    def free_slots(self) -> float:
+        return float(
+            self._store.capacity_slots[self.index] - self._store.load_slots[self.index]
+        )
+
+    def add_load(self, slots: float) -> None:
+        """Commit capacity slots (instance launch)."""
+        self._store.add_load(self.index, slots)
+
+    def release_load(self, slots: float) -> None:
+        """Release capacity slots, clamping at zero (instance termination)."""
+        self._store.release_load(self.index, slots)
+
+    def service_count(self, service_key: str) -> int:
+        counts = self._store.peek_service_counts(service_key)
+        return int(counts[self.index]) if counts is not None else 0
+
+    def inc_service(self, service_key: str) -> None:
+        """Count one more instance of a service on this host."""
+        self._store.service_counts(service_key)[self.index] += 1
+
+    def dec_service(self, service_key: str) -> None:
+        """Count one fewer instance of a service; never goes negative."""
+        counts = self._store.peek_service_counts(service_key)
+        if counts is not None and counts[self.index] > 0:
+            counts[self.index] -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HostHandle({self.host_id!r})"
+
+
+class FleetView:
+    """Read-only fleet queries with cached id materializations.
+
+    The view is safe to hand to any layer: it exposes no mutation surface,
+    and its id tuples are rebuilt lazily only when the store's pool version
+    moves (so hot loops calling :meth:`serving_pool_ids` between rotations
+    pay a tuple reuse, not a rebuild).
+    """
+
+    def __init__(self, store: FleetStore) -> None:
+        self._store = store
+        self._pool_ids: tuple[str, ...] = ()
+        self._pool_ids_version = -1
+        self._shard_ids: dict[int, tuple[str, ...]] = {}
+
+    @property
+    def store(self) -> FleetStore:
+        """The underlying store (for index-level read access)."""
+        return self._store
+
+    @property
+    def n_hosts(self) -> int:
+        return self._store.n_hosts
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        return self._store.ids
+
+    def serving_pool_ids(self) -> tuple[str, ...]:
+        """Current serving-pool host ids in pool order (cached tuple)."""
+        store = self._store
+        if self._pool_ids_version != store.pool_version:
+            self._pool_ids = store.ids_of(store.pool_order)
+            self._pool_ids_version = store.pool_version
+        return self._pool_ids
+
+    def serving_pool_indices(self) -> IndexArray:
+        """Current serving-pool indices in pool order.  Treat as read-only."""
+        return self._store.pool_order
+
+    def pool_mask(self) -> BoolColumn:
+        """Boolean serving-pool membership over the fleet (a copy)."""
+        return self._store.in_pool.copy()
+
+    def shard_ids(self, shard: int) -> tuple[str, ...]:
+        """One shard's host ids in assignment order (cached tuple).
+
+        Shards are pinned at initial pool assignment, so the cache never
+        invalidates.
+        """
+        cached = self._shard_ids.get(shard)
+        if cached is None:
+            cached = self._store.ids_of(self._store.shard_members(shard))
+            self._shard_ids[shard] = cached
+        return cached
+
+    def load_of(self, host_id: str) -> float:
+        return float(self._store.load_slots[self._store.index_of(host_id)])
+
+    def mask_for_ids(self, host_ids: Iterable[str]) -> BoolColumn:
+        return self._store.mask_for_ids(host_ids)
+
+    def problematic_mask(self) -> BoolColumn:
+        """Hosts whose syscall timing defeats frequency estimation (copy)."""
+        return self._store.problematic_timing.copy()

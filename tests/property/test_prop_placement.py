@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.cloud.placement import PlacementPolicy, PlacementRequest
+from repro.fleet import FleetStore
 
 
 @st.composite
@@ -18,56 +19,90 @@ def placement_cases(draw):
     return n_hosts, capacity, slots, count, seed
 
 
+def build(n_hosts, capacity):
+    store = FleetStore([f"h{i}" for i in range(n_hosts)], capacity_slots=capacity)
+    return store, store.all_indices.copy()
+
+
 @given(placement_cases())
 @settings(max_examples=60)
 def test_capacity_never_exceeded(case):
     n_hosts, capacity, slots, count, seed = case
-    hosts = [f"h{i}" for i in range(n_hosts)]
-    load: dict[str, float] = {}
+    store, allowed = build(n_hosts, capacity)
     policy = PlacementPolicy(np.random.default_rng(seed))
     placed = policy.place(
-        PlacementRequest(count=count, slots_per_instance=slots, allowed_host_ids=hosts),
-        load,
-        {h: capacity for h in hosts},
+        PlacementRequest(count=count, slots_per_instance=slots, allowed=allowed),
+        store,
     )
     assert len(placed) == count
-    for host, used in load.items():
+    picks = np.bincount(placed, minlength=n_hosts)
+    for index in range(n_hosts):
+        used = store.load_slots[index]
         assert used <= capacity + 1e-9
-        assert used == placed.count(host) * slots
-
+        assert used == picks[index] * slots
 
 @given(placement_cases())
 @settings(max_examples=60)
 def test_spread_is_near_uniform(case):
     n_hosts, capacity, slots, count, seed = case
-    hosts = [f"h{i}" for i in range(n_hosts)]
+    store, allowed = build(n_hosts, capacity)
     policy = PlacementPolicy(np.random.default_rng(seed))
     placed = policy.place(
-        PlacementRequest(count=count, slots_per_instance=slots, allowed_host_ids=hosts),
-        {},
-        {h: capacity for h in hosts},
+        PlacementRequest(count=count, slots_per_instance=slots, allowed=allowed),
+        store,
     )
-    counts = [placed.count(h) for h in hosts]
+    counts = np.bincount(placed, minlength=n_hosts)
     # With no capacity pressure the per-service counts differ by <= 1;
     # capacity clipping can only widen the gap when hosts fill up.
-    if max(counts) * slots <= capacity:
-        assert max(counts) - min(counts) <= 1
+    if counts.max() * slots <= capacity:
+        assert counts.max() - counts.min() <= 1
 
 
 @given(placement_cases(), st.integers(min_value=0, max_value=1000))
 @settings(max_examples=40)
 def test_deterministic_in_seed(case, seed2):
     n_hosts, capacity, slots, count, seed = case
-    hosts = [f"h{i}" for i in range(n_hosts)]
+    store, allowed = build(n_hosts, capacity)
+    baseline = store.snapshot()
 
     def run(s):
+        store.restore(baseline)
         policy = PlacementPolicy(np.random.default_rng(s))
         return policy.place(
-            PlacementRequest(
-                count=count, slots_per_instance=slots, allowed_host_ids=hosts
-            ),
-            {},
-            {h: capacity for h in hosts},
-        )
+            PlacementRequest(count=count, slots_per_instance=slots, allowed=allowed),
+            store,
+        ).tolist()
 
     assert run(seed) == run(seed)
+
+
+@given(placement_cases())
+@settings(max_examples=60)
+def test_fast_path_matches_heap_path(case):
+    """Whenever the vectorized path is eligible it must reproduce the heap
+    path's exact pick sequence and load column."""
+    n_hosts, capacity, slots, count, seed = case
+    store, allowed = build(n_hosts, capacity)
+    request = PlacementRequest(
+        count=count, slots_per_instance=slots, allowed=allowed
+    )
+    policy = PlacementPolicy(np.random.default_rng(seed))
+    if not policy._no_host_can_fill(request, store, allowed):
+        return
+    baseline = store.snapshot()
+    fast = policy.place(request, store).tolist()
+    fast_load = store.load_slots.copy()
+
+    store.restore(baseline)
+    policy = PlacementPolicy(np.random.default_rng(seed))
+    tiebreaks = policy._rng.random(allowed.size)
+    heap = policy._place_heap(
+        request,
+        store,
+        allowed,
+        np.zeros(allowed.size, dtype=np.int64),
+        tiebreaks,
+        None,
+    ).tolist()
+    assert fast == heap
+    assert np.array_equal(fast_load, store.load_slots)

@@ -4,6 +4,7 @@ import numpy as np
 
 from repro.cloud.loadbalancer import DemandTracker, HelperHostRecruiter
 from repro.cloud.services import Service, ServiceConfig
+from repro.fleet import FleetStore
 from repro.simtime.clock import SIM_EPOCH
 
 from tests.conftest import tiny_profile
@@ -11,6 +12,10 @@ from tests.conftest import tiny_profile
 
 def make_service():
     return Service(config=ServiceConfig(name="s"), account_id="a", image_id="i")
+
+
+def make_fleet(n=40):
+    return FleetStore([f"h{i}" for i in range(n)])
 
 
 def make_tracker(**overrides):
@@ -55,8 +60,9 @@ class TestHelperRecruiter:
         profile = tiny_profile(helper_pool_cap=cap, helper_recruit_fraction=fraction)
         recruiter = HelperHostRecruiter(profile, np.random.default_rng(seed))
         service = make_service()
-        pool = [f"h{i}" for i in range(candidates)]
-        recruited = recruiter.recruit(service, new_instances, pool)
+        store = make_fleet()
+        pool = store.indices_of([f"h{i}" for i in range(candidates)])
+        recruited = recruiter.recruit(service, new_instances, pool, store)
         return recruited, service
 
     def test_recruits_proportionally_to_new_instances(self):
@@ -77,9 +83,11 @@ class TestHelperRecruiter:
         profile = tiny_profile(helper_pool_cap=6, helper_recruit_fraction=1.0)
         recruiter = HelperHostRecruiter(profile, np.random.default_rng(0))
         service = make_service()
+        store = make_fleet()
         pool = [f"h{i}" for i in range(30)]
-        recruiter.recruit(service, 4, pool)
-        recruiter.recruit(service, 100, [h for h in pool if h not in service.helper_host_ids])
+        recruiter.recruit(service, 4, store.indices_of(pool), store)
+        remaining = [h for h in pool if h not in service.helper_host_ids]
+        recruiter.recruit(service, 100, store.indices_of(remaining), store)
         assert len(service.helper_host_ids) == 6
 
     def test_recruits_only_from_candidates(self):
@@ -89,7 +97,9 @@ class TestHelperRecruiter:
     def test_no_candidates_recruits_nothing(self):
         profile = tiny_profile()
         recruiter = HelperHostRecruiter(profile, np.random.default_rng(0))
-        assert recruiter.recruit(make_service(), 50, []) == []
+        store = make_fleet()
+        empty = np.empty(0, dtype=np.int64)
+        assert recruiter.recruit(make_service(), 50, empty, store) == []
 
     def test_no_duplicate_recruits_in_one_call(self):
         recruited, _ = self.recruit(new_instances=100, candidates=20, cap=20, fraction=1.0)

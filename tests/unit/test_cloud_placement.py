@@ -1,117 +1,194 @@
-"""Unit tests for the placement policy."""
+"""Unit tests for the placement policy (columnar fleet-store API)."""
 
 import numpy as np
 import pytest
 
 from repro.cloud.placement import PlacementPolicy, PlacementRequest
 from repro.errors import NoCapacityError
+from repro.fleet import FleetStore
 
 
 def make_policy(seed=0):
     return PlacementPolicy(np.random.default_rng(seed))
 
 
-def simple_request(count, hosts, slots=1.0, **kwargs):
+def make_store(host_ids, capacity=160.0, load=None):
+    store = FleetStore(host_ids, capacity_slots=capacity)
+    if load:
+        for host_id, slots in load.items():
+            store.load_slots[store.index_of(host_id)] = slots
+    return store
+
+
+def simple_request(store, count, hosts=None, slots=1.0, **kwargs):
+    allowed = store.indices_of(hosts if hosts is not None else store.ids)
     return PlacementRequest(
-        count=count, slots_per_instance=slots, allowed_host_ids=hosts, **kwargs
+        count=count, slots_per_instance=slots, allowed=allowed, **kwargs
     )
+
+
+def place_ids(policy, store, request):
+    """Place and translate chosen indices back to host ids."""
+    return [store.host_id(int(i)) for i in policy.place(request, store)]
 
 
 class TestPlacement:
     def test_spreads_near_uniformly(self):
         """Observation 1: instances spread near-uniformly over hosts."""
-        hosts = [f"h{i}" for i in range(10)]
-        policy = make_policy()
-        placed = policy.place(
-            simple_request(105, hosts), {}, {h: 1000.0 for h in hosts}
-        )
-        counts = {h: placed.count(h) for h in hosts}
+        store = make_store([f"h{i}" for i in range(10)], capacity=1000.0)
+        placed = place_ids(make_policy(), store, simple_request(store, 105))
+        counts = {h: placed.count(h) for h in store.ids}
         assert set(counts.values()) <= {10, 11}
 
     def test_exact_division_is_uniform(self):
-        hosts = ["a", "b", "c"]
-        placed = make_policy().place(
-            simple_request(9, hosts), {}, {h: 100.0 for h in hosts}
-        )
-        assert all(placed.count(h) == 3 for h in hosts)
+        store = make_store(["a", "b", "c"], capacity=100.0)
+        placed = place_ids(make_policy(), store, simple_request(store, 9))
+        assert all(placed.count(h) == 3 for h in store.ids)
 
     def test_respects_capacity(self):
-        hosts = ["full", "free"]
-        load = {"full": 9.5}
-        capacity = {"full": 10.0, "free": 10.0}
-        placed = make_policy().place(simple_request(5, hosts), load, capacity)
+        store = make_store(["full", "free"], capacity=10.0, load={"full": 9.5})
+        placed = place_ids(make_policy(), store, simple_request(store, 5))
         assert placed.count("full") == 0
         assert placed.count("free") == 5
 
     def test_updates_load_in_place(self):
-        load = {}
-        make_policy().place(simple_request(4, ["a"]), load, {"a": 100.0})
-        assert load["a"] == 4.0
+        store = make_store(["a"], capacity=100.0)
+        make_policy().place(simple_request(store, 4), store)
+        assert store.load_slots[store.index_of("a")] == 4.0
 
     def test_no_capacity_raises(self):
+        store = make_store(["a"], capacity=2.0)
         with pytest.raises(NoCapacityError):
-            make_policy().place(simple_request(3, ["a"]), {}, {"a": 2.0})
+            make_policy().place(simple_request(store, 3), store)
 
     def test_empty_allowed_set_raises(self):
+        store = make_store(["a"])
         with pytest.raises(NoCapacityError):
-            make_policy().place(simple_request(1, []), {}, {})
+            make_policy().place(simple_request(store, 1, hosts=[]), store)
 
     def test_prefers_hosts_with_fewer_service_instances(self):
-        hosts = ["crowded", "empty"]
-        request = simple_request(1, hosts, service_host_counts={"crowded": 5})
-        placed = make_policy().place(request, {}, {h: 100.0 for h in hosts})
-        assert placed == ["empty"]
+        store = make_store(["crowded", "empty"], capacity=100.0)
+        counts = store.service_counts("svc")
+        counts[store.index_of("crowded")] = 5
+        request = simple_request(store, 1, service_counts=counts)
+        assert place_ids(make_policy(), store, request) == ["empty"]
 
     def test_ignores_other_services_load(self):
         """Spreading keys on the service's own counts, not total host load:
         a host crowded by *other* tenants is still a fair target."""
-        hosts = ["busy", "quiet"]
-        load = {"busy": 50.0}
-        placed = make_policy().place(
-            simple_request(10, hosts), load, {h: 100.0 for h in hosts}
-        )
+        store = make_store(["busy", "quiet"], capacity=100.0, load={"busy": 50.0})
+        placed = place_ids(make_policy(), store, simple_request(store, 10))
         assert placed.count("busy") == 5
         assert placed.count("quiet") == 5
 
     def test_slots_scale_with_container_size(self):
-        load = {}
-        make_policy().place(
-            simple_request(2, ["a"], slots=4.0), load, {"a": 100.0}
-        )
-        assert load["a"] == 8.0
+        store = make_store(["a"], capacity=100.0)
+        make_policy().place(simple_request(store, 2, slots=4.0), store)
+        assert store.load_slots[store.index_of("a")] == 8.0
 
     def test_scatter_targets_outside_allowed_set(self):
+        scatter_ids = [f"s{i}" for i in range(50)]
+        store = make_store(["base"] + scatter_ids, capacity=1000.0)
         request = simple_request(
+            store,
             200,
-            ["base"],
+            hosts=["base"],
             scatter_probability=0.5,
-            scatter_candidate_ids=[f"s{i}" for i in range(50)],
+            scatter_candidates=store.indices_of(scatter_ids),
         )
-        capacity = {"base": 1000.0, **{f"s{i}": 1000.0 for i in range(50)}}
-        placed = make_policy().place(request, {}, capacity)
+        placed = place_ids(make_policy(), store, request)
         scattered = [h for h in placed if h != "base"]
         assert 50 < len(scattered) < 150  # ~50% of 200
 
     def test_zero_scatter_probability_never_scatters(self):
+        store = make_store(["base", "other"], capacity=100.0)
         request = simple_request(
-            50, ["base"], scatter_probability=0.0, scatter_candidate_ids=["other"]
+            store,
+            50,
+            hosts=["base"],
+            scatter_probability=0.0,
+            scatter_candidates=store.indices_of(["other"]),
         )
-        placed = make_policy().place(request, {}, {"base": 100.0, "other": 100.0})
-        assert set(placed) == {"base"}
+        assert set(place_ids(make_policy(), store, request)) == {"base"}
 
     def test_scatter_falls_back_to_allowed_when_targets_full(self):
+        store = make_store(["base", "tiny"], capacity=100.0)
+        store.capacity_slots[store.index_of("tiny")] = 0.0
         request = simple_request(
+            store,
             10,
-            ["base"],
+            hosts=["base"],
             scatter_probability=1.0,
-            scatter_candidate_ids=["tiny"],
+            scatter_candidates=store.indices_of(["tiny"]),
         )
-        placed = make_policy().place(request, {}, {"base": 100.0, "tiny": 0.0})
-        assert set(placed) == {"base"}
+        assert set(place_ids(make_policy(), store, request)) == {"base"}
 
     def test_deterministic_given_seed(self):
-        hosts = [f"h{i}" for i in range(7)]
-        capacity = {h: 100.0 for h in hosts}
-        a = make_policy(seed=3).place(simple_request(20, hosts), {}, dict(capacity))
-        b = make_policy(seed=3).place(simple_request(20, hosts), {}, dict(capacity))
+        store = make_store([f"h{i}" for i in range(7)], capacity=100.0)
+        baseline = store.snapshot()
+        a = place_ids(make_policy(seed=3), store, simple_request(store, 20))
+        store.restore(baseline)
+        b = place_ids(make_policy(seed=3), store, simple_request(store, 20))
         assert a == b
+
+
+def force_heap(monkeypatch):
+    """Disable the vectorized fast path so place() runs the heap."""
+    monkeypatch.setattr(
+        PlacementPolicy, "_no_host_can_fill", lambda self, *args: False
+    )
+
+
+class TestFastPathIdentity:
+    """The vectorized scatter-free fast path must replicate the heap path
+    exactly: same host sequence, same load columns, same RNG end state."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize(
+        "count,n_hosts,slots",
+        [(1, 5, 1.0), (23, 7, 1.0), (105, 10, 2.5), (800, 75, 1.0)],
+    )
+    def test_sequence_and_state_match_heap(self, seed, count, n_hosts, slots):
+        ids = [f"h{i:05d}" for i in range(n_hosts)]
+
+        def run(heap_only):
+            store = make_store(ids, capacity=1e6)
+            counts = store.service_counts("svc")
+            # Uneven starting counts exercise the level-merge logic.
+            counts[:] = np.arange(n_hosts) % 3
+            rng = np.random.default_rng(seed)
+            policy = PlacementPolicy(rng)
+            if heap_only:
+                with pytest.MonkeyPatch.context() as mp:
+                    force_heap(mp)
+                    chosen = policy.place(
+                        simple_request(
+                            store, count, slots=slots, service_counts=counts
+                        ),
+                        store,
+                    )
+            else:
+                chosen = policy.place(
+                    simple_request(store, count, slots=slots, service_counts=counts),
+                    store,
+                )
+            return list(chosen), store.load_slots.copy(), rng.random(4).tolist()
+
+        heap_seq, heap_load, heap_tail = run(heap_only=True)
+        fast_seq, fast_load, fast_tail = run(heap_only=False)
+        assert fast_seq == heap_seq
+        assert np.array_equal(fast_load, heap_load)
+        # Identical trailing draws == identical RNG stream consumption.
+        assert fast_tail == heap_tail
+
+    def test_fast_path_declines_when_a_host_may_fill(self):
+        store = make_store(["a", "b"], capacity=10.0)
+        policy = make_policy()
+        request = simple_request(store, 12)
+        assert not policy._no_host_can_fill(request, store, request.allowed)
+
+    def test_fast_path_taken_when_roomy(self):
+        store = make_store(["a", "b"], capacity=1000.0)
+        policy = make_policy()
+        request = simple_request(store, 12)
+        assert policy._no_host_can_fill(request, store, request.allowed)

@@ -83,8 +83,7 @@ class TestStartupLatency:
         def per_instance_time(n):
             env = tiny_env_factory()
             # Give hosts enough capacity for large fleets.
-            for host in env.datacenter.hosts:
-                host.capacity_slots = 10_000.0
+            env.datacenter.fleet.capacity_slots[:] = 10_000.0
             client = env.clients["account-1"]
             name = client.deploy(ServiceConfig(name="s", max_instances=1000))
             t0 = client.now()
@@ -99,10 +98,10 @@ class TestServiceBookkeeping:
         client, name, handles = deploy_and_connect(tiny_env, 20)
         orch = tiny_env.orchestrator
         service = client._service(name)
-        counts = orch._service_host_counts[service.qualified_name]
-        assert sum(counts.values()) == 20
+        counts = orch.fleet.service_counts(service.qualified_name)
+        assert counts.sum() == 20
         client.kill(name)
-        assert sum(counts.values()) == 0
+        assert counts.sum() == 0
 
     def test_load_slots_released_on_termination(self, tiny_env):
         client, name, handles = deploy_and_connect(tiny_env, 20)
