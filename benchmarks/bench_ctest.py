@@ -1,0 +1,177 @@
+"""CTest round-engine micro-benchmark: scalar loop vs vectorized engine.
+
+Times one full ``ctest_batch`` window — pressure start, all observation
+rounds, pressure stop, verdicts — over synthetic fleets at 1x/4x/16x of
+an 800-instance campaign wave with the paper's 60-round test window,
+comparing the scalar per-round loop (one probe round-trip per instance
+per round) against the batched ``observe_rounds`` engine (one observation
+call per host per window).
+
+The two engines are byte-identical by contract (see the identity suite in
+``tests/unit/test_ctest_vectorized.py``); this benchmark checks the point
+of the fast path — that it actually is fast — and re-asserts verdict
+equality on every scale as a sanity belt.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_ctest.py --out BENCH_ctest.json
+
+Exit status is non-zero if the vectorized engine is less than 5x faster
+than the loop at 16x scale, or regresses at 1x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.cloud.api import InstanceHandle
+from repro.cloud.instance import ContainerInstance
+from repro.core.covert import RngCovertChannel
+from repro.hardware.cpu import cpu_catalog
+from repro.hardware.host import PhysicalHost
+from repro.hardware.tsc import TimestampCounter
+from repro.sandbox.gvisor import GVisorSandbox
+from repro.simtime.clock import SimClock
+
+PAPER_WAVE_INSTANCES = 800  # one campaign wave's worth of CTest subjects
+SCALES = {"1x": 1, "4x": 4, "16x": 16}
+
+INSTANCES_PER_HOST = 8
+GROUP_SIZE = 5
+THRESHOLD_M = 3
+TOTAL_ROUNDS = 60
+REPEATS = 3
+
+
+def build_groups(n_instances: int, seed: int) -> list[list[InstanceHandle]]:
+    """A synthetic placed fleet: real hosts, sandboxes, and handles, built
+    directly (no orchestrator) so the benchmark times only the engines.
+
+    Sequential slicing into fixed-size groups deliberately straddles host
+    boundaries, so each batch mixes fully co-located groups with split
+    ones — both verdict outcomes stay exercised.
+    """
+    clock = SimClock()
+    cpu = cpu_catalog()[0]
+    handles: list[InstanceHandle] = []
+    n_hosts = -(-n_instances // INSTANCES_PER_HOST)
+    for host_index in range(n_hosts):
+        host = PhysicalHost(
+            host_id=f"bench-{host_index:05d}",
+            cpu=cpu,
+            tsc=TimestampCounter(
+                boot_time=0.0,
+                actual_frequency_hz=cpu.reported_tsc_frequency_hz,
+            ),
+        )
+        on_host = min(
+            INSTANCES_PER_HOST, n_instances - host_index * INSTANCES_PER_HOST
+        )
+        for slot in range(on_host):
+            serial = host_index * INSTANCES_PER_HOST + slot
+            instance_id = f"i{serial:06d}"
+            sandbox = GVisorSandbox(
+                host=host,
+                clock=clock,
+                rng=np.random.default_rng(seed * 1_000_003 + serial),
+                sandbox_id=instance_id,
+            )
+            instance = ContainerInstance(
+                instance_id=instance_id,
+                service=None,
+                host_id=host.host_id,
+                sandbox=sandbox,
+                created_at=clock.now(),
+            )
+            handles.append(InstanceHandle(instance))
+    return [
+        handles[i : i + GROUP_SIZE] for i in range(0, len(handles), GROUP_SIZE)
+    ]
+
+
+def run_engine(vectorized: bool, n_instances: int, seed: int = 0):
+    groups = build_groups(n_instances, seed)
+    channel = RngCovertChannel(total_rounds=TOTAL_ROUNDS, vectorized=vectorized)
+    results = channel.ctest_batch(groups, THRESHOLD_M)
+    return [result.positive for result in results]
+
+
+def best_of(vectorized: bool, n_instances: int) -> float:
+    timings = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run_engine(vectorized, n_instances)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def run() -> dict:
+    results: dict = {
+        "paper_wave_instances": PAPER_WAVE_INSTANCES,
+        "workload": {
+            "instances_per_host": INSTANCES_PER_HOST,
+            "group_size": GROUP_SIZE,
+            "threshold_m": THRESHOLD_M,
+            "total_rounds": TOTAL_ROUNDS,
+        },
+        "scales": {},
+    }
+    for label, factor in SCALES.items():
+        n_instances = PAPER_WAVE_INSTANCES * factor
+        if run_engine(False, n_instances) != run_engine(True, n_instances):
+            raise AssertionError(
+                f"engine verdicts diverged at {label} — identity broken"
+            )
+        loop_t = best_of(False, n_instances)
+        vector_t = best_of(True, n_instances)
+        scale = {
+            "n_instances": n_instances,
+            "loop_s": round(loop_t, 6),
+            "vectorized_s": round(vector_t, 6),
+            "speedup": round(loop_t / vector_t, 3),
+        }
+        results["scales"][label] = scale
+        print(
+            f"{label:>4} ({n_instances} instances, {TOTAL_ROUNDS} rounds): "
+            f"loop {loop_t:.3f}s, vectorized {vector_t:.3f}s, "
+            f"{scale['speedup']}x"
+        )
+    return results
+
+
+def check(results: dict) -> list[str]:
+    failures = []
+    at_16x = results["scales"]["16x"]["speedup"]
+    if at_16x < 5.0:
+        failures.append(
+            f"16x vectorized speedup {at_16x}x is below the 5x floor"
+        )
+    at_1x = results["scales"]["1x"]["speedup"]
+    if at_1x < 1.0:
+        failures.append(f"vectorized engine regresses at 1x scale ({at_1x}x)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_ctest.json", help="output path")
+    args = parser.parse_args(argv)
+    results = run()
+    failures = check(results)
+    results["pass"] = not failures
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, TypeVar
 
 from repro.cloud.services import Service
 from repro.errors import InstanceGoneError
 from repro.sandbox.base import Sandbox
+
+T = TypeVar("T")
 
 
 class InstanceState(enum.Enum):
@@ -75,6 +77,18 @@ class ContainerInstance:
         """Raise :class:`InstanceGoneError` if the instance is terminated."""
         if not self.alive:
             raise InstanceGoneError(f"instance {self.instance_id!r} was terminated")
+
+    def run_probe(self, probe: Callable[[Sandbox], T]) -> T:
+        """Execute ``probe(sandbox)`` inside this instance if it is alive.
+
+        The single execution gate shared by
+        :meth:`repro.cloud.api.InstanceHandle.run` and the batched
+        :meth:`repro.cloud.api.InstanceHandle.run_batch` engine hook: both
+        paths check liveness the same way, so a terminated instance raises
+        :class:`InstanceGoneError` identically under either engine.
+        """
+        self.require_alive()
+        return probe(self.sandbox)
 
     def go_idle(self, now: float) -> None:
         """Transition ACTIVE -> IDLE, accumulating billable active time."""

@@ -20,10 +20,14 @@ import abc
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.cloud.api import InstanceHandle
 from repro.errors import InstanceGoneError, VerificationError
 from repro.faults import FaultPlan, current_fault_plan
-from repro.telemetry import MetricSet, current_telemetry
+from repro.hardware.rng_resource import RngContentionResource
+from repro.sandbox.base import ChannelPort, Sandbox
+from repro.telemetry import HistogramSummary, MetricSet, current_telemetry
 
 
 @dataclass(frozen=True)
@@ -62,7 +66,6 @@ class ChannelStats:
 
     def __init__(self) -> None:
         self.metrics = MetricSet()
-        self.per_batch_tests: list[int] = []
 
     @property
     def n_tests(self) -> int:
@@ -96,6 +99,18 @@ class ChannelStats:
     def faults_injected(self, value: int) -> None:
         self.metrics.counters["faults_injected"] = value
 
+    @property
+    def per_batch_tests(self) -> HistogramSummary:
+        """Read-only summary view of per-batch test counts.
+
+        Backed by the ``batch_tests`` histogram (count/total/min/max/mean)
+        instead of the raw per-batch list this attribute used to be, so a
+        long campaign's memory stays O(1) next to the typed metrics.
+        Consumers that relied on the list should read the summary fields
+        — the raw sequence is no longer retained.
+        """
+        return self.metrics.histograms.get("batch_tests", HistogramSummary())
+
     def snapshot(self) -> dict[str, float]:
         """Counter snapshot for re-entrancy-safe per-call deltas."""
         return self.metrics.snapshot()
@@ -111,7 +126,6 @@ class ChannelStats:
         self.metrics.inc("busy_seconds", seconds)
         self.metrics.inc("batches")
         self.metrics.observe("batch_tests", len(group_sizes))
-        self.per_batch_tests.append(len(group_sizes))
 
     def summary(self) -> str:
         """One-line human-readable report of the counters."""
@@ -174,6 +188,14 @@ class RngCovertChannel(CovertChannel):
         noise and mid-test instance deaths.  Defaults to the ambient plan
         (:func:`~repro.faults.current_fault_plan`), so channels built
         inside a fault-injected experiment cell pick it up automatically.
+    vectorized:
+        Use the batched round engine (one
+        :meth:`~repro.hardware.rng_resource.RngContentionResource.observe_rounds`
+        call per host per test window) when stream identity with the
+        scalar per-round loop is provable; fall back to the loop
+        otherwise.  Both engines produce byte-identical verdicts, hit
+        counts, and RNG end states — the flag exists for benchmarking and
+        belt-and-braces debugging, not because results differ.
     """
 
     def __init__(
@@ -182,6 +204,7 @@ class RngCovertChannel(CovertChannel):
         required_rounds: int = 30,
         seconds_per_test: float = 1.2,
         fault_plan: FaultPlan | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         if not 0 < required_rounds <= total_rounds:
@@ -193,9 +216,17 @@ class RngCovertChannel(CovertChannel):
         self.required_rounds = required_rounds
         self.seconds_per_test = seconds_per_test
         self.fault_plan = fault_plan if fault_plan is not None else current_fault_plan()
+        self.vectorized = vectorized
         self._batch_serial = 0
+        #: Per-instance contention-hit counts of the most recent test
+        #: window (diagnostics; the identity suite pins loop vs batched).
+        self._last_hits: dict[str, int] = {}
 
-    # Resource hooks; subclasses pick a different shared resource.
+    # Resource hooks; subclasses pick a different shared resource.  The
+    # ``_observe``/``_port`` pair must stay consistent: ``_port`` names the
+    # host resource whose batched engine reproduces ``_observe``'s scalar
+    # stream, and the vectorized path refuses to run (falls back to the
+    # loop) when a subclass overrides one without the other.
     @staticmethod
     def _start(sandbox) -> None:
         sandbox.start_rng_pressure()
@@ -207,6 +238,10 @@ class RngCovertChannel(CovertChannel):
     @staticmethod
     def _stop(sandbox) -> None:
         sandbox.stop_rng_pressure()
+
+    @staticmethod
+    def _port(sandbox) -> ChannelPort | None:
+        return sandbox.rng_channel_port()
 
     def ctest_batch(
         self,
@@ -226,9 +261,6 @@ class RngCovertChannel(CovertChannel):
         flat: list[InstanceHandle] = [h for group in groups for h in group]
         if len({h.instance_id for h in flat}) != len(flat):
             raise VerificationError("an instance appears twice in one CTest batch")
-        threshold_of = {
-            h.instance_id: t for group, t in zip(groups, thresholds) for h in group
-        }
 
         # One serial number per ctest_batch call keys the fault plan's
         # decisions, so a *retry* of the same chunks is a fresh draw.
@@ -287,26 +319,16 @@ class RngCovertChannel(CovertChannel):
             except InstanceGoneError:
                 dead.add(handle.instance_id)
         try:
-            hits = {handle.instance_id: 0 for handle in flat}
-            for round_index in range(self.total_rounds):
-                for handle in flat:
-                    instance_id = handle.instance_id
-                    if instance_id in dead:
-                        continue
-                    if death_round.get(instance_id) == round_index:
-                        dead.add(instance_id)
-                        try:
-                            handle.run(self._stop)
-                        except InstanceGoneError:
-                            pass
-                        continue
-                    try:
-                        level = handle.run(self._observe)
-                    except InstanceGoneError:
-                        dead.add(instance_id)
-                        continue
-                    if level >= threshold_of[instance_id]:
-                        hits[instance_id] += 1
+            hits = None
+            if self.vectorized:
+                hits = self._observe_window_batched(
+                    flat, dead, death_round, threshold_of
+                )
+            if hits is None:
+                hits = self._observe_window_loop(
+                    flat, dead, death_round, threshold_of
+                )
+            self._last_hits = hits
             # The test window occupies wall time *while* the pressure is
             # on — which is exactly what a platform-side abuse monitor
             # gets to observe.
@@ -348,6 +370,132 @@ class RngCovertChannel(CovertChannel):
             )
         return results
 
+    # ------------------------------------------------------------------
+    # Round engines: scalar loop and vectorized fast path
+    # ------------------------------------------------------------------
+    def _observe_window_loop(
+        self,
+        flat: Sequence[InstanceHandle],
+        dead: set[str],
+        death_round: dict[str, int],
+        threshold_of: dict[str, int],
+    ) -> dict[str, int]:
+        """Scalar reference engine: one probe round-trip per instance per
+        round, visiting instances in flat order within each round."""
+        hits = {handle.instance_id: 0 for handle in flat}
+        for round_index in range(self.total_rounds):
+            for handle in flat:
+                instance_id = handle.instance_id
+                if instance_id in dead:
+                    continue
+                if death_round.get(instance_id) == round_index:
+                    dead.add(instance_id)
+                    try:
+                        handle.run(self._stop)
+                    except InstanceGoneError:
+                        pass
+                    continue
+                try:
+                    level = handle.run(self._observe)
+                except InstanceGoneError:
+                    dead.add(instance_id)
+                    continue
+                if level >= threshold_of[instance_id]:
+                    hits[instance_id] += 1
+        return hits
+
+    def _observe_window_batched(
+        self,
+        flat: Sequence[InstanceHandle],
+        dead: set[str],
+        death_round: dict[str, int],
+        threshold_of: dict[str, int],
+    ) -> dict[str, int] | None:
+        """Vectorized engine: one ``observe_rounds`` call per host per
+        window, byte-identical to :meth:`_observe_window_loop`.
+
+        Returns ``None`` — *before consuming any randomness* — whenever
+        stream identity with the scalar loop is not provable: a subclass
+        changed the observe/port pairing, a sandbox customized its scalar
+        observation, or a host resource overrides the contention model.
+        The caller then runs the loop engine on untouched streams.
+        """
+        if not self._vector_capable():
+            return None
+        hits = {handle.instance_id: 0 for handle in flat}
+        live: list[InstanceHandle] = []
+        ports: dict[str, ChannelPort] = {}
+        for handle in flat:
+            if handle.instance_id in dead:
+                continue
+            try:
+                port = handle.run(self._port)
+            except InstanceGoneError:
+                # The loop engine would discover this at the instance's
+                # round-0 observe: no observations, no stop call (its
+                # stale pressure keeps counting for co-residents, which
+                # ``observe_rounds`` models as external pressure).
+                dead.add(handle.instance_id)
+                continue
+            if port is None:
+                return None
+            resource = port.resource
+            if (
+                type(resource).observe is not RngContentionResource.observe
+                or type(resource).observe_rounds
+                is not RngContentionResource.observe_rounds
+            ):
+                return None
+            ports[handle.instance_id] = port
+            live.append(handle)
+        if not live:
+            return hits
+
+        total_rounds = self.total_rounds
+
+        def window(sandboxes: list[Sandbox]) -> list[np.ndarray]:
+            ids = [sandbox.sandbox_id for sandbox in sandboxes]
+            resource = ports[ids[0]].resource
+            return resource.observe_rounds(
+                [(instance_id, ports[instance_id].rng) for instance_id in ids],
+                total_rounds,
+                stop_rounds=[death_round.get(instance_id) for instance_id in ids],
+            )
+
+        # One observation call per host; ``run_batch`` preserves the flat
+        # (schedule) order within each host, which is what the death-slot
+        # semantics of ``observe_rounds`` key on.
+        for members, levels in InstanceHandle.run_batch(live, window):
+            for handle, level_stream in zip(members, levels):
+                instance_id = handle.instance_id
+                hits[instance_id] = int(
+                    np.count_nonzero(level_stream >= threshold_of[instance_id])
+                )
+        # Mid-window fault deaths: the loop engine stops the dying
+        # instance's pressure at its death slot; the batched engine
+        # already truncated its observations and pressure contribution,
+        # so only the state transition (dead + unregister) remains.
+        for handle in live:
+            instance_id = handle.instance_id
+            if death_round.get(instance_id) is not None:
+                dead.add(instance_id)
+                try:
+                    handle.run(self._stop)
+                except InstanceGoneError:
+                    pass
+        return hits
+
+    def _vector_capable(self) -> bool:
+        """Whether this channel instance may use the batched engine.
+
+        The observe/port hook pair must be one of the known-consistent
+        pairs; a subclass that overrides ``_observe`` without the matching
+        ``_port`` (or vice versa) silently loses the fast path instead of
+        silently changing physics.
+        """
+        pair = (type(self)._observe, type(self)._port)
+        return pair in _VECTOR_SAFE_ENGINES
+
 
 class MemoryBusCovertChannel(RngCovertChannel):
     """CTest over memory-bus contention (the prior-work channel).
@@ -366,11 +514,15 @@ class MemoryBusCovertChannel(RngCovertChannel):
         total_rounds: int = 60,
         required_rounds: int = 42,
         seconds_per_test: float = 4.0,
+        fault_plan: FaultPlan | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__(
             total_rounds=total_rounds,
             required_rounds=required_rounds,
             seconds_per_test=seconds_per_test,
+            fault_plan=fault_plan,
+            vectorized=vectorized,
         )
 
     @staticmethod
@@ -384,3 +536,17 @@ class MemoryBusCovertChannel(RngCovertChannel):
     @staticmethod
     def _stop(sandbox) -> None:
         sandbox.stop_bus_pressure()
+
+    @staticmethod
+    def _port(sandbox) -> ChannelPort | None:
+        return sandbox.bus_channel_port()
+
+
+#: Observe/port hook pairs proven stream-identical between the scalar and
+#: batched engines; subclasses that override either hook fall off this set
+#: and run the scalar loop (correct, just slower) until they register a
+#: consistent pair of their own.
+_VECTOR_SAFE_ENGINES = {
+    (RngCovertChannel._observe, RngCovertChannel._port),
+    (MemoryBusCovertChannel._observe, MemoryBusCovertChannel._port),
+}

@@ -23,6 +23,7 @@ number of *waves* (a handful) times the per-test duration.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
@@ -107,11 +108,15 @@ class _GroupTask:
         self.clusters: list[list[InstanceHandle]] = []
         self.fully_colocated = True
         self.fell_back = False
-        self.pending_chunks: list[list[InstanceHandle]] = []
+        # Work queues are deques: both are consumed strictly from the
+        # front, and a large group's pairwise fallback pops O(units^2)
+        # entries — list.pop(0)'s O(n) shift would make that quadratic
+        # again on top of the quadratic pair count.
+        self.pending_chunks: deque[list[InstanceHandle]] = deque()
         self.merge_level: list[InstanceHandle] = []
         self.fallback_units: list[list[InstanceHandle]] = []
         self.fallback_ds: DisjointSet | None = None
-        self.fallback_pairs: list[tuple[int, int]] = []
+        self.fallback_pairs: deque[tuple[int, int]] = deque()
         self.fallback_negatives: set[frozenset] = set()
         self.phase = "chunking"
 
@@ -133,8 +138,10 @@ class _GroupTask:
         self.clusters = []
         n = len(self.fallback_units)
         self.fallback_ds = DisjointSet(range(n))
-        self.fallback_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-        self.fallback_negatives: set[frozenset] = set()
+        self.fallback_pairs = deque(
+            (i, j) for i in range(n) for j in range(i + 1, n)
+        )
+        self.fallback_negatives = set()
 
     def record_fallback_negative(self, i: int, j: int) -> None:
         """Remember that the units' current clusters are on different hosts."""
@@ -172,7 +179,7 @@ class _GroupTask:
                 frozenset((root_i, root_j)) in self.fallback_negatives
             )
             if settled:
-                self.fallback_pairs.pop(0)
+                self.fallback_pairs.popleft()
                 continue
             return [self.fallback_units[i][0], self.fallback_units[j][0]]
         return None
@@ -310,7 +317,7 @@ class ScalableVerifier:
                 clusters.append(list(members))
                 continue
             task = _GroupTask(members, model_key)
-            task.pending_chunks = _balanced_chunks(members, 2 * self.m - 1)
+            task.pending_chunks = deque(_balanced_chunks(members, 2 * self.m - 1))
             tasks.append(task)
 
         telemetry = current_telemetry()
@@ -376,7 +383,7 @@ class ScalableVerifier:
     def _feed_result(self, task: _GroupTask, result: CTestResult) -> None:
         """Apply a finished test to the group's state machine."""
         if task.phase == "chunking":
-            task.pending_chunks.pop(0)
+            task.pending_chunks.popleft()
             positives = [h for h, p in zip(result.handles, result.positive) if p]
             negatives = [h for h, p in zip(result.handles, result.positive) if not p]
             if 0 < len(positives) < self._threshold_for(result.handles):
@@ -399,7 +406,7 @@ class ScalableVerifier:
                 task.enter_fallback()
         elif task.phase == "fallback":
             assert task.fallback_ds is not None
-            i, j = task.fallback_pairs.pop(0)
+            i, j = task.fallback_pairs.popleft()
             if all(result.positive):
                 task.merge_fallback_units(i, j)
             else:
@@ -424,18 +431,32 @@ class ScalableVerifier:
         batches: list[
             tuple[set[str] | None, list[tuple[_GroupTask, list[InstanceHandle]]]]
         ] = []
+        # First-fit packing with a per-key resume index.  A batch that is
+        # unacceptable for key k stays unacceptable (it either already
+        # contains k or is a keyless exclusive batch), so each key's scan
+        # can resume where the last one stopped instead of rescanning the
+        # whole batch list — the sizing step stays O(requests) even for
+        # the wide single-wave batches the vectorized round engine makes
+        # worthwhile.  Placement decisions are identical to a full scan.
+        scan_from: dict[str, int] = {}
         for task, test in requests:
+            key = task.model_key
+            if key is None:
+                batches.append((None, [(task, test)]))
+                continue
+            index = scan_from.get(key, 0)
             placed = False
-            if task.model_key is not None:
-                for keys, batch in batches:
-                    if keys is not None and task.model_key not in keys:
-                        batch.append((task, test))
-                        keys.add(task.model_key)
-                        placed = True
-                        break
+            while index < len(batches):
+                keys, batch = batches[index]
+                if keys is not None and key not in keys:
+                    batch.append((task, test))
+                    keys.add(key)
+                    placed = True
+                    break
+                index += 1
+            scan_from[key] = index + 1
             if not placed:
-                keys = {task.model_key} if task.model_key is not None else None
-                batches.append((keys, [(task, test)]))
+                batches.append(({key}, [(task, test)]))
         return [batch for _keys, batch in batches]
 
     def _threshold_for(self, chunk: Sequence[InstanceHandle]) -> int:

@@ -82,6 +82,21 @@ class PhysicalHost:
         """Wall-clock boot time of this host."""
         return self.tsc.boot_time
 
+    def channel_resource(self, kind: str) -> RngContentionResource:
+        """The shared contention domain for one covert-channel kind.
+
+        ``"rng"`` names the hardware-RNG domain and ``"bus"`` the
+        memory-bus domain (both share the contention model; they differ
+        only in background/drop rates).  The batched CTest engine resolves
+        its per-host observation target through this single lookup so new
+        channel kinds only need a new name here.
+        """
+        if kind == "rng":
+            return self.rng_resource
+        if kind == "bus":
+            return self.memory_bus
+        raise ValueError(f"unknown covert-channel resource kind: {kind!r}")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PhysicalHost({self.host_id!r}, cpu={self.cpu.name!r})"
 

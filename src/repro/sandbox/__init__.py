@@ -12,12 +12,22 @@ Cloud Run offers two sandbox generations (paper §2.3):
   frequency and the user has guest-root privileges.
 
 Guest probe programs (see :mod:`repro.core.probes`) run against the common
-:class:`~repro.sandbox.base.Sandbox` interface.
+:class:`~repro.sandbox.base.Sandbox` interface.  Neither generation
+virtualizes the shared-hardware contention surface, so the covert-channel
+ports (:class:`~repro.sandbox.base.ChannelPort`) used by the vectorized
+CTest engine are generation-independent.
 """
 
-from repro.sandbox.base import Sandbox, TscPolicy
+from repro.sandbox.base import ChannelPort, Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
 from repro.sandbox.syscalls import SyscallLayer
 
-__all__ = ["Sandbox", "TscPolicy", "GVisorSandbox", "MicroVMSandbox", "SyscallLayer"]
+__all__ = [
+    "ChannelPort",
+    "Sandbox",
+    "TscPolicy",
+    "GVisorSandbox",
+    "MicroVMSandbox",
+    "SyscallLayer",
+]

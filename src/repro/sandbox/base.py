@@ -10,12 +10,31 @@ from __future__ import annotations
 
 import abc
 import enum
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.hardware.host import PhysicalHost
+from repro.hardware.rng_resource import RngContentionResource
 from repro.sandbox.syscalls import SyscallLayer
 from repro.simtime.clock import SimClock
+
+
+class ChannelPort(NamedTuple):
+    """Engine-side ingredients for batched covert-channel observation.
+
+    A port bundles what :meth:`~repro.hardware.rng_resource.RngContentionResource.observe_rounds`
+    needs to reproduce one sandbox's scalar observation stream: the host's
+    shared contention domain, the pressure-registration id, and the
+    sandbox's private randomness source.  It is simulator plumbing — the
+    vectorized CTest engine uses it to issue one observation call per
+    *host* per test window — and must never leak into attacker logic,
+    which only ever sees the scalar observe results.
+    """
+
+    resource: RngContentionResource
+    sandbox_id: str
+    rng: np.random.Generator
 
 
 class TscPolicy(enum.Enum):
@@ -156,6 +175,33 @@ class Sandbox(abc.ABC):
         constantly, so background contention is common.
         """
         return self._host.memory_bus.observe(self.sandbox_id, self._rng)
+
+    def rng_channel_port(self) -> ChannelPort | None:
+        """Batched-observation port for the RNG channel, or ``None``.
+
+        Returns ``None`` when this sandbox's scalar observation semantics
+        have been customized (a subclass overrides
+        :meth:`observe_rng_contention`), in which case the vectorized
+        CTest engine cannot prove stream identity and must fall back to
+        the scalar per-round loop.
+        """
+        if type(self).observe_rng_contention is not Sandbox.observe_rng_contention:
+            return None
+        return ChannelPort(
+            self._host.channel_resource("rng"), self.sandbox_id, self._rng
+        )
+
+    def bus_channel_port(self) -> ChannelPort | None:
+        """Batched-observation port for the memory-bus channel, or ``None``.
+
+        Same customization guard as :meth:`rng_channel_port`, keyed on
+        :meth:`observe_bus_contention`.
+        """
+        if type(self).observe_bus_contention is not Sandbox.observe_bus_contention:
+            return None
+        return ChannelPort(
+            self._host.channel_resource("bus"), self.sandbox_id, self._rng
+        )
 
     # ------------------------------------------------------------------
     # CPU execution and contention (victim-activity detection)

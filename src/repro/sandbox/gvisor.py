@@ -15,7 +15,15 @@ from repro.sandbox.base import Sandbox, TscPolicy
 
 
 class GVisorSandbox(Sandbox):
-    """A gVisor-style sandbox around a Linux container (no virtualization)."""
+    """A gVisor-style sandbox around a Linux container (no virtualization).
+
+    The covert-channel surface is inherited unchanged from
+    :class:`~repro.sandbox.base.Sandbox`: ``RDRAND`` is an unprivileged
+    instruction gVisor cannot intercept, so RNG-contention pressure and
+    observation hit real shared hardware — which also makes the batched
+    observation port (:meth:`~repro.sandbox.base.Sandbox.rng_channel_port`)
+    valid for Gen 1 without any generation-specific handling.
+    """
 
     generation = "gen1"
 

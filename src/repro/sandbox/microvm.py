@@ -21,7 +21,15 @@ KERNEL_REFINEMENT_PRECISION_HZ: float = 1.0 * units.KHZ
 
 
 class MicroVMSandbox(Sandbox):
-    """A Firecracker-style microVM sandbox (hardware virtualization)."""
+    """A Firecracker-style microVM sandbox (hardware virtualization).
+
+    TSC offsetting and ``cpuid`` trapping reshape the *identification*
+    surface, but the hypervisor does not virtualize shared-resource
+    contention: ``RDRAND`` and memory-bus pressure still reach host
+    hardware, so the inherited covert-channel surface — including the
+    batched observation ports the vectorized CTest engine uses — behaves
+    identically to Gen 1 (paper §4.5 relies on exactly this).
+    """
 
     generation = "gen2"
 

@@ -118,7 +118,28 @@ class TestChannelStats:
         assert stats.n_instance_slots == 7
         assert stats.batches == 2
         assert stats.busy_seconds == pytest.approx(2.4)
-        assert stats.per_batch_tests == [2, 1]
+        # per_batch_tests is a bounded histogram view, not a raw list:
+        # long campaigns must not accumulate one entry per batch.
+        assert stats.per_batch_tests.count == 2
+        assert stats.per_batch_tests.total == 3
+        assert stats.per_batch_tests.max == 2
+        assert stats.per_batch_tests.min == 1
+
+    def test_per_batch_tests_memory_is_bounded(self):
+        from repro.core.covert import ChannelStats
+
+        stats = ChannelStats()
+        for _ in range(10_000):
+            stats.record_batch([1], seconds=0.0)
+        view = stats.per_batch_tests
+        assert view.count == 10_000
+        assert view.mean == 1.0
+        # The backing store is the histogram summary — four scalars — so
+        # nothing in the stats object grows with the number of batches.
+        assert not any(
+            isinstance(value, list) and len(value) > 100
+            for value in vars(stats).values()
+        )
 
 
 class TestBuildParser:

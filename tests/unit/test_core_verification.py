@@ -476,3 +476,44 @@ class TestReentrantStats:
         delta = channel.stats.since(before)
         assert delta.get("tests", 0) > 0
         assert delta["tests"] <= channel.stats.n_tests
+
+
+class TestFallbackQueueScaling:
+    """Regression for the work-queue data structure: the pairwise fallback
+    of a large group pops O(units^2) entries from the front of its pair
+    queue; with ``list.pop(0)`` that drain was quadratic *on top of* the
+    quadratic pair count.  The deques make each pop O(1), so draining a
+    few hundred units stays comfortably interactive."""
+
+    def _fallback_task(self, n_units):
+        task = _GroupTask([FakeHandle(f"i{k}") for k in range(n_units)], None)
+        task.clusters = [[FakeHandle(f"i{k}")] for k in range(n_units)]
+        task.enter_fallback()
+        return task
+
+    def test_queues_are_deques(self):
+        from collections import deque
+
+        task = self._fallback_task(4)
+        assert isinstance(task.pending_chunks, deque)
+        assert isinstance(task.fallback_pairs, deque)
+
+    def test_large_group_pair_drain_is_not_quadratic_in_pops(self):
+        import time
+
+        n = 350  # ~61k pairs; list.pop(0) needed ~1.9e9 element shifts
+        task = self._fallback_task(n)
+        start = time.perf_counter()
+        drained = 0
+        while task.next_fallback_pair() is not None:
+            i, j = task.fallback_pairs.popleft()
+            task.record_fallback_negative(i, j)
+            drained += 1
+        elapsed = time.perf_counter() - start
+        assert drained == n * (n - 1) // 2
+        assert task.next_fallback_pair() is None
+        # Generous even for slow CI machines, far below what the O(n)
+        # front-pop would cost at this scale.
+        assert elapsed < 5.0
+        task.finish_fallback()
+        assert len(task.clusters) == n

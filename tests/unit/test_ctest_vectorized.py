@@ -1,0 +1,412 @@
+"""Twin-world identity suite for the vectorized CTest round engine.
+
+Every test builds two byte-identical simulated worlds from the same seed,
+runs the scalar per-round loop in one and the batched ``observe_rounds``
+engine in the other, and asserts that verdicts, per-instance hit counts,
+sandbox RNG end states, and host pressurer sets all match exactly.  This
+is the engine-level counterpart of the golden-trace byte-identity
+guarantee: the fast path must be indistinguishable from the loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.api import InstanceHandle
+from repro.cloud.services import ServiceConfig
+from repro.core.covert import MemoryBusCovertChannel, RngCovertChannel
+from repro.core.verification import ScalableVerifier, TaggedInstance
+from repro.errors import InstanceGoneError
+from repro.faults import FaultPlan, FaultSpec
+from repro.sandbox.base import ChannelPort
+
+
+class ScriptedPlan(FaultPlan):
+    """A fault plan that kills specific instances at specific rounds.
+
+    ``deaths`` maps instance ids to the CTest round in which they die;
+    the batch serial in the token is ignored so the schedule applies to
+    whichever batch tests the instance.  No verdict noise.
+    """
+
+    def __init__(self, deaths: dict[str, int]) -> None:
+        super().__init__(FaultSpec())
+        self._deaths = dict(deaths)
+
+    def ctest_death_round(self, token: str, total_rounds: int) -> int | None:
+        _serial, _, instance_id = token.partition(":")
+        when = self._deaths.get(instance_id)
+        if when is None:
+            return None
+        return min(when, total_rounds - 1)
+
+    def ctest_noise(self, token: str) -> bool:
+        return False
+
+
+def launch(env, n, name="svc", account="account-1"):
+    client = env.clients[account]
+    client.deploy(ServiceConfig(name=name))
+    return client.connect(name, n)
+
+
+def rng_state(handle: InstanceHandle) -> str:
+    return handle.run(lambda sandbox: str(sandbox._rng.bit_generator.state))
+
+
+def pressurer_sets(env, handles) -> dict[str, frozenset]:
+    orch = env.orchestrator
+    hosts = {orch.true_host_of(h.instance_id) for h in handles}
+    return {
+        host_id: env.datacenter.host(host_id).rng_resource.current_pressurers()
+        for host_id in sorted(hosts)
+    }
+
+
+def forbid_loop_engine(channel: RngCovertChannel) -> None:
+    """Make the channel fail loudly if the batched engine falls back."""
+
+    def fail(*_args, **_kwargs):  # pragma: no cover - only on regression
+        pytest.fail("vectorized channel fell back to the scalar loop engine")
+
+    channel._observe_window_loop = fail
+
+
+def run_twin_worlds(
+    tiny_env_factory,
+    seed: int,
+    n_instances: int,
+    group_size: int,
+    threshold: int,
+    plan_factory,
+    channel_cls=RngCovertChannel,
+    kill_first: bool = False,
+    expect_batched: bool = True,
+):
+    """Run one identical ctest_batch in a loop world and a batched world.
+
+    Returns ``(loop_world, batched_world)`` observation dicts so callers
+    can make scenario-specific assertions on top of the identity checks
+    performed here.
+    """
+    worlds = {}
+    for label, vectorized in (("loop", False), ("batched", True)):
+        env = tiny_env_factory(seed=seed)
+        handles = launch(env, n_instances)
+        if kill_first:
+            handles[0]._instance.terminate(env.orchestrator.clock.now())
+        groups = [
+            handles[i : i + group_size]
+            for i in range(0, len(handles), group_size)
+        ]
+        channel = channel_cls(fault_plan=plan_factory(), vectorized=vectorized)
+        if vectorized and expect_batched:
+            forbid_loop_engine(channel)
+        results = channel.ctest_batch(groups, threshold)
+        worlds[label] = {
+            "ids": [h.instance_id for h in handles],
+            "positives": [r.positive for r in results],
+            "hits": dict(channel._last_hits),
+            "states": {
+                h.instance_id: rng_state(h) for h in handles if h.alive
+            },
+            "pressurers": pressurer_sets(env, handles),
+            "faults": channel.stats.faults_injected,
+        }
+    loop, batched = worlds["loop"], worlds["batched"]
+    assert loop["ids"] == batched["ids"], "twin worlds diverged before the test"
+    assert loop["positives"] == batched["positives"]
+    assert loop["hits"] == batched["hits"]
+    assert loop["states"] == batched["states"]
+    assert loop["pressurers"] == batched["pressurers"]
+    assert loop["faults"] == batched["faults"]
+    return loop, batched
+
+
+# 8 seeds x 4 shapes = 32 identity cases; the nonzero death rates make
+# fault-injected mid-test deaths part of the pinned surface.
+SHAPES = [
+    pytest.param(6, 2, 2, 0.0, id="pairs-clean"),
+    pytest.param(9, 3, 2, 0.0, id="trios-clean"),
+    pytest.param(10, 5, 3, 0.25, id="quints-m3-deaths"),
+    pytest.param(8, 4, 2, 0.5, id="quads-heavy-deaths"),
+]
+
+
+@pytest.mark.parametrize("seed", range(1, 9))
+@pytest.mark.parametrize("n,group_size,threshold,death_rate", SHAPES)
+def test_identity_matrix(
+    tiny_env_factory, seed, n, group_size, threshold, death_rate
+):
+    run_twin_worlds(
+        tiny_env_factory,
+        seed=seed,
+        n_instances=n,
+        group_size=group_size,
+        threshold=threshold,
+        plan_factory=lambda: FaultPlan(
+            FaultSpec(ctest_death_rate=death_rate, seed=seed)
+        ),
+    )
+
+
+class TestEdgeCases:
+    def test_instance_dead_before_start(self, tiny_env_factory):
+        loop, _batched = run_twin_worlds(
+            tiny_env_factory,
+            seed=3,
+            n_instances=6,
+            group_size=3,
+            threshold=2,
+            plan_factory=lambda: None,
+            kill_first=True,
+        )
+        # The dead instance reads as negative on both paths.
+        assert loop["positives"][0][0] is False
+
+    def test_death_at_round_zero(self, tiny_env_factory):
+        env = tiny_env_factory(seed=4)
+        victim = launch(env, 4)[0].instance_id
+        loop, _batched = run_twin_worlds(
+            tiny_env_factory,
+            seed=4,
+            n_instances=4,
+            group_size=4,
+            threshold=2,
+            plan_factory=lambda: ScriptedPlan({victim: 0}),
+        )
+        assert loop["hits"][victim] == 0
+        assert loop["positives"][0][0] is False
+        assert loop["faults"] == 1
+
+    def test_death_at_last_round(self, tiny_env_factory):
+        env = tiny_env_factory(seed=5)
+        victim = launch(env, 4)[1].instance_id
+        channel = RngCovertChannel()
+        run_twin_worlds(
+            tiny_env_factory,
+            seed=5,
+            n_instances=4,
+            group_size=4,
+            threshold=2,
+            plan_factory=lambda: ScriptedPlan(
+                {victim: channel.total_rounds - 1}
+            ),
+        )
+
+    def test_multiple_deaths_same_round(self, tiny_env_factory):
+        env = tiny_env_factory(seed=6)
+        ids = [h.instance_id for h in launch(env, 6)]
+        run_twin_worlds(
+            tiny_env_factory,
+            seed=6,
+            n_instances=6,
+            group_size=6,
+            threshold=2,
+            plan_factory=lambda: ScriptedPlan(
+                {ids[0]: 10, ids[2]: 10, ids[4]: 30}
+            ),
+        )
+
+    def test_stale_pressure_from_real_instance_gone(self, tiny_env_factory):
+        """An instance terminated between pressure start and the window
+        raises a real ``InstanceGoneError``; the loop never stops its
+        pressure, and the batched engine must model that stale pressure
+        as external contention."""
+        worlds = {}
+        for vectorized in (False, True):
+            env = tiny_env_factory(seed=7)
+            handles = launch(env, 6)
+            channel = RngCovertChannel(vectorized=vectorized)
+            for handle in handles:
+                handle.run(channel._start)
+            victim = handles[0]
+            victim._instance.terminate(env.orchestrator.clock.now())
+            dead: set[str] = set()
+            engine = (
+                channel._observe_window_batched
+                if vectorized
+                else channel._observe_window_loop
+            )
+            hits = engine(
+                handles,
+                dead,
+                {},
+                {h.instance_id: 2 for h in handles},
+            )
+            assert hits is not None
+            worlds[vectorized] = {
+                "hits": hits,
+                "dead": set(dead),
+                "states": {
+                    h.instance_id: rng_state(h) for h in handles[1:]
+                },
+                "pressurers": pressurer_sets(env, handles),
+            }
+        assert worlds[False] == worlds[True]
+        # The victim's stale pressure is still registered on its host.
+        victim_id = next(iter(worlds[False]["dead"]))
+        assert any(
+            victim_id in members
+            for members in worlds[False]["pressurers"].values()
+        )
+
+    def test_verifier_with_singleton_adjacent_chunks(self, tiny_env_factory):
+        """A 7-member fingerprint group at m=2 chunks as 3+3+1, which
+        ``_balanced_chunks`` rebalances to 3+2+2 — the singleton-adjacent
+        shape.  The full verifier must report identical clusters and test
+        counts under both engines."""
+        reports = {}
+        for vectorized in (False, True):
+            env = tiny_env_factory(seed=8)
+            handles = launch(env, 7)
+            tagged = [
+                TaggedInstance(handle=h, fingerprint="same-fp", model_key="cpu0")
+                for h in handles
+            ]
+            channel = RngCovertChannel(vectorized=vectorized)
+            if vectorized:
+                forbid_loop_engine(channel)
+            report = ScalableVerifier(channel, threshold_m=2).verify(tagged)
+            reports[vectorized] = {
+                "clusters": sorted(
+                    sorted(h.instance_id for h in cluster)
+                    for cluster in report.clusters
+                ),
+                "n_tests": report.n_tests,
+                "n_batches": report.n_batches,
+                "fallback_groups": report.fallback_groups,
+                "states": {h.instance_id: rng_state(h) for h in handles},
+            }
+        assert reports[False] == reports[True]
+        # The clusters match the simulator's ground truth placement.
+        env = tiny_env_factory(seed=8)
+        handles = launch(env, 7)
+        truth: dict[str, set[str]] = {}
+        for h in handles:
+            truth.setdefault(
+                env.orchestrator.true_host_of(h.instance_id), set()
+            ).add(h.instance_id)
+        assert sorted(sorted(m) for m in truth.values()) == reports[True]["clusters"]
+
+    def test_memory_bus_channel_identity(self, tiny_env_factory):
+        run_twin_worlds(
+            tiny_env_factory,
+            seed=9,
+            n_instances=6,
+            group_size=3,
+            threshold=2,
+            plan_factory=lambda: None,
+            channel_cls=MemoryBusCovertChannel,
+        )
+
+
+class TestEngineGuards:
+    def test_subclass_overriding_observe_loses_fast_path(self, tiny_env_factory):
+        class CustomObserve(RngCovertChannel):
+            @staticmethod
+            def _observe(sandbox):
+                return sandbox.observe_rng_contention()
+
+        class CustomPort(RngCovertChannel):
+            @staticmethod
+            def _port(sandbox):
+                return sandbox.rng_channel_port()
+
+        assert not CustomObserve()._vector_capable()
+        assert not CustomPort()._vector_capable()
+        assert RngCovertChannel()._vector_capable()
+        assert MemoryBusCovertChannel()._vector_capable()
+
+    def test_incapable_channel_still_correct(self, tiny_env_factory):
+        """A subclass that falls off the fast path silently runs the loop
+        and produces the same verdicts."""
+
+        class CustomObserve(RngCovertChannel):
+            @staticmethod
+            def _observe(sandbox):
+                return sandbox.observe_rng_contention()
+
+        loop, _ = run_twin_worlds(
+            tiny_env_factory,
+            seed=10,
+            n_instances=4,
+            group_size=2,
+            threshold=2,
+            plan_factory=lambda: None,
+            channel_cls=CustomObserve,
+            expect_batched=False,
+        )
+        assert len(loop["positives"]) == 2
+
+    def test_customized_sandbox_yields_no_port(self, tiny_env):
+        handle = launch(tiny_env, 1)[0]
+        sandbox = handle._instance.sandbox
+
+        class CustomSandbox(type(sandbox)):
+            def observe_rng_contention(self):
+                return 99
+
+        custom = CustomSandbox(
+            host=sandbox._host,
+            clock=sandbox._clock,
+            rng=sandbox._rng,
+            sandbox_id="custom",
+        )
+        assert custom.rng_channel_port() is None
+        assert custom.bus_channel_port() is not None
+
+    def test_port_carries_host_resource_and_private_rng(self, tiny_env):
+        handle = launch(tiny_env, 1)[0]
+        sandbox = handle._instance.sandbox
+        port = sandbox.rng_channel_port()
+        assert isinstance(port, ChannelPort)
+        assert port.resource is sandbox._host.rng_resource
+        assert port.rng is sandbox._rng
+        assert port.sandbox_id == handle.instance_id
+        bus_port = sandbox.bus_channel_port()
+        assert bus_port.resource is sandbox._host.memory_bus
+
+    def test_channel_resource_unknown_kind_rejected(self, tiny_env):
+        handle = launch(tiny_env, 1)[0]
+        with pytest.raises(ValueError, match="unknown covert-channel"):
+            handle._instance.sandbox._host.channel_resource("cache")
+
+
+class TestRunBatch:
+    def test_groups_match_ground_truth_placement(self, tiny_env):
+        handles = launch(tiny_env, 12)
+        orch = tiny_env.orchestrator
+        groups = InstanceHandle.run_batch(
+            handles, lambda sandboxes: [s.sandbox_id for s in sandboxes]
+        )
+        for members, ids in groups:
+            assert [h.instance_id for h in members] == ids
+            hosts = {orch.true_host_of(h.instance_id) for h in members}
+            assert len(hosts) == 1
+        flat = [h.instance_id for members, _ids in groups for h in members]
+        assert sorted(flat) == sorted(h.instance_id for h in handles)
+
+    def test_preserves_input_order_within_host(self, tiny_env):
+        handles = launch(tiny_env, 12)
+        order = {h.instance_id: i for i, h in enumerate(handles)}
+        for members, _ in InstanceHandle.run_batch(
+            handles, lambda sandboxes: None
+        ):
+            indices = [order[h.instance_id] for h in members]
+            assert indices == sorted(indices)
+
+    def test_dead_handle_rejected_before_any_probe(self, tiny_env):
+        handles = launch(tiny_env, 4)
+        handles[2]._instance.terminate(tiny_env.orchestrator.clock.now())
+        probed: list[str] = []
+
+        def probe(sandboxes):
+            probed.extend(s.sandbox_id for s in sandboxes)
+
+        with pytest.raises(InstanceGoneError):
+            InstanceHandle.run_batch(handles, probe)
+        assert probed == []
+
+    def test_empty_input(self):
+        assert InstanceHandle.run_batch([], lambda sandboxes: None) == []
