@@ -216,6 +216,19 @@ class FaaSClient:
             self._service(service_name), processing_seconds
         )
 
+    def probe(self, qualified_name: str, processing_seconds: float = 0.05) -> float:
+        """Time one request to *any* service's public URL.
+
+        ``qualified_name`` is the public address (``"account/service"``)
+        — no ownership required, so this works against another tenant's
+        service.  This is the uncontrolled-victim surface of the threat
+        model: the victim is probe-able (anyone can time its responses)
+        but not instrumentable (no guest code runs inside it).  Returns
+        the observed response latency in seconds; the wait is charged to
+        wall time.
+        """
+        return self._orchestrator.probe_service(qualified_name, processing_seconds)
+
     # ------------------------------------------------------------------
     # Billing
     # ------------------------------------------------------------------

@@ -79,6 +79,7 @@ class Orchestrator:
         self._idle_reaps: dict[str, ScheduledEvent] = {}
         self._service_instances: dict[str, list[ContainerInstance]] = {}
         self._route_counters: dict[str, int] = {}
+        self._probe_counters: dict[str, int] = {}
         self._instance_counter = itertools.count()
         self._image_counter = itertools.count()
 
@@ -250,6 +251,46 @@ class Orchestrator:
         instance = active[counter % len(active)]
         self._route_counters[service.qualified_name] = counter + 1
         instance.sandbox.run_busy(processing_seconds)
+
+    def probe_service(
+        self, qualified_name: str, processing_seconds: float = 0.05
+    ) -> float:
+        """Time one request to a service's public URL; returns the latency.
+
+        Unlike :meth:`route_request` callers, the prober needs no ownership
+        of the service — anyone who knows the qualified name (the public
+        URL) can send a request and time the response, which is the whole
+        attacker-side surface of the Target Victim Locator.  The request is
+        routed round-robin like any other; the serving sandbox's response
+        time stretches under co-resident memory-bus locking
+        (:meth:`~repro.sandbox.base.Sandbox.serve_request`).  Under an
+        active fault plan, individual responses may additionally carry an
+        injected platform-noise delay; the fault token carries a
+        per-service probe sequence number, so a re-probe is a fresh draw.
+        """
+        try:
+            service = self.services[qualified_name]
+        except KeyError:
+            raise CloudError(f"no service at {qualified_name!r}") from None
+        active = [
+            i for i in self.alive_instances(service)
+            if i.state is InstanceState.ACTIVE
+        ]
+        if not active:
+            active = self.scale_to(service, 1)
+        counter = self._route_counters.get(qualified_name, 0)
+        instance = active[counter % len(active)]
+        self._route_counters[qualified_name] = counter + 1
+        latency = instance.sandbox.serve_request(processing_seconds)
+        seq = self._probe_counters.get(qualified_name, 0)
+        self._probe_counters[qualified_name] = seq + 1
+        if self.fault_plan is not None:
+            latency += self.fault_plan.probe_delay_seconds(
+                f"{qualified_name}#p{seq}"
+            )
+        self.clock.sleep(latency)
+        current_telemetry().count("orchestrator.probes")
+        return latency
 
     # ------------------------------------------------------------------
     # Introspection (ground truth for the simulator and metrics; guests
@@ -450,6 +491,13 @@ class Orchestrator:
         self._cancel_idle_reap(instance.instance_id)
         instance.terminate(now)
         self._settle_billing(instance)
+        # A destroyed container's guest loops stop executing, so any
+        # hardware pressure it still held (an attacker killed mid-lock)
+        # is released with it — otherwise a dead locker would pin its
+        # host's contention level forever.
+        host = self.datacenter.host(instance.host_id)
+        host.rng_resource.stop_pressure(instance.instance_id)
+        host.memory_bus.stop_pressure(instance.instance_id)
         handle = self.datacenter.host_handle(instance.host_id)
         handle.release_load(instance.service.config.size.slots)
         handle.dec_service(instance.service.qualified_name)

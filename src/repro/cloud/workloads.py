@@ -10,6 +10,7 @@ into instance counts.
 from __future__ import annotations
 
 import abc
+import bisect
 import math
 
 import numpy as np
@@ -105,12 +106,11 @@ class TraceLoad(RequestPattern):
         self.concurrency = list(concurrency)
 
     def concurrency_at(self, elapsed_s: float) -> int:
-        index = 0
-        for i, t in enumerate(self.times_s):
-            if t <= elapsed_s:
-                index = i
-            else:
-                break
+        # Hold-last lookup: the last sample at or before ``elapsed_s``
+        # (clamped to the first sample before trace start).  ``bisect``
+        # makes every query O(log n) where the old linear scan was O(n)
+        # per call — and the autoscaler queries once per tick.
+        index = max(0, bisect.bisect_right(self.times_s, elapsed_s) - 1)
         return self.concurrency[index]
 
     @classmethod

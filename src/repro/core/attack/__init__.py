@@ -2,6 +2,11 @@
 
 from repro.core.attack.campaign import ColocationCampaign, CoverageResult
 from repro.core.attack.census import CensusResult, estimate_cluster_size
+from repro.core.attack.locator import (
+    LocatorResult,
+    TargetVictimLocator,
+    probe_latency_threshold,
+)
 from repro.core.attack.planner import (
     AttackPlanner,
     LaunchSchedule,
@@ -22,6 +27,9 @@ __all__ = [
     "CoverageResult",
     "CensusResult",
     "estimate_cluster_size",
+    "LocatorResult",
+    "TargetVictimLocator",
+    "probe_latency_threshold",
     "AttackPlanner",
     "LaunchSchedule",
     "PolicyModel",

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.cloud.accounts import Account
 from repro.cloud.api import FaaSClient
 from repro.cloud.datacenter import DataCenter
@@ -63,18 +61,28 @@ def host_coverage(
     Resolves every instance's true host to its fleet index and intersects
     a boolean attacker-presence mask with the victim index array — no
     per-campaign host-id set churn.  Returns ``(coverage, attacker_hosts)``
-    where coverage is the fraction of victim instances landing on a host
-    that also runs a live attacker instance.
+    where coverage is the fraction of *live* victim instances landing on a
+    host that also runs a live attacker instance.
+
+    Dead-instance semantics (both sides filtered identically): terminated
+    attacker instances no longer pressure anything, so they contribute no
+    host to the attacker mask; terminated victim instances are no longer
+    co-locatable targets, so they leave the denominator instead of
+    counting as misses (or raising on a reaped ``true_host_of`` lookup).
+    Empty inputs — either side — yield zero coverage, never an error.
     """
     fleet = env.datacenter.fleet
     orch = env.orchestrator
-    attacker_mask = np.zeros(fleet.n_hosts, dtype=bool)
-    for handle in attacker_handles:
-        if handle.alive:
-            index = fleet.index_of(orch.true_host_of(handle.instance_id))
-            attacker_mask[index] = True
+    attacker_idx = fleet.indices_of(
+        orch.true_host_of(handle.instance_id)
+        for handle in attacker_handles
+        if handle.alive
+    )
+    attacker_mask = fleet.mask_for_indices(attacker_idx)
     victim_idx = fleet.indices_of(
-        orch.true_host_of(handle.instance_id) for handle in victim_handles
+        orch.true_host_of(handle.instance_id)
+        for handle in victim_handles
+        if handle.alive
     )
     if victim_idx.size == 0:
         return 0.0, int(attacker_mask.sum())

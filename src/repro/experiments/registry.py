@@ -27,6 +27,7 @@ from repro.experiments import (
     idle_termination,
     launch_behavior,
     verification_cost,
+    victim_locator,
 )
 from repro.experiments.base import default_env, host_coverage
 from repro.experiments.report import ComparisonRow, format_comparison, format_series, pct
@@ -357,6 +358,47 @@ def _defenses(scale: str, runner: RunnerConfig | None = None) -> str:
     return format_comparison("§6 — attack coverage under each defense", rows)
 
 
+def _victim_locator(scale: str, runner: RunnerConfig | None = None) -> str:
+    from repro.analysis.asciichart import render_series
+
+    config = victim_locator.LocatorConfig(
+        fleet_sizes=(24, 30, 40, 60) if scale == "full" else (24, 30),
+        repetitions=_reps(scale, 4, 2),
+    )
+    summary = victim_locator.run(config, runner=runner)
+    table = format_series(
+        "Victim locator — localization cost vs fleet size",
+        ("hosts", "candidates", "rounds", "probes", "success"),
+        [
+            (
+                p.n_hosts,
+                p.mean_candidates,
+                p.mean_rounds,
+                p.mean_probes,
+                pct(p.success_rate),
+            )
+            for p in summary.points
+        ],
+    )
+    chart = render_series(
+        [p.n_hosts for p in summary.points],
+        [p.mean_probes for p in summary.points],
+        title="localization probes vs fleet size",
+        x_label="hosts",
+        y_label="probes",
+    )
+    tradeoff = victim_locator.run_tradeoff(config, runner=runner)
+    tail = format_series(
+        "Victim locator — coverage/latency tradeoff (probe noise 5%)",
+        ("probes/measure", "success", "probe_count", "locate_s"),
+        [
+            (probes, pct(p.success_rate), p.mean_probes, p.mean_locate_seconds)
+            for probes, p in tradeoff.items()
+        ],
+    )
+    return table + "\n\n" + chart + "\n\n" + tail
+
+
 def _cost(scale: str, runner: RunnerConfig | None = None) -> str:
     result = attack_cost.run(attack_cost.AttackCostConfig(repetitions=_reps(scale, 2)))
     return format_comparison(
@@ -390,6 +432,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "gen2cov": ("victim coverage, Gen 2", _gen2cov),
     "cost": ("attack cost per region", _cost),
     "surveillance": ("all-day sustained co-location (extension)", _surveillance),
+    "victim_locator": ("uncontrolled-victim localization (extension)", _victim_locator),
     "defenses": ("§6 defense evaluation (extension)", _defenses),
 }
 

@@ -21,12 +21,14 @@ from repro.faults.plan import FaultCounters, FaultPlan, FaultSpec
 from repro.faults.retry import (
     DEFAULT_CTEST_RETRY,
     DEFAULT_LAUNCH_RETRY,
+    DEFAULT_LOCATE_RETRY,
     RetryPolicy,
 )
 
 __all__ = [
     "DEFAULT_CTEST_RETRY",
     "DEFAULT_LAUNCH_RETRY",
+    "DEFAULT_LOCATE_RETRY",
     "FaultCounters",
     "FaultPlan",
     "FaultSpec",

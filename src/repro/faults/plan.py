@@ -44,6 +44,8 @@ _SPEC_ALIASES = {
     "slow_seconds": "slow_launch_seconds",
     "ctest": "ctest_noise_rate",
     "death": "ctest_death_rate",
+    "probe": "probe_noise_rate",
+    "probe_seconds": "probe_noise_seconds",
     "cell": "cell_error_rate",
     "seed": "seed",
 }
@@ -69,6 +71,11 @@ class FaultSpec:
     ctest_death_rate:
         Probability that one instance dies mid-test (stops pressuring and
         reports nothing), as an abuse monitor or platform reap would cause.
+    probe_noise_rate / probe_noise_seconds:
+        Probability that one victim-latency probe response is delayed by
+        ``probe_noise_seconds`` of unrelated platform noise (a routing
+        hiccup, a GC pause in the victim) — the transient spikes the
+        Target Victim Locator must filter out.
     cell_error_rate:
         Probability that one experiment-cell execution attempt raises.
     seed:
@@ -80,6 +87,8 @@ class FaultSpec:
     slow_launch_seconds: float = 5.0
     ctest_noise_rate: float = 0.0
     ctest_death_rate: float = 0.0
+    probe_noise_rate: float = 0.0
+    probe_noise_seconds: float = 0.25
     cell_error_rate: float = 0.0
     seed: int = 0
 
@@ -89,6 +98,7 @@ class FaultSpec:
             "slow_launch_rate",
             "ctest_noise_rate",
             "ctest_death_rate",
+            "probe_noise_rate",
             "cell_error_rate",
         ):
             rate = getattr(self, name)
@@ -97,6 +107,10 @@ class FaultSpec:
         if self.slow_launch_seconds < 0.0:
             raise FaultSpecError(
                 f"slow_launch_seconds must be >= 0, got {self.slow_launch_seconds}"
+            )
+        if self.probe_noise_seconds < 0.0:
+            raise FaultSpecError(
+                f"probe_noise_seconds must be >= 0, got {self.probe_noise_seconds}"
             )
 
     @property
@@ -109,6 +123,7 @@ class FaultSpec:
                 "slow_launch_rate",
                 "ctest_noise_rate",
                 "ctest_death_rate",
+                "probe_noise_rate",
                 "cell_error_rate",
             )
         )
@@ -162,6 +177,7 @@ class FaultCounters:
     slow_launches: int = 0
     ctest_noise: int = 0
     ctest_deaths: int = 0
+    probe_noise: int = 0
     cell_errors: int = 0
 
     @property
@@ -172,6 +188,7 @@ class FaultCounters:
             + self.slow_launches
             + self.ctest_noise
             + self.ctest_deaths
+            + self.probe_noise
             + self.cell_errors
         )
 
@@ -181,7 +198,8 @@ class FaultCounters:
             f"{self.total_injected} faults injected "
             f"(launch {self.launch_errors}, slow {self.slow_launches}, "
             f"ctest-noise {self.ctest_noise}, ctest-death {self.ctest_deaths}, "
-            f"cell {self.cell_errors}), {self.launch_retries} launch retries"
+            f"probe-noise {self.probe_noise}, cell {self.cell_errors}), "
+            f"{self.launch_retries} launch retries"
         )
 
 
@@ -261,6 +279,19 @@ class FaultPlan:
         self.counters.ctest_deaths += 1
         current_telemetry().count("faults.ctest_deaths")
         return min(int(draw / rate * total_rounds), total_rounds - 1)
+
+    def probe_delay_seconds(self, token: str) -> float:
+        """Extra latency injected into one victim probe response (0 if none).
+
+        The token should name the probe uniquely (service plus a probe
+        sequence number), so a *re-probe* of the same measurement carries a
+        fresh draw and a bounded retry loop escapes transient spikes.
+        """
+        if self.uniform("probe-noise", token) < self.spec.probe_noise_rate:
+            self.counters.probe_noise += 1
+            current_telemetry().count("faults.probe_noise")
+            return self.spec.probe_noise_seconds
+        return 0.0
 
     def cell_fails(self, cell_key: str, attempt: int) -> bool:
         """Whether execution ``attempt`` (0-based) of a cell raises."""

@@ -65,3 +65,8 @@ DEFAULT_LAUNCH_RETRY = RetryPolicy(max_retries=2, backoff_seconds=0.5)
 #: Verifier default: exactly the historical single re-run of an
 #: inconsistent CTest, so accounting is unchanged when faults are off.
 DEFAULT_CTEST_RETRY = RetryPolicy(max_retries=1, backoff_seconds=0.0)
+
+#: Target Victim Locator default: two full search restarts after a failed
+#: confirmation (probe noise is strictly additive, so a wrong descent is
+#: always caught at confirmation and a restart draws fresh probe faults).
+DEFAULT_LOCATE_RETRY = RetryPolicy(max_retries=2, backoff_seconds=0.0)

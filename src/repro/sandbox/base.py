@@ -204,6 +204,39 @@ class Sandbox(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+    # Request serving (victim-side latency surface)
+    # ------------------------------------------------------------------
+
+    #: Fractional response-time stretch per concurrent memory-bus locker.
+    BUS_LOCK_SLOWDOWN = 0.9
+    #: Upper bound of the uniform per-request scheduling jitter (fraction).
+    SERVE_JITTER = 0.08
+
+    def serve_request(self, processing_seconds: float) -> float:
+        """Serve one inbound request; returns the response wall-time.
+
+        Request handling is memory-bound, so response time stretches with
+        the number of co-located tenants currently *locking* the memory
+        bus (atomic-op loops): each locker adds :attr:`BUS_LOCK_SLOWDOWN`
+        of the base processing time.  Ordinary scheduling noise appears
+        as a uniform jitter bounded by :attr:`SERVE_JITTER` — well below
+        one locker's slowdown, which is what lets the Target Victim
+        Locator separate locked from unlocked with an *absolute* latency
+        threshold instead of a differential one.
+
+        The busy period is registered on the host like any request
+        (:meth:`run_busy`), so co-located probes still see the activity.
+        """
+        lockers = self._host.memory_bus.pressurer_count
+        latency = (
+            processing_seconds
+            * (1.0 + self.BUS_LOCK_SLOWDOWN * lockers)
+            * (1.0 + self._rng.uniform(0.0, self.SERVE_JITTER))
+        )
+        self.run_busy(latency)
+        return latency
+
+    # ------------------------------------------------------------------
     # CPU execution and contention (victim-activity detection)
     # ------------------------------------------------------------------
     def run_busy(self, duration: float) -> None:

@@ -19,6 +19,7 @@ from repro import units
 from repro.cloud.services import ServiceConfig
 from repro.cloud.topology import AccountPlacementPlan, RegionProfile
 from repro.core.attack.campaign import ColocationCampaign
+from repro.core.attack.locator import TargetVictimLocator, probe_latency_threshold
 from repro.core.attack.strategies import optimized_launch
 from repro.core.covert import RngCovertChannel
 from repro.core.fingerprint import fingerprint_gen1_instances
@@ -83,6 +84,32 @@ def verification_cell(config, seed):
     return {"hosts": report.n_hosts, "tests": report.n_tests}
 
 
+def locator_cell(config, seed):
+    """One uncontrolled-victim localization on the tiny profile."""
+    env = default_env(profile=_tiny_profile(), seed=seed)
+    outcome = _strategy(env.attacker)
+    victim = env.victim("account-2")
+    victim.deploy(ServiceConfig(name="victim"))
+    victim.connect("victim", 1)
+    pairs = fingerprint_gen1_instances(outcome.handles, p_boot=1.0)
+    tagged = [
+        TaggedInstance(h, fp, fp.cpu_model) for h, fp in pairs if h.alive
+    ]
+    processing = float(config["processing"])
+    locator = TargetVictimLocator(
+        probe=lambda: env.attacker.probe("account-2/victim", processing),
+        latency_threshold_s=probe_latency_threshold(processing),
+        verifier=ScalableVerifier(RngCovertChannel()),
+    )
+    result = locator.locate(tagged)
+    return {
+        "converged": result.converged,
+        "failure": result.failure,
+        "rounds": result.rounds,
+        "probes": result.probes,
+    }
+
+
 def attack_trace(
     parallelism: int = 0, cache_dir=None, cache: bool = False
 ) -> Telemetry:
@@ -144,7 +171,31 @@ def faulted_verification_trace(parallelism: int = 0) -> Telemetry:
     return telemetry
 
 
+def locator_trace(parallelism: int = 0) -> Telemetry:
+    """Tiny-profile victim localization, two cells — pins the ``locate``
+    and ``locate.round`` span structure alongside the campaign spans."""
+    telemetry = Telemetry()
+    with telemetry_context(telemetry):
+        runner = RunnerConfig(parallelism=parallelism)
+        specs = [
+            CellSpec(
+                experiment="golden-locator",
+                fn=locator_cell,
+                config={"processing": 0.05},
+                seed=seed,
+                label=f"seed{seed}",
+            )
+            for seed in (21, 22)
+        ]
+        with telemetry.span(
+            "experiment", experiment="golden-locator", scale="tiny"
+        ):
+            run_cells(specs, runner)
+    return telemetry
+
+
 SCENARIOS = {
     "attack_trace": attack_trace,
     "faulted_verification_trace": faulted_verification_trace,
+    "locator_trace": locator_trace,
 }

@@ -35,6 +35,30 @@ def test_trace_always_returns_a_sample_value(times, at):
 
 
 @given(
+    samples=st.lists(
+        st.tuples(st.floats(0.0, 1e5), st.integers(0, 100)),
+        min_size=1,
+        max_size=30,
+    ),
+    at=st.floats(-100.0, 2e5),
+)
+def test_trace_bisect_matches_linear_scan(samples, at):
+    """The O(log n) bisect lookup is pinned to the old O(n) hold-last
+    scan — including duplicate sample times (last duplicate wins) and
+    queries before trace start (first sample holds)."""
+    times = sorted(t for t, _v in samples)
+    values = [v for _t, v in samples]
+    trace = TraceLoad(times, values)
+    index = 0
+    for i, t in enumerate(times):  # the pre-bisect reference scan
+        if t <= at:
+            index = i
+        else:
+            break
+    assert trace.concurrency_at(at) == values[index]
+
+
+@given(
     base=st.integers(0, 10),
     extra=st.integers(0, 10),
     start=st.floats(0.0, 1e4),

@@ -11,7 +11,7 @@ class TestRegistry:
         expected = {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11a", "fig12", "exp1", "sec42", "sec43", "sec45",
-            "naive", "gen2cov", "cost",
+            "naive", "gen2cov", "cost", "victim_locator",
         }
         assert expected <= set(EXPERIMENTS)
 
@@ -185,6 +185,7 @@ class TestBuildParser:
     def test_extension_experiments_registered(self):
         assert "surveillance" in EXPERIMENTS
         assert "defenses" in EXPERIMENTS
+        assert "victim_locator" in EXPERIMENTS
 
 
 class TestCliTelemetry:
