@@ -23,6 +23,12 @@ from repro.cloud.instance import ContainerInstance, InstanceState
 from repro.cloud.orchestrator import Orchestrator
 from repro.cloud.services import ContainerSize, Service, ServiceConfig
 from repro.cloud.topology import REGION_PROFILES, RegionProfile, region_profile
+from repro.cloud.traffic import (
+    BackgroundDriver,
+    TenantPopulation,
+    TrafficConfig,
+    TrafficStats,
+)
 from repro.cloud.workloads import (
     BurstLoad,
     ConstantLoad,
@@ -55,4 +61,8 @@ __all__ = [
     "REGION_PROFILES",
     "RegionProfile",
     "region_profile",
+    "BackgroundDriver",
+    "TenantPopulation",
+    "TrafficConfig",
+    "TrafficStats",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.cloud.orchestrator import Orchestrator
 from repro.cloud.services import Service
 from repro.cloud.workloads import RequestPattern
+from repro.telemetry import current_telemetry
 
 
 @dataclass(frozen=True)
@@ -81,28 +82,55 @@ class Autoscaler:
         )
 
     def drive(self, pattern: RequestPattern, duration_s: float) -> AutoscaleTrace:
-        """Follow ``pattern`` for ``duration_s``, returning the trace."""
+        """Follow ``pattern`` for ``duration_s``, returning the trace.
+
+        Evaluations happen on a fixed slot grid (``k * evaluation_period_s``
+        from the start) and demand is always sampled at the slot's *nominal*
+        time.  When one evaluation consumes more simulated time than the
+        cadence (cold-start sleeps, fault slow-launch penalties), the slots
+        that passed meanwhile are skipped with an explicit
+        ``autoscaler.missed_evaluations`` count — previously they were
+        silently dropped and the next sample drifted to the post-sleep
+        clock reading, so overruns quietly resampled the pattern at times
+        it was never scheduled to see.
+        """
         trace = AutoscaleTrace()
         clock = self._orchestrator.clock
+        telemetry = current_telemetry()
         start = clock.now()
-        elapsed = 0.0
-        while elapsed <= duration_s:
-            demanded = pattern.concurrency_at(elapsed)
+        period = self.evaluation_period_s
+        last_slot = int(math.floor(duration_s / period + 1e-9))
+        slot = 0
+        while slot <= last_slot:
+            nominal = slot * period
+            demanded = pattern.concurrency_at(nominal)
             target = self.target_for(demanded)
             active = self._orchestrator.scale_to(self._service, target)
             trace.points.append(
                 AutoscalePoint(
-                    elapsed_s=elapsed,
+                    elapsed_s=nominal,
                     demanded_concurrency=demanded,
                     target_instances=target,
                     active_instances=len(active),
-                    alive_instances=len(self._orchestrator.alive_instances(self._service)),
+                    alive_instances=self._orchestrator.alive_count(self._service),
                 )
             )
-            step_end = start + len(trace.points) * self.evaluation_period_s
-            if step_end > clock.now():
-                clock.sleep(step_end - clock.now())
             elapsed = clock.now() - start
+            next_slot = slot + 1
+            caught_up = int(math.ceil(elapsed / period - 1e-9))
+            if caught_up > next_slot:
+                # The evaluation overran the cadence: account for every
+                # schedulable slot that passed while it ran.
+                missed = min(caught_up, last_slot + 1) - next_slot
+                if missed > 0:
+                    telemetry.count("autoscaler.missed_evaluations", missed)
+                next_slot = caught_up
+            slot = next_slot
+            if slot > last_slot:
+                break
+            wake = start + slot * period
+            if wake > clock.now():
+                clock.sleep(wake - clock.now())
         return trace
 
     def footprint(self) -> set[str]:

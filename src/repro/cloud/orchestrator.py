@@ -17,6 +17,8 @@ behaviors of Observations 1-6 (§5.1):
 from __future__ import annotations
 
 import itertools
+import math
+from typing import Callable
 
 import numpy as np
 
@@ -28,7 +30,7 @@ from repro.cloud.placement import PlacementPolicy, PlacementRequest
 from repro.cloud.services import Service, ServiceConfig
 from repro.errors import CloudError, LaunchError
 from repro.faults import DEFAULT_LAUNCH_RETRY, FaultPlan, RetryPolicy
-from repro.fleet import HostHandle
+from repro.fleet import HostHandle, ServiceStateStore
 from repro.sandbox.base import Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
@@ -78,6 +80,18 @@ class Orchestrator:
         self._billed_seconds: dict[str, float] = {}
         self._idle_reaps: dict[str, ScheduledEvent] = {}
         self._service_instances: dict[str, list[ContainerInstance]] = {}
+        self._svc_state = ServiceStateStore()
+        self._idle_streams: dict[str, Callable[[str], float]] = {}
+        # qualified name -> (helper count, allowed host-index array).  Base
+        # shards are pinned per account and helper sets are append-only, so
+        # the id->index resolution is reusable until a recruit grows the
+        # helper list.  Never used under randomized_base, where base hosts
+        # are a fresh RNG sample on every placement decision.
+        self._allowed_idx: dict[str, tuple[int, np.ndarray]] = {}
+        # account id -> base-shard host-index array.  Base shards are
+        # pinned per account, so the id->index resolution never changes.
+        # Bypassed under randomized_base (fresh sample per decision).
+        self._base_idx: dict[str, np.ndarray] = {}
         self._route_counters: dict[str, int] = {}
         self._probe_counters: dict[str, int] = {}
         self._instance_counter = itertools.count()
@@ -105,6 +119,7 @@ class Orchestrator:
         if key in self.services:
             raise CloudError(f"service {key!r} already deployed")
         self.services[key] = service
+        self._svc_state.ensure(key)
         return service
 
     def rebuild_image(self, service: Service) -> None:
@@ -115,24 +130,56 @@ class Orchestrator:
     # Scaling (autoscaler entry points)
     # ------------------------------------------------------------------
     def connect(self, service: Service, n_connections: int) -> list[ContainerInstance]:
-        """Ensure ``n_connections`` concurrently active instances.
+        """Ensure capacity for ``n_connections`` concurrent connections.
 
-        Models the paper's workload generator: with concurrency pinned to 1,
-        opening N WebSocket connections forces N concurrent instances.
-        Existing idle instances are reused first; the remainder are newly
-        created, which is what drives helper-host recruitment when the
-        service is hot.
+        Models the paper's workload generator: each instance serves up to
+        ``service.config.concurrency`` concurrent requests, so the target
+        instance count is ``ceil(n_connections / concurrency)``.  The paper
+        pins concurrency to 1 (§5) so that opening N WebSocket connections
+        forces exactly N concurrent instances; services configured with a
+        higher concurrency pack connections instead.  Existing idle
+        instances are reused first; the remainder are newly created, which
+        is what drives helper-host recruitment when the service is hot.
         """
-        return self.scale_to(service, n_connections)
+        per_instance = service.config.concurrency
+        return self.scale_to(service, math.ceil(n_connections / per_instance))
 
-    def scale_to(self, service: Service, target: int) -> list[ContainerInstance]:
+    def scale_to(
+        self, service: Service, target: int, *, sleep_startup: bool = True
+    ) -> list[ContainerInstance]:
         """Autoscale the service to ``target`` concurrently active instances.
 
         Scaling *out* reuses idle instances and creates the remainder
         (recruiting helper hosts when the service is hot); scaling *in*
         idles the most recently created extras, which the reaper later
-        terminates (§2.2 autoscaling).
+        terminates (§2.2 autoscaling).  ``sleep_startup=False`` skips the
+        cold-start sleep: open-loop background drivers fire from scheduler
+        events *inside* a ``clock.sleep`` and must not advance the shared
+        clock re-entrantly.
         """
+        return self._scale(service, target, want_list=True, sleep_startup=sleep_startup)
+
+    def scale_to_count(
+        self, service: Service, target: int, *, sleep_startup: bool = True
+    ) -> int:
+        """Autoscale like :meth:`scale_to`, returning only the active count.
+
+        The hot path for :class:`~repro.cloud.traffic.BackgroundDriver`: a
+        steady-state evaluation reads the columnar
+        :class:`~repro.fleet.ServiceStateStore` counts instead of
+        rebuilding per-instance Python lists, so thousands of tenant
+        evaluations per tick stay cheap.
+        """
+        return self._scale(service, target, want_list=False, sleep_startup=sleep_startup)
+
+    def _scale(
+        self,
+        service: Service,
+        target: int,
+        *,
+        want_list: bool,
+        sleep_startup: bool,
+    ):
         account = self._account(service.account_id)
         if target > service.config.max_instances:
             raise CloudError(
@@ -144,28 +191,45 @@ class Orchestrator:
 
         now = self.clock.now()
         self.datacenter.serving_pool()  # triggers serving-pool rotation
-        alive = self.alive_instances(service)
-        active = [i for i in alive if i.state is InstanceState.ACTIVE]
+        state = self._svc_state
+        index = state.ensure(service.qualified_name)
+        active_n = state.active_count(index)
 
-        if target < len(active):
-            # Scale in: idle out the most recently created extras.
-            for instance in active[target:]:
-                self._idle_out(instance, now)
-            telemetry.count("orchestrator.scale_ins")
-            self._demand.record_demand(service, now, target)
-            return active[:target]
+        if target < active_n:
+            # Scale in: idle out the most recently created extras.  The
+            # per-service instance lists are append-only and pruning keeps
+            # order, so the ACTIVE sublist is creation-ordered (pinned by
+            # a property test).
+            with telemetry.span(
+                "orchestrator.scale_in",
+                service=service.qualified_name,
+                target=target,
+            ) as span:
+                active = self._active_list(service)
+                for instance in active[target:]:
+                    self._idle_out(instance, now)
+                span.set(idled=active_n - target)
+                telemetry.count("orchestrator.scale_ins")
+                self._demand.record_demand(service, now, target)
+            return active[:target] if want_list else target
 
         with telemetry.span(
             "orchestrator.launch",
             service=service.qualified_name,
             target=target,
         ) as span:
-            # Scale out: reuse just enough idle instances, create the rest.
-            idle = [i for i in alive if i.state is InstanceState.IDLE]
-            for instance in idle[: target - len(active)]:
-                instance.go_active(now)
-                self._cancel_idle_reap(instance.instance_id)
-            new_needed = max(0, target - len(active) - len(idle))
+            need = target - active_n
+            idle_n = state.idle_count(index)
+            new_needed = max(0, need - idle_n)
+            if want_list or (need > 0 and idle_n > 0):
+                alive = self.alive_instances(service)
+                active = [i for i in alive if i.state is InstanceState.ACTIVE]
+                # Scale out: reuse just enough idle instances, create the rest.
+                idle = [i for i in alive if i.state is InstanceState.IDLE]
+                for instance in idle[:need]:
+                    instance.go_active(now)
+                    self._cancel_idle_reap(instance.instance_id)
+                    state.on_activated(index)
 
             # Hotness is judged on *past* demand, before this launch.
             hot = self._demand.is_hot(service, now)
@@ -173,6 +237,8 @@ class Orchestrator:
             span.set(created=new_needed, hot=hot)
             telemetry.count("orchestrator.launch_batches")
             telemetry.count("orchestrator.instances_created", new_needed)
+            if need > 0:
+                telemetry.count("orchestrator.scale_outs")
 
             base_hosts = self._base_hosts(account)
             if hot and new_needed > 0 and self.datacenter.profile.defense != "tenant_isolation":
@@ -181,25 +247,38 @@ class Orchestrator:
                 # Candidate selection is index-mask math in pool order: the
                 # serving pool minus the hosts the service already uses.
                 pool_idx = self.fleet.pool_order
-                known_idx = np.concatenate(
-                    [
-                        self.fleet.indices_of(base_hosts),
-                        self.fleet.indices_of(service.helper_host_ids),
-                    ]
-                )
+                known_idx = self._known_indices(service, base_hosts)
+                prior_helpers = len(service.helper_host_ids)
                 candidates = pool_idx[~np.isin(pool_idx, known_idx)]
-                self._recruiter.recruit(service, new_needed, candidates, self.fleet)
+                new_helpers = self._recruiter.recruit(
+                    service, new_needed, candidates, self.fleet
+                )
+                # Keep the placement cache fresh across the recruit: new
+                # helpers are drawn from candidates, which exclude every
+                # cached host, so appending their indices preserves the
+                # base-then-helpers allowed order.
+                cached = self._allowed_idx.get(service.qualified_name)
+                if new_helpers and cached is not None and cached[0] == prior_helpers:
+                    self._allowed_idx[service.qualified_name] = (
+                        len(service.helper_host_ids),
+                        np.concatenate(
+                            [cached[1], self.fleet.indices_of(new_helpers)]
+                        ),
+                    )
 
             if new_needed > 0:
                 created = self._create_instances(service, account, new_needed)
-                startup = self._startup_seconds(service, new_needed, target)
-                if self.fault_plan is not None:
-                    startup += sum(
-                        self.fault_plan.slow_launch_penalty(i.instance_id)
-                        for i in created
-                    )
-                self.clock.sleep(startup)
+                if sleep_startup:
+                    startup = self._startup_seconds(service, new_needed, target)
+                    if self.fault_plan is not None:
+                        startup += sum(
+                            self.fault_plan.slow_launch_penalty(i.instance_id)
+                            for i in created
+                        )
+                    self.clock.sleep(startup)
 
+            if not want_list:
+                return state.active_count(index)
             active = [
                 i
                 for i in self.alive_instances(service)
@@ -223,9 +302,48 @@ class Orchestrator:
         """Idle one instance and schedule its eventual termination."""
         profile = self.datacenter.profile
         instance.go_idle(now)
+        self._svc_state.on_idled(
+            self._svc_state.ensure(instance.service.qualified_name)
+        )
         self._settle_billing(instance)
-        deadline = now + self._rng.uniform(profile.idle_grace, profile.idle_deadline)
+        stream = self._idle_streams.get(instance.service.qualified_name)
+        if stream is None:
+            deadline = now + self._rng.uniform(profile.idle_grace, profile.idle_deadline)
+        else:
+            # Hashed per-instance draw: order-independent, and consumes
+            # nothing from the shared RNG, so interleaved background
+            # tenants cannot perturb foreground draw sequences.
+            span_s = profile.idle_deadline - profile.idle_grace
+            deadline = now + profile.idle_grace + stream(instance.instance_id) * span_s
         self._schedule_idle_reap(instance, idle_epoch=instance.last_active_at, when=deadline)
+
+    def set_idle_deadline_stream(
+        self, service: Service, stream: Callable[[str], float] | None
+    ) -> None:
+        """Route a service's idle-reap deadline draws through ``stream``.
+
+        ``stream(instance_id)`` must return a uniform ``[0, 1)`` value that
+        depends only on the instance id (FaultPlan-style hashing, see
+        :func:`repro.faults.hashed_uniform`) — *not* on draw order.
+        Background-traffic tenants register one so their idle reaps never
+        consume the orchestrator's shared RNG; services without a stream
+        keep the historical shared-RNG draws byte-for-byte.  Pass ``None``
+        to restore the default.
+        """
+        key = service.qualified_name
+        if stream is None:
+            self._idle_streams.pop(key, None)
+        else:
+            self._idle_streams[key] = stream
+
+    def note_demand(self, service: Service, concurrency: int) -> None:
+        """Record a demand observation without scaling.
+
+        Lets the background driver keep a steady tenant's demand history
+        (hotness window) alive between target changes without paying for
+        a full no-op scale evaluation.
+        """
+        self._demand.record_demand(service, self.clock.now(), concurrency)
 
     def kill_service(self, service: Service) -> None:
         """Immediately terminate every instance of a service."""
@@ -305,6 +423,35 @@ class Orchestrator:
             self._service_instances[service.qualified_name] = alive
         return list(alive)
 
+    def _active_list(self, service: Service) -> list[ContainerInstance]:
+        return [
+            i for i in self.alive_instances(service)
+            if i.state is InstanceState.ACTIVE
+        ]
+
+    def active_count(self, service: Service) -> int:
+        """ACTIVE instance count from the columnar state (no list build)."""
+        return self._svc_state.active_count(
+            self._svc_state.ensure(service.qualified_name)
+        )
+
+    def idle_count(self, service: Service) -> int:
+        """IDLE instance count from the columnar state (no list build)."""
+        return self._svc_state.idle_count(
+            self._svc_state.ensure(service.qualified_name)
+        )
+
+    def alive_count(self, service: Service) -> int:
+        """Non-terminated instance count from the columnar state."""
+        return self._svc_state.alive_count(
+            self._svc_state.ensure(service.qualified_name)
+        )
+
+    @property
+    def service_state(self) -> ServiceStateStore:
+        """The columnar per-service counts (read-only for callers)."""
+        return self._svc_state
+
     def true_host_of(self, instance_id: str) -> str:
         """Ground-truth host of an instance (validation only)."""
         return self.instances[instance_id].host_id
@@ -362,6 +509,38 @@ class Orchestrator:
             account.base_host_ids[region] = hosts
         return hosts
 
+    def _known_indices(
+        self, service: Service, base_hosts: tuple[str, ...]
+    ) -> np.ndarray:
+        """Index set of the hosts the service already prefers (base plus
+        helpers), reusing the placement cache when it is fresh.  The cached
+        array deduplicates helpers against base hosts, which is irrelevant
+        to set-membership callers."""
+        if self.datacenter.profile.defense != "randomized_base":
+            cached = self._allowed_idx.get(service.qualified_name)
+            if cached is not None and cached[0] == len(service.helper_host_ids):
+                return cached[1]
+            base_idx = self._base_indices(service.account_id, base_hosts)
+        else:
+            base_idx = self.fleet.indices_of(base_hosts)
+        return np.concatenate(
+            [base_idx, self.fleet.indices_of(service.helper_host_ids)]
+        )
+
+    def _base_indices(
+        self, account_id: str, base_hosts: tuple[str, ...]
+    ) -> np.ndarray:
+        """Cached fleet indices of an account's pinned base shard.
+
+        Only valid outside randomized_base, where base hosts are a fresh
+        sample on every placement decision — callers branch before here.
+        """
+        cached = self._base_idx.get(account_id)
+        if cached is None:
+            cached = self.fleet.indices_of(base_hosts)
+            self._base_idx[account_id] = cached
+        return cached
+
     def _create_instances(
         self,
         service: Service,
@@ -369,16 +548,30 @@ class Orchestrator:
         count: int,
     ) -> list[ContainerInstance]:
         fleet = self.fleet
-        base_hosts = self._base_hosts(account)
-        base_idx = fleet.indices_of(base_hosts)
-        helper_idx = fleet.indices_of(service.helper_host_ids)
-        if helper_idx.size:
-            allowed = np.concatenate(
-                [base_idx, helper_idx[~np.isin(helper_idx, base_idx)]]
-            )
-        else:
-            allowed = base_idx
         qualified = service.qualified_name
+        cacheable = self.datacenter.profile.defense != "randomized_base"
+        cached = self._allowed_idx.get(qualified) if cacheable else None
+        if cached is not None and cached[0] == len(service.helper_host_ids):
+            allowed = cached[1]
+        else:
+            if cacheable:
+                base_idx = self._base_indices(
+                    account.account_id, self._base_hosts(account)
+                )
+            else:
+                base_idx = fleet.indices_of(self._base_hosts(account))
+            helper_idx = fleet.indices_of(service.helper_host_ids)
+            if helper_idx.size:
+                allowed = np.concatenate(
+                    [base_idx, helper_idx[~np.isin(helper_idx, base_idx)]]
+                )
+            else:
+                allowed = base_idx
+            if cacheable:
+                self._allowed_idx[qualified] = (
+                    len(service.helper_host_ids),
+                    allowed,
+                )
         isolated = self.datacenter.profile.defense == "tenant_isolation"
         request = PlacementRequest(
             count=count,
@@ -394,13 +587,19 @@ class Orchestrator:
         chosen = self._placement.place(request, fleet)
 
         now = self.clock.now()
+        state_index = self._svc_state.ensure(qualified)
         created = []
+        # Hot loop: operate on the columns directly (equivalent to a
+        # HostHandle per instance, minus the per-instance cursor objects).
+        ids = fleet.ids
+        counts = fleet.service_counts(qualified)
+        service_list = self._service_instances.setdefault(qualified, [])
         for host_index in chosen:
-            handle = HostHandle(fleet, int(host_index))
-            host_id = handle.host_id
+            index = int(host_index)
+            host_id = ids[index]
             instance_id = f"{qualified}#{next(self._instance_counter):07d}"
             self._attempt_launch(instance_id)
-            handle.inc_service(qualified)
+            counts[index] += 1
             sandbox = self._make_sandbox(service, host_id, instance_id)
             instance = ContainerInstance(
                 instance_id=instance_id,
@@ -411,7 +610,8 @@ class Orchestrator:
             )
             self.instances[instance_id] = instance
             self._billed_seconds[instance_id] = 0.0
-            self._service_instances.setdefault(qualified, []).append(instance)
+            service_list.append(instance)
+            self._svc_state.on_created(state_index)
             created.append(instance)
         return created
 
@@ -489,6 +689,10 @@ class Orchestrator:
             return
         current_telemetry().count("orchestrator.terminations")
         self._cancel_idle_reap(instance.instance_id)
+        self._svc_state.on_terminated(
+            self._svc_state.ensure(instance.service.qualified_name),
+            was_active=instance.state is InstanceState.ACTIVE,
+        )
         instance.terminate(now)
         self._settle_billing(instance)
         # A destroyed container's guest loops stop executing, so any

@@ -39,6 +39,10 @@ import numpy as np
 from repro.errors import NoCapacityError
 from repro.fleet import FleetStore
 
+#: Scatter-free batches up to this size take the repeated-argmin path;
+#: larger ones amortize better through the lexsort fast path.
+_SMALL_BATCH = 32
+
 
 @dataclass
 class PlacementRequest:
@@ -113,6 +117,8 @@ class PlacementPolicy:
             )
             else None
         )
+        if scatter is None and request.count <= _SMALL_BATCH:
+            return self._place_small(request, store, allowed, counts0, tiebreaks)
         if scatter is None and self._no_host_can_fill(request, store, allowed):
             return self._place_vectorized(request, store, allowed, counts0, tiebreaks)
         return self._place_heap(request, store, allowed, counts0, tiebreaks, scatter)
@@ -187,8 +193,52 @@ class PlacementPolicy:
         return -1
 
     # ------------------------------------------------------------------
-    # Vectorized fast path
+    # Vectorized fast paths
     # ------------------------------------------------------------------
+    def _place_small(
+        self,
+        request: PlacementRequest,
+        store: FleetStore,
+        allowed: np.ndarray,
+        counts0: np.ndarray,
+        tiebreaks: np.ndarray,
+    ) -> np.ndarray:
+        """Scatter-free small batch (the common background-autoscale delta).
+
+        Simulates the heap directly with repeated argmins over a dense key
+        array: the heap pops the ``(count, tiebreak)`` minimum, skips full
+        hosts permanently (``inf``), and reinserts picks one level up
+        (``+= 1.0``).  With tiebreaks in ``[0, 1)``, ordering by ``count +
+        tiebreak`` matches the lexicographic order, so each argmin is the
+        heap's next pop.  Load accumulates per pick exactly as the heap
+        path's repeated scalar additions.
+        """
+        count = request.count
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = request.slots_per_instance
+        load = store.load_slots
+        capacity = store.capacity_slots
+        key = counts0 + tiebreaks
+        chosen = np.empty(count, dtype=np.int64)
+        for k in range(count):
+            while True:
+                i = int(key.argmin())
+                if key[i] == np.inf:
+                    raise NoCapacityError(
+                        f"no host among {allowed.size} allowed and 0 scatter "
+                        f"candidates has {slots} free slots"
+                    )
+                host = int(allowed[i])
+                if load[host] + slots > capacity[host]:
+                    key[i] = np.inf  # permanently full for this batch
+                    continue
+                load[host] += slots
+                chosen[k] = host
+                key[i] += 1.0
+                break
+        return chosen
+
     def _no_host_can_fill(
         self, request: PlacementRequest, store: FleetStore, allowed: np.ndarray
     ) -> bool:

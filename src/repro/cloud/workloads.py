@@ -25,6 +25,25 @@ class RequestPattern(abc.ABC):
     def concurrency_at(self, elapsed_s: float) -> int:
         """Desired concurrent in-flight requests at ``elapsed_s``."""
 
+    def concurrency_series(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized demand samples at an array of elapsed times.
+
+        Returns an ``int64`` array the same length as ``times_s``.  For
+        deterministic patterns the series equals calling
+        :meth:`concurrency_at` point by point (pinned by property tests);
+        stochastic patterns (:class:`PoissonLoad`) instead draw the whole
+        series as one batched RNG call, which is *not* pinned to the
+        scalar call sequence.  The background-traffic engine
+        (:mod:`repro.cloud.traffic`) precomputes entire tenant schedules
+        through this method instead of per-tick Python calls.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        return np.fromiter(
+            (self.concurrency_at(float(t)) for t in times),
+            dtype=np.int64,
+            count=times.shape[0],
+        )
+
 
 class ConstantLoad(RequestPattern):
     """A flat request load."""
@@ -37,6 +56,10 @@ class ConstantLoad(RequestPattern):
     def concurrency_at(self, elapsed_s: float) -> int:
         return self.concurrency
 
+    def concurrency_series(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=np.float64)
+        return np.full(times.shape[0], self.concurrency, dtype=np.int64)
+
 
 class DiurnalLoad(RequestPattern):
     """A day/night sinusoid between ``trough`` and ``peak`` concurrency."""
@@ -48,6 +71,8 @@ class DiurnalLoad(RequestPattern):
         period_s: float = 1 * units.DAY,
         phase_s: float = 0.0,
     ) -> None:
+        if trough < 0:
+            raise ValueError(f"trough must be >= 0, got {trough}")
         if trough > peak:
             raise ValueError(f"trough ({trough}) cannot exceed peak ({peak})")
         if period_s <= 0:
@@ -62,6 +87,15 @@ class DiurnalLoad(RequestPattern):
         level = (1 - math.cos(phase)) / 2  # 0 at trough, 1 at peak
         return round(self.trough + (self.peak - self.trough) * level)
 
+    def concurrency_series(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=np.float64)
+        phase = 2 * np.pi * (times + self.phase_s) / self.period_s
+        level = (1 - np.cos(phase)) / 2
+        # np.rint rounds half-to-even exactly like the scalar round().
+        return np.rint(self.trough + (self.peak - self.trough) * level).astype(
+            np.int64
+        )
+
 
 class BurstLoad(RequestPattern):
     """A flat base load with one rectangular traffic burst."""
@@ -69,6 +103,8 @@ class BurstLoad(RequestPattern):
     def __init__(
         self, base: int, burst: int, burst_start_s: float, burst_duration_s: float
     ) -> None:
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
         if burst < base:
             raise ValueError(f"burst ({burst}) must be >= base ({base})")
         self.base = base
@@ -81,6 +117,13 @@ class BurstLoad(RequestPattern):
             self.burst_start_s <= elapsed_s < self.burst_start_s + self.burst_duration_s
         )
         return self.burst if in_burst else self.base
+
+    def concurrency_series(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=np.float64)
+        in_burst = (self.burst_start_s <= times) & (
+            times < self.burst_start_s + self.burst_duration_s
+        )
+        return np.where(in_burst, self.burst, self.base).astype(np.int64)
 
 
 class TraceLoad(RequestPattern):
@@ -102,6 +145,8 @@ class TraceLoad(RequestPattern):
             raise ValueError("a trace needs at least one sample")
         if any(b < a for a, b in zip(times_s, times_s[1:])):
             raise ValueError("trace times must be ascending")
+        if any(value < 0 for value in concurrency):
+            raise ValueError("trace concurrency values must be >= 0")
         self.times_s = list(times_s)
         self.concurrency = list(concurrency)
 
@@ -112,6 +157,15 @@ class TraceLoad(RequestPattern):
         # per call — and the autoscaler queries once per tick.
         index = max(0, bisect.bisect_right(self.times_s, elapsed_s) - 1)
         return self.concurrency[index]
+
+    def concurrency_series(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=np.float64)
+        # searchsorted(side="right") is the vectorized twin of the scalar
+        # bisect_right hold-last lookup (same duplicate/before-start rules).
+        indices = np.maximum(
+            0, np.searchsorted(self.times_s, times, side="right") - 1
+        )
+        return np.asarray(self.concurrency, dtype=np.int64)[indices]
 
     @classmethod
     def bursty(
@@ -159,3 +213,13 @@ class PoissonLoad(RequestPattern):
 
     def concurrency_at(self, elapsed_s: float) -> int:
         return int(self._rng.poisson(self.mean_concurrency))
+
+    def concurrency_series(self, times_s: np.ndarray) -> np.ndarray:
+        # One batched draw for the whole series.  NumPy does not guarantee
+        # that a size-n poisson draw consumes the bit stream like n scalar
+        # draws, so the series is deterministic per generator state but
+        # deliberately not pinned to the scalar call sequence.
+        times = np.asarray(times_s, dtype=np.float64)
+        return self._rng.poisson(
+            self.mean_concurrency, size=times.shape[0]
+        ).astype(np.int64)

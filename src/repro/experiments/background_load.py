@@ -1,0 +1,213 @@
+"""Attack coverage vs. background utilization (live-region extension).
+
+Every paper experiment ran against a quiet region; this driver measures
+what tenant load does to the attacker.  Each cell brings up a region with
+a :class:`~repro.cloud.traffic.TrafficConfig` population autoscaling in
+the background, lets it reach steady state, then runs the optimized
+co-location attack against a victim and oracle-scores coverage exactly
+like the coverage matrix (:func:`~repro.experiments.base.host_coverage`).
+Sweeping the tenant count maps out coverage as a function of serving-pool
+utilization: contended capacity on the victim's shard blocks attacker
+placements there, so coverage degrades as the region fills.
+
+The sweep runs on the small ``test-region1`` profile so that realistic
+tenant counts (hundreds, not hundreds of thousands) span the utilization
+range where capacity effects bite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import units
+from repro.cloud.services import ServiceConfig
+from repro.cloud.traffic import TrafficConfig
+from repro.errors import NoCapacityError
+from repro.core.attack.strategies import optimized_launch
+from repro.experiments.base import default_env, host_coverage
+from repro.runner import CellSpec, RunnerConfig, run_cells
+from repro.telemetry import current_telemetry
+
+
+@dataclass(frozen=True)
+class BackgroundLoadConfig:
+    """One coverage-vs-utilization sweep."""
+
+    region: str = "test-region1"
+    #: Spans quiet (~0%), loaded (~40%/~80%), and saturated (~90%/~97%)
+    #: serving-pool utilization on ``test-region1``'s 6400-slot pool.
+    tenant_counts: tuple[int, ...] = (0, 450, 900, 1000, 1100)
+    mean_concurrency: float = 4.0
+    #: Background steady-state time before the attack begins.
+    warmup_s: float = 10 * units.MINUTE
+    n_services: int = 3
+    launches: int = 3
+    instances_per_service: int = 16
+    interval_s: float = 10 * units.MINUTE
+    n_victim_instances: int = 30
+    repetitions: int = 2
+    base_seed: int = 900
+
+
+@dataclass
+class LoadPoint:
+    """Aggregated outcomes of all repetitions at one tenant count."""
+
+    n_tenants: int
+    utilization: list[float] = field(default_factory=list)
+    coverage: list[float] = field(default_factory=list)
+    attacker_hosts: list[int] = field(default_factory=list)
+    background_instances: list[int] = field(default_factory=list)
+    rejected: int = 0
+    attack_failures: int = 0
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(np.mean(self.utilization)) if self.utilization else 0.0
+
+    @property
+    def mean_coverage(self) -> float:
+        return float(np.mean(self.coverage)) if self.coverage else 0.0
+
+    @property
+    def mean_attacker_hosts(self) -> float:
+        return float(np.mean(self.attacker_hosts)) if self.attacker_hosts else 0.0
+
+    @property
+    def mean_background_instances(self) -> float:
+        return (
+            float(np.mean(self.background_instances))
+            if self.background_instances
+            else 0.0
+        )
+
+
+@dataclass
+class BackgroundLoadSummary:
+    """Sweep result: one :class:`LoadPoint` per tenant count."""
+
+    points: list[LoadPoint] = field(default_factory=list)
+
+
+def _pool_utilization(env) -> float:
+    """Committed fraction of serving-pool capacity (works traffic-off)."""
+    fleet = env.datacenter.fleet
+    pool = fleet.pool_order
+    capacity = float(fleet.capacity_slots[pool].sum())
+    if capacity <= 0.0:
+        return 0.0
+    return float(fleet.load_slots[pool].sum()) / capacity
+
+
+def _load_cell(params: dict, seed: int) -> dict:
+    """One live-region attack; returns raw oracle-scored metrics."""
+    n_tenants = params["n_tenants"]
+    # Keep traffic flowing through warmup plus the whole attack window.
+    attack_budget = (params["launches"] + 1) * params["interval_s"]
+    traffic = None
+    if n_tenants:
+        traffic = TrafficConfig(
+            n_tenants=n_tenants,
+            seed=seed + 1_000_003,
+            duration_s=params["warmup_s"] + attack_budget,
+            mean_concurrency=params["mean_concurrency"],
+        )
+    env = default_env(region=params["region"], seed=seed, background=traffic)
+    env.clock.sleep(params["warmup_s"])
+    utilization = _pool_utilization(env)
+
+    # At high utilization the attack itself can be capacity-blocked: the
+    # placement policy runs out of hosts with free slots on the attacker's
+    # shard.  That is a *measurement*, not a cell failure — a full region
+    # defeats the attack — so score it as zero coverage.
+    attack_failed = False
+    cost_usd = 0.0
+    coverage = 0.0
+    attacker_hosts = 0
+    try:
+        outcome = optimized_launch(
+            env.attacker,
+            n_services=params["n_services"],
+            launches=params["launches"],
+            instances_per_service=params["instances_per_service"],
+            interval_s=params["interval_s"],
+        )
+        cost_usd = outcome.cost_usd
+        victim = env.victim("account-2")
+        victim.deploy(ServiceConfig(name="victim"))
+        victim_handles = victim.connect("victim", params["n_victim_instances"])
+        coverage, attacker_hosts = host_coverage(env, outcome.handles, victim_handles)
+    except NoCapacityError:
+        attack_failed = True
+
+    background_instances = 0
+    rejected = 0
+    if env.background is not None:
+        background_instances = env.background.background_instances()
+        rejected = env.background.stats.rejected
+        env.background.stop()
+    return {
+        "utilization": utilization,
+        "coverage": coverage,
+        "attacker_hosts": attacker_hosts,
+        "background_instances": background_instances,
+        "rejected": rejected,
+        "attack_failed": attack_failed,
+        "cost_usd": cost_usd,
+    }
+
+
+def _cell_params(config: BackgroundLoadConfig, n_tenants: int) -> dict:
+    return {
+        "region": config.region,
+        "n_tenants": n_tenants,
+        "mean_concurrency": config.mean_concurrency,
+        "warmup_s": config.warmup_s,
+        "n_services": config.n_services,
+        "launches": config.launches,
+        "instances_per_service": config.instances_per_service,
+        "interval_s": config.interval_s,
+        "n_victim_instances": config.n_victim_instances,
+    }
+
+
+def run(
+    config: BackgroundLoadConfig = BackgroundLoadConfig(),
+    runner: RunnerConfig | None = None,
+) -> BackgroundLoadSummary:
+    """Run the tenant-count sweep; every repetition is an independent cell."""
+    specs = [
+        CellSpec(
+            experiment="background-load",
+            fn=_load_cell,
+            config=_cell_params(config, n_tenants),
+            seed=config.base_seed + rep,
+            label=f"tenants-{n_tenants}/rep{rep}",
+        )
+        for n_tenants in config.tenant_counts
+        for rep in range(config.repetitions)
+    ]
+    with current_telemetry().span(
+        "background_load.sweep",
+        cells=len(specs),
+        tenants=list(config.tenant_counts),
+    ):
+        results = run_cells(specs, runner)
+
+    summary = BackgroundLoadSummary()
+    cursor = 0
+    for n_tenants in config.tenant_counts:
+        point = LoadPoint(n_tenants=n_tenants)
+        for result in results[cursor : cursor + config.repetitions]:
+            value = result.value
+            point.utilization.append(value["utilization"])
+            point.coverage.append(value["coverage"])
+            point.attacker_hosts.append(value["attacker_hosts"])
+            point.background_instances.append(value["background_instances"])
+            point.rejected += value["rejected"]
+            point.attack_failures += int(value["attack_failed"])
+        cursor += config.repetitions
+        summary.points.append(point)
+    return summary

@@ -15,6 +15,7 @@ from repro.cloud.api import FaaSClient
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.orchestrator import Orchestrator
 from repro.cloud.topology import RegionProfile, region_profile
+from repro.cloud.traffic import BackgroundDriver, TenantPopulation, TrafficConfig
 from repro.faults import (
     DEFAULT_LAUNCH_RETRY,
     FaultPlan,
@@ -38,6 +39,8 @@ class SimulationEnv:
     datacenter: DataCenter
     orchestrator: Orchestrator
     clients: dict[str, FaaSClient] = field(default_factory=dict)
+    #: Live background-tenant traffic, or ``None`` for a quiet region.
+    background: BackgroundDriver | None = None
 
     @property
     def attacker(self) -> FaaSClient:
@@ -96,6 +99,7 @@ def default_env(
     profile: RegionProfile | None = None,
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
+    background: TrafficConfig | None = None,
 ) -> SimulationEnv:
     """Build a fresh simulated region with the three evaluation accounts.
 
@@ -119,6 +123,12 @@ def default_env(
         When faults are active and no policy is given, clients get the
         default launch-retry policy so one exhausted platform retry
         budget doesn't kill a whole campaign.
+    background:
+        Optional :class:`~repro.cloud.traffic.TrafficConfig`: the region
+        comes up *live*, with that tenant population already deployed and
+        autoscaling in the background of whatever the experiment does.
+        ``None`` (the default) keeps the historical quiet region —
+        byte-identical traces, guaranteed.
     """
     clock = SimClock()
     current_telemetry().use_clock(clock)
@@ -141,4 +151,9 @@ def default_env(
         env.clients[account_id] = FaaSClient(
             orchestrator, account_id, retry_policy=client_retry
         )
+    if background is not None:
+        env.background = BackgroundDriver(
+            orchestrator, TenantPopulation.generate(background)
+        )
+        env.background.start()
     return env

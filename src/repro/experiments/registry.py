@@ -399,6 +399,42 @@ def _victim_locator(scale: str, runner: RunnerConfig | None = None) -> str:
     return table + "\n\n" + chart + "\n\n" + tail
 
 
+def _background_load(scale: str, runner: RunnerConfig | None = None) -> str:
+    from repro.analysis.asciichart import render_series
+    from repro.experiments import background_load
+
+    config = background_load.BackgroundLoadConfig(
+        tenant_counts=(
+            (0, 450, 900, 1000, 1100) if scale == "full" else (0, 900, 1100)
+        ),
+        repetitions=_reps(scale, 3, 2),
+    )
+    summary = background_load.run(config, runner=runner)
+    table = format_series(
+        "Background load — attack coverage vs region utilization (extension)",
+        ("tenants", "utilization", "coverage", "attacker_hosts", "bg_instances", "blocked"),
+        [
+            (
+                p.n_tenants,
+                pct(p.mean_utilization),
+                pct(p.mean_coverage),
+                p.mean_attacker_hosts,
+                int(p.mean_background_instances),
+                p.attack_failures,
+            )
+            for p in summary.points
+        ],
+    )
+    chart = render_series(
+        [100 * p.mean_utilization for p in summary.points],
+        [100 * p.mean_coverage for p in summary.points],
+        title="coverage (%) vs pool utilization (%)",
+        x_label="utilization %",
+        y_label="coverage %",
+    )
+    return table + "\n\n" + chart
+
+
 def _cost(scale: str, runner: RunnerConfig | None = None) -> str:
     result = attack_cost.run(attack_cost.AttackCostConfig(repetitions=_reps(scale, 2)))
     return format_comparison(
@@ -433,6 +469,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "cost": ("attack cost per region", _cost),
     "surveillance": ("all-day sustained co-location (extension)", _surveillance),
     "victim_locator": ("uncontrolled-victim localization (extension)", _victim_locator),
+    "background_load": ("attack coverage vs background load (extension)", _background_load),
     "defenses": ("§6 defense evaluation (extension)", _defenses),
 }
 

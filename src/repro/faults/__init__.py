@@ -17,7 +17,7 @@ identical to the fault-free code path.
 """
 
 from repro.faults.context import current_fault_plan, fault_context
-from repro.faults.plan import FaultCounters, FaultPlan, FaultSpec
+from repro.faults.plan import FaultCounters, FaultPlan, FaultSpec, hashed_uniform
 from repro.faults.retry import (
     DEFAULT_CTEST_RETRY,
     DEFAULT_LAUNCH_RETRY,
@@ -35,4 +35,5 @@ __all__ = [
     "RetryPolicy",
     "current_fault_plan",
     "fault_context",
+    "hashed_uniform",
 ]

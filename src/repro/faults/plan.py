@@ -203,6 +203,22 @@ class FaultCounters:
         )
 
 
+def hashed_uniform(seed: int, site: str, token: str) -> float:
+    """A pure uniform ``[0, 1)`` draw for one named event.
+
+    The draw is a SHA-256 hash of ``(seed, site, token)`` — no generator
+    state — so the value depends only on the event's *name*, never on how
+    many other draws happened first.  :class:`FaultPlan` decisions are
+    built on this, and any subsystem that must stay deterministic under
+    arbitrary event interleaving (e.g. background-traffic idle deadlines,
+    :mod:`repro.cloud.traffic`) should draw from here rather than from a
+    shared sequential RNG.
+    """
+    payload = f"{seed}|{site}|{token}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
 class FaultPlan:
     """Deterministic per-event fault decisions for one :class:`FaultSpec`.
 
@@ -232,9 +248,7 @@ class FaultPlan:
     # ------------------------------------------------------------------
     def uniform(self, site: str, token: str) -> float:
         """The plan's uniform ``[0, 1)`` draw for one named event."""
-        payload = f"{self.spec.seed}|{site}|{token}".encode("utf-8")
-        digest = hashlib.sha256(payload).digest()
-        return int.from_bytes(digest[:8], "big") / 2**64
+        return hashed_uniform(self.spec.seed, site, token)
 
     # ------------------------------------------------------------------
     # Site-specific decisions

@@ -17,7 +17,14 @@ pre-columnar placement sequences byte-for-byte (see the golden-trace
 regression tests).
 """
 
+from repro.fleet.service_state import ServiceStateStore
 from repro.fleet.store import FleetSnapshot, FleetStore
 from repro.fleet.view import FleetView, HostHandle
 
-__all__ = ["FleetSnapshot", "FleetStore", "FleetView", "HostHandle"]
+__all__ = [
+    "FleetSnapshot",
+    "FleetStore",
+    "FleetView",
+    "HostHandle",
+    "ServiceStateStore",
+]

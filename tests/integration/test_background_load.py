@@ -1,0 +1,58 @@
+"""Integration tests for the coverage-vs-background-load experiment.
+
+Oracle-scored end-to-end check of the paper-extension claim: the
+co-location attack that covers a victim in a quiet region degrades as
+background tenants fill the serving pool, and a saturated region defeats
+it outright (capacity-blocked placements).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.experiments.background_load import (
+    BackgroundLoadConfig,
+    BackgroundLoadSummary,
+    run,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+def quick_config(**overrides) -> BackgroundLoadConfig:
+    defaults = dict(
+        tenant_counts=(0, 1100),
+        repetitions=1,
+        warmup_s=5 * units.MINUTE,
+    )
+    defaults.update(overrides)
+    return BackgroundLoadConfig(**defaults)
+
+
+class TestBackgroundLoadExperiment:
+    def test_saturation_degrades_coverage(self):
+        summary = run(quick_config())
+        assert isinstance(summary, BackgroundLoadSummary)
+        quiet, saturated = summary.points
+
+        # Quiet region: near-zero utilization, the attack works.
+        assert quiet.mean_utilization < 0.05
+        assert quiet.mean_coverage > 0.2
+
+        # Saturated region: the pool is nearly full and coverage collapses
+        # (capacity-blocked attacker placements count as zero coverage).
+        assert saturated.mean_utilization > 0.85
+        assert saturated.mean_coverage < 0.1
+        assert quiet.mean_coverage - saturated.mean_coverage >= 0.2
+        assert saturated.mean_background_instances > 0
+
+    def test_runs_are_deterministic(self):
+        config = quick_config(tenant_counts=(900,))
+        a = run(config).points[0]
+        b = run(config).points[0]
+        assert a.utilization == b.utilization
+        assert a.coverage == b.coverage
+        assert a.attacker_hosts == b.attacker_hosts
+        assert a.background_instances == b.background_instances
+        assert a.rejected == b.rejected
+
+    def test_registered_in_the_experiment_catalog(self):
+        assert "background_load" in EXPERIMENTS

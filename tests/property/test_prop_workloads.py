@@ -1,0 +1,143 @@
+"""Property tests for the vectorized request-pattern series.
+
+The background-traffic engine precomputes whole tenant schedules through
+:meth:`~repro.cloud.workloads.RequestPattern.concurrency_series`; for every
+deterministic pattern that series must agree point-by-point with the
+scalar :meth:`~repro.cloud.workloads.RequestPattern.concurrency_at` the
+foreground autoscaler calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.workloads import (
+    BurstLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    PoissonLoad,
+    TraceLoad,
+)
+
+times_strategy = st.lists(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+def assert_series_matches_scalar(pattern, times):
+    times = np.asarray(times, dtype=np.float64)
+    series = pattern.concurrency_series(times)
+    assert series.dtype == np.int64
+    assert series.shape == times.shape
+    expected = [pattern.concurrency_at(float(t)) for t in times]
+    assert series.tolist() == expected
+    assert (series >= 0).all()
+
+
+@given(concurrency=st.integers(0, 50), times=times_strategy)
+def test_constant_series_matches_scalar(concurrency, times):
+    assert_series_matches_scalar(ConstantLoad(concurrency), times)
+
+
+@given(
+    trough=st.integers(0, 20),
+    span=st.integers(0, 30),
+    period_h=st.floats(0.5, 48.0),
+    phase_h=st.floats(0.0, 48.0),
+    times=times_strategy,
+)
+def test_diurnal_series_matches_scalar(trough, span, period_h, phase_h, times):
+    pattern = DiurnalLoad(
+        trough=trough,
+        peak=trough + span,
+        period_s=period_h * 3600.0,
+        phase_s=phase_h * 3600.0,
+    )
+    assert_series_matches_scalar(pattern, times)
+    series = pattern.concurrency_series(np.asarray(times))
+    assert (series >= trough).all() and (series <= trough + span).all()
+
+
+@given(
+    base=st.integers(0, 10),
+    extra=st.integers(0, 40),
+    start=st.floats(0.0, 1e4),
+    duration=st.floats(0.0, 1e4),
+    times=times_strategy,
+)
+def test_burst_series_matches_scalar(base, extra, start, duration, times):
+    pattern = BurstLoad(
+        base=base,
+        burst=base + extra,
+        burst_start_s=start,
+        burst_duration_s=duration,
+    )
+    assert_series_matches_scalar(pattern, times)
+
+
+@given(
+    samples=st.lists(
+        st.tuples(st.floats(0.0, 1e5), st.integers(0, 100)),
+        min_size=1,
+        max_size=30,
+    ),
+    times=times_strategy,
+)
+def test_trace_series_matches_scalar(samples, times):
+    samples = sorted(samples)
+    pattern = TraceLoad([t for t, _ in samples], [c for _, c in samples])
+    assert_series_matches_scalar(pattern, times)
+
+
+def test_burst_boundaries_are_half_open():
+    pattern = BurstLoad(base=1, burst=9, burst_start_s=10.0, burst_duration_s=5.0)
+    series = pattern.concurrency_series(np.asarray([9.999, 10.0, 14.999, 15.0]))
+    assert series.tolist() == [1, 9, 9, 1]
+
+
+@given(rate=st.floats(0.0, 10.0), service_s=st.floats(0.0, 30.0))
+def test_poisson_series_is_reproducible_per_seed(rate, service_s):
+    times = np.arange(32, dtype=np.float64)
+    a = PoissonLoad(rate, service_s, rng=np.random.default_rng(5))
+    b = PoissonLoad(rate, service_s, rng=np.random.default_rng(5))
+    series_a = a.concurrency_series(times)
+    assert np.array_equal(series_a, b.concurrency_series(times))
+    assert (series_a >= 0).all()
+
+
+class TestValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(-1)
+
+    def test_diurnal_trough_above_peak_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(trough=5, peak=4)
+
+    def test_diurnal_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(trough=1, peak=2, period_s=0.0)
+
+    def test_burst_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            BurstLoad(base=5, burst=4, burst_start_s=0.0, burst_duration_s=1.0)
+
+    def test_trace_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLoad([0.0, 1.0], [1])
+
+    def test_trace_descending_times_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLoad([1.0, 0.0], [1, 2])
+
+    def test_trace_negative_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLoad([0.0], [-1])
+
+    def test_poisson_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonLoad(-1.0, 1.0)
