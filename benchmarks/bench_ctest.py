@@ -1,23 +1,26 @@
 """CTest round-engine micro-benchmark: scalar loop vs vectorized engine.
 
 Times one full ``ctest_batch`` window — pressure start, all observation
-rounds, pressure stop, verdicts — over synthetic fleets at 1x/4x/16x of
-an 800-instance campaign wave with the paper's 60-round test window,
-comparing the scalar per-round loop (one probe round-trip per instance
-per round) against the batched ``observe_rounds`` engine (one observation
-call per host per window).
+rounds, pressure stop, verdicts — over synthetic fleets at
+1x/4x/16x/64x/256x of an 800-instance campaign wave with the paper's
+60-round test window, comparing the scalar per-round loop (one probe
+round-trip per instance per round) against the batched ``observe_rounds``
+engine (one observation call per host per window).
 
-The two engines are byte-identical by contract (see the identity suite in
-``tests/unit/test_ctest_vectorized.py``); this benchmark checks the point
-of the fast path — that it actually is fast — and re-asserts verdict
-equality on every scale as a sanity belt.
+The two engines are byte-identical by contract (see the identity suites
+in ``tests/unit/test_ctest_vectorized.py`` and ``tests/scale``); this
+benchmark checks the point of the fast path — that it actually is fast —
+and re-asserts verdict equality up to 16x as a sanity belt.  The scalar
+loop is timed once (not best-of-3) at 64x and skipped at 256x
+(a ~200k-instance wave), where the tier reports the vectorized engine
+alone.
 
 Run::
 
     PYTHONPATH=src python benchmarks/bench_ctest.py --out BENCH_ctest.json
 
 Exit status is non-zero if the vectorized engine is less than 5x faster
-than the loop at 16x scale, or regresses at 1x.
+than the loop at 16x or 64x scale, or regresses at 1x.
 """
 
 from __future__ import annotations
@@ -39,13 +42,16 @@ from repro.sandbox.gvisor import GVisorSandbox
 from repro.simtime.clock import SimClock
 
 PAPER_WAVE_INSTANCES = 800  # one campaign wave's worth of CTest subjects
-SCALES = {"1x": 1, "4x": 4, "16x": 16}
+SCALES = {"1x": 1, "4x": 4, "16x": 16, "64x": 64, "256x": 256}
 
 INSTANCES_PER_HOST = 8
 GROUP_SIZE = 5
 THRESHOLD_M = 3
 TOTAL_ROUNDS = 60
 REPEATS = 3
+FAST_REPEAT_MAX_FACTOR = 16  # best-of-3 below, single timing above
+IDENTITY_MAX_FACTOR = 16  # beyond this, tests/scale owns the identity proof
+LOOP_BASELINE_MAX_FACTOR = 64  # the scalar loop is minutes-slow at 256x
 
 
 def build_groups(n_instances: int, seed: int) -> list[list[InstanceHandle]]:
@@ -101,9 +107,9 @@ def run_engine(vectorized: bool, n_instances: int, seed: int = 0):
     return [result.positive for result in results]
 
 
-def best_of(vectorized: bool, n_instances: int) -> float:
+def best_of(vectorized: bool, n_instances: int, repeats: int = REPEATS) -> float:
     timings = []
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         start = time.perf_counter()
         run_engine(vectorized, n_instances)
         timings.append(time.perf_counter() - start)
@@ -123,34 +129,44 @@ def run() -> dict:
     }
     for label, factor in SCALES.items():
         n_instances = PAPER_WAVE_INSTANCES * factor
-        if run_engine(False, n_instances) != run_engine(True, n_instances):
-            raise AssertionError(
-                f"engine verdicts diverged at {label} — identity broken"
-            )
-        loop_t = best_of(False, n_instances)
-        vector_t = best_of(True, n_instances)
+        repeats = REPEATS if factor <= FAST_REPEAT_MAX_FACTOR else 1
+        if factor <= IDENTITY_MAX_FACTOR:
+            if run_engine(False, n_instances) != run_engine(True, n_instances):
+                raise AssertionError(
+                    f"engine verdicts diverged at {label} — identity broken"
+                )
+        vector_t = best_of(True, n_instances, repeats)
         scale = {
             "n_instances": n_instances,
-            "loop_s": round(loop_t, 6),
+            "repeats": repeats,
             "vectorized_s": round(vector_t, 6),
-            "speedup": round(loop_t / vector_t, 3),
         }
+        if factor <= LOOP_BASELINE_MAX_FACTOR:
+            loop_t = best_of(False, n_instances, repeats)
+            scale["loop_s"] = round(loop_t, 6)
+            scale["speedup"] = round(loop_t / vector_t, 3)
+            summary = (
+                f"loop {loop_t:.3f}s, vectorized {vector_t:.3f}s, "
+                f"{scale['speedup']}x"
+            )
+        else:
+            summary = f"vectorized {vector_t:.3f}s (loop baseline skipped)"
         results["scales"][label] = scale
         print(
             f"{label:>4} ({n_instances} instances, {TOTAL_ROUNDS} rounds): "
-            f"loop {loop_t:.3f}s, vectorized {vector_t:.3f}s, "
-            f"{scale['speedup']}x"
+            + summary
         )
     return results
 
 
 def check(results: dict) -> list[str]:
     failures = []
-    at_16x = results["scales"]["16x"]["speedup"]
-    if at_16x < 5.0:
-        failures.append(
-            f"16x vectorized speedup {at_16x}x is below the 5x floor"
-        )
+    for label in ("16x", "64x"):
+        speedup = results["scales"][label]["speedup"]
+        if speedup < 5.0:
+            failures.append(
+                f"{label} vectorized speedup {speedup}x is below the 5x floor"
+            )
     at_1x = results["scales"]["1x"]["speedup"]
     if at_1x < 1.0:
         failures.append(f"vectorized engine regresses at 1x scale ({at_1x}x)")

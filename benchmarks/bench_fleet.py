@@ -1,7 +1,8 @@
 """Fleet-store micro-benchmark: columnar store vs the pre-refactor dicts.
 
-Measures the three hot fleet-state paths at 1x/4x/16x the paper fleet
-scale (us-east1, 520 hosts):
+Measures the three hot fleet-state paths at 1x/4x/16x/64x/256x the paper
+fleet scale (us-east1, 520 hosts; 64x ~ a 33k-host hyperscale region,
+256x ~ 133k hosts):
 
 * ``placement`` — batch placement onto a small base-host set, including
   the per-call full-fleet ``{host_id: capacity}`` dict rebuild the old
@@ -13,14 +14,18 @@ scale (us-east1, 520 hosts):
 The dict baseline below is a frozen, faithful port of the pre-columnar
 implementation (heap placement over host-id dicts, list-based pool
 rotation, set-based census); it exists only for comparison and is not
-used by the simulator.
+used by the simulator.  Its list-rebuild rotation is quadratic in fleet
+size, so the baselines are timed once (not best-of-3) at 64x and skipped
+entirely at 256x, where the tier instead reports columnar timings plus a
+tracemalloc memory ceiling for 5,000 sparse per-service count columns.
 
 Run::
 
     PYTHONPATH=src python benchmarks/bench_fleet.py --out BENCH_fleet.json
 
-Exit status is non-zero if the columnar store regresses at 1x scale or
-fails the 3x placement+census speedup floor at 16x.
+Exit status is non-zero if the columnar store regresses at 1x scale,
+fails the 3x placement+census speedup floor at 16x or 64x, or the 256x
+service-count memory ceiling is breached.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import heapq
 import json
 import sys
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -38,7 +44,7 @@ from repro.fleet import FleetStore
 
 PAPER_FLEET_HOSTS = 520  # us-east1
 PAPER_ACTIVE_FRACTION = 300 / 520
-SCALES = {"1x": 1, "4x": 4, "16x": 16}
+SCALES = {"1x": 1, "4x": 4, "16x": 16, "64x": 64, "256x": 256}
 
 ALLOWED_SIZE = 15  # one shard's worth of base hosts
 PLACEMENT_CALLS = 60
@@ -48,6 +54,15 @@ ROTATION_FRACTION = 0.03
 CENSUS_LAUNCHES = 40
 CENSUS_VICTIMS = 100
 REPEATS = 3
+FAST_REPEAT_MAX_FACTOR = 16  # best-of-3 below, single timing above
+DICT_BASELINE_MAX_FACTOR = 64  # the dict rotation is quadratic; cap it
+
+# 256x memory-ceiling tier: sparse per-service counts must stay O(hosts
+# touched), never O(hosts x services).
+MEMORY_GATE_FACTOR = 256
+MEMORY_SERVICES = 5_000
+MEMORY_TOUCHED_PER_SERVICE = 24
+MEMORY_BUDGET_BYTES = 64 * 1024 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +173,7 @@ def columnar_placement_workload(n_hosts, seed=0):
             ),
             store,
         )
-        np.add.at(counts, placed, 1)
+        counts.add_at(placed)
 
 
 def columnar_rotation_workload(n_hosts, seed=0):
@@ -190,6 +205,33 @@ def columnar_census_workload(n_hosts, seed=0):
     return uniques, coverage
 
 
+def service_memory_workload(n_hosts, seed=0):
+    """Tracemalloc growth of sparse per-service count columns.
+
+    Returns the measured growth next to the dense-equivalent cost (one
+    int64 column per service) that the pre-PR-8 layout would have paid —
+    ~5.3 GB at 256x, versus single-digit megabytes sparse.
+    """
+    rng = np.random.default_rng(seed)
+    placements = rng.integers(
+        n_hosts, size=(MEMORY_SERVICES, MEMORY_TOUCHED_PER_SERVICE)
+    )
+    tracemalloc.start()
+    store = FleetStore([f"h{i:06d}" for i in range(n_hosts)])
+    baseline, _ = tracemalloc.get_traced_memory()
+    for s in range(MEMORY_SERVICES):
+        store.service_counts(f"svc-{s:05d}").add_at(placements[s])
+    grown, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "n_services": MEMORY_SERVICES,
+        "touched_per_service": MEMORY_TOUCHED_PER_SERVICE,
+        "grown_bytes": int(grown - baseline),
+        "dense_equivalent_bytes": int(MEMORY_SERVICES) * n_hosts * 8,
+        "budget_bytes": MEMORY_BUDGET_BYTES,
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -200,9 +242,9 @@ WORKLOADS = {
 }
 
 
-def best_of(fn, n_hosts):
+def best_of(fn, n_hosts, repeats=REPEATS):
     timings = []
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         start = time.perf_counter()
         fn(n_hosts)
         timings.append(time.perf_counter() - start)
@@ -218,42 +260,73 @@ def run() -> dict:
             "allowed_hosts": ALLOWED_SIZE,
             "rotation_steps": ROTATION_STEPS,
             "census_launches": CENSUS_LAUNCHES,
+            "memory_services": MEMORY_SERVICES,
         },
         "scales": {},
     }
     for label, factor in SCALES.items():
         n_hosts = PAPER_FLEET_HOSTS * factor
-        scale: dict = {"n_hosts": n_hosts, "dict_s": {}, "columnar_s": {}, "speedup": {}}
+        repeats = REPEATS if factor <= FAST_REPEAT_MAX_FACTOR else 1
+        with_dict = factor <= DICT_BASELINE_MAX_FACTOR
+        scale: dict = {"n_hosts": n_hosts, "repeats": repeats, "columnar_s": {}}
+        if with_dict:
+            scale["dict_s"] = {}
+            scale["speedup"] = {}
         for name, (dict_fn, columnar_fn) in WORKLOADS.items():
-            dict_t = best_of(dict_fn, n_hosts)
-            col_t = best_of(columnar_fn, n_hosts)
-            scale["dict_s"][name] = round(dict_t, 6)
+            col_t = best_of(columnar_fn, n_hosts, repeats)
             scale["columnar_s"][name] = round(col_t, 6)
-            scale["speedup"][name] = round(dict_t / col_t, 3)
-        pc_dict = scale["dict_s"]["placement"] + scale["dict_s"]["census"]
-        pc_col = scale["columnar_s"]["placement"] + scale["columnar_s"]["census"]
-        scale["speedup"]["placement_plus_census"] = round(pc_dict / pc_col, 3)
-        results["scales"][label] = scale
-        print(
-            f"{label:>4} ({n_hosts} hosts): "
-            + ", ".join(
-                f"{name} {scale['speedup'][name]}x" for name in WORKLOADS
+            if with_dict:
+                dict_t = best_of(dict_fn, n_hosts, repeats)
+                scale["dict_s"][name] = round(dict_t, 6)
+                scale["speedup"][name] = round(dict_t / col_t, 3)
+        if with_dict:
+            pc_dict = scale["dict_s"]["placement"] + scale["dict_s"]["census"]
+            pc_col = (
+                scale["columnar_s"]["placement"] + scale["columnar_s"]["census"]
             )
-            + f", placement+census {scale['speedup']['placement_plus_census']}x"
-        )
+            scale["speedup"]["placement_plus_census"] = round(pc_dict / pc_col, 3)
+            summary = ", ".join(
+                f"{name} {scale['speedup'][name]}x" for name in WORKLOADS
+            ) + f", placement+census {scale['speedup']['placement_plus_census']}x"
+        else:
+            summary = "columnar-only: " + ", ".join(
+                f"{name} {scale['columnar_s'][name]}s" for name in WORKLOADS
+            )
+        if factor >= MEMORY_GATE_FACTOR:
+            mem = service_memory_workload(n_hosts)
+            scale["service_memory"] = mem
+            summary += (
+                f", {mem['n_services']} services in "
+                f"{mem['grown_bytes'] / 1e6:.1f}MB "
+                f"(dense {mem['dense_equivalent_bytes'] / 1e9:.1f}GB)"
+            )
+        results["scales"][label] = scale
+        print(f"{label:>4} ({n_hosts} hosts): {summary}")
     return results
 
 
 def check(results: dict) -> list[str]:
     failures = []
-    at_16x = results["scales"]["16x"]["speedup"]["placement_plus_census"]
-    if at_16x < 3.0:
-        failures.append(
-            f"16x placement+census speedup {at_16x}x is below the 3x floor"
-        )
+    for label in ("16x", "64x"):
+        speedup = results["scales"][label]["speedup"]["placement_plus_census"]
+        if speedup < 3.0:
+            failures.append(
+                f"{label} placement+census speedup {speedup}x is below the 3x floor"
+            )
     at_1x = results["scales"]["1x"]["speedup"]["placement_plus_census"]
     if at_1x < 1.0:
         failures.append(f"columnar store regresses at 1x scale ({at_1x}x)")
+    mem = results["scales"]["256x"]["service_memory"]
+    if mem["grown_bytes"] >= mem["budget_bytes"]:
+        failures.append(
+            f"256x service-count memory {mem['grown_bytes']} bytes breaches "
+            f"the {mem['budget_bytes']}-byte ceiling"
+        )
+    if mem["grown_bytes"] * 20 >= mem["dense_equivalent_bytes"]:
+        failures.append(
+            "256x service-count memory is within 20x of the dense layout — "
+            "sparse storage has regressed to O(hosts x services)"
+        )
     return failures
 
 

@@ -94,6 +94,9 @@ class HelperHostRecruiter:
         if count <= 0:
             return []
         picked_pos = self._rng.choice(candidates.size, size=count, replace=False)
-        picked = [store.host_id(int(candidates[pos])) for pos in picked_pos]
+        # Same single RNG draw as ever; the id resolve is one gather over
+        # the store's cached id column instead of a per-pick Python loop
+        # (recruitment batches reach thousands of hosts at 64x scale).
+        picked = list(store.ids_of(candidates[picked_pos]))
         service.helper_host_ids.extend(picked)
         return picked

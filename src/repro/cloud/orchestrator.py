@@ -96,6 +96,9 @@ class Orchestrator:
         self._probe_counters: dict[str, int] = {}
         self._instance_counter = itertools.count()
         self._image_counter = itertools.count()
+        # Scalar-reference switch for the launch path (twin-world tests
+        # pin the batched path against it); production code never sets it.
+        self.force_scalar_launch = False
 
     # ------------------------------------------------------------------
     # Control plane
@@ -594,12 +597,58 @@ class Orchestrator:
         ids = fleet.ids
         counts = fleet.service_counts(qualified)
         service_list = self._service_instances.setdefault(qualified, [])
+
+        if self.fault_plan is None and not self.force_scalar_launch:
+            # Batched launch path.  Without a fault plan, _attempt_launch
+            # is a no-op, so the loop's only RNG consumption is the
+            # per-instance sandbox seed — and one vector draw of size n
+            # consumes the identical stream as n scalar `integers(2**63)`
+            # draws (power-of-two bound takes the Lemire-free mask path;
+            # pinned by the twin-world launch tests).  Count and state
+            # bookkeeping never feed the RNG, so committing them as one
+            # add_at / on_created(count=n) is identity-safe.
+            seeds = self._rng.integers(2**63, size=chosen.size)
+            counts.add_at(chosen)
+            self._svc_state.on_created(state_index, count=int(chosen.size))
+            host_of = self.datacenter.host
+            cls = (
+                GVisorSandbox
+                if service.config.generation == "gen1"
+                else MicroVMSandbox
+            )
+            for host_index, seed in zip(chosen.tolist(), seeds.tolist()):
+                host_id = ids[host_index]
+                instance_id = f"{qualified}#{next(self._instance_counter):07d}"
+                sandbox = cls(
+                    host_of(host_id),
+                    self.clock,
+                    np.random.default_rng(seed),
+                    instance_id,
+                    tsc_policy=self.tsc_policy,
+                )
+                instance = ContainerInstance(
+                    instance_id=instance_id,
+                    service=service,
+                    host_id=host_id,
+                    sandbox=sandbox,
+                    created_at=now,
+                )
+                self.instances[instance_id] = instance
+                self._billed_seconds[instance_id] = 0.0
+                service_list.append(instance)
+                created.append(instance)
+            return created
+
+        # Scalar reference path: a fault plan can abort the loop mid-way
+        # (LaunchError) or sleep simulated time between launches, so each
+        # instance must draw its sandbox seed individually — batching the
+        # draws would desynchronize the stream on the first failed launch.
         for host_index in chosen:
             index = int(host_index)
             host_id = ids[index]
             instance_id = f"{qualified}#{next(self._instance_counter):07d}"
             self._attempt_launch(instance_id)
-            counts[index] += 1
+            counts.inc(index)
             sandbox = self._make_sandbox(service, host_id, instance_id)
             instance = ContainerInstance(
                 instance_id=instance_id,

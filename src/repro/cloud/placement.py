@@ -37,7 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NoCapacityError
-from repro.fleet import FleetStore
+from repro.fleet import FleetStore, SparseServiceCounts
 
 #: Scatter-free batches up to this size take the repeated-argmin path;
 #: larger ones amortize better through the lexsort fast path.
@@ -59,8 +59,9 @@ class PlacementRequest:
         Index array of the service's preferred hosts (base plus recruited
         helpers), in preference order — tiebreaks are drawn in this order.
     service_counts:
-        Full-fleet per-host instance-count column for the launching
-        service (``None`` reads as all-zero).
+        Per-host instance counts for the launching service, sparse over
+        the fleet (``None`` reads as all-zero).  A dense column is also
+        accepted — both support the ``counts[index_array]`` gather.
     scatter_probability:
         Per-instance chance of being scattered onto a random fleet host
         instead of the allowed set (0 outside dynamic regions).
@@ -72,7 +73,7 @@ class PlacementRequest:
     count: int
     slots_per_instance: float
     allowed: np.ndarray
-    service_counts: np.ndarray | None = None
+    service_counts: SparseServiceCounts | np.ndarray | None = None
     scatter_probability: float = 0.0
     scatter_candidates: np.ndarray | None = None
 
@@ -250,11 +251,8 @@ class PlacementPolicy:
         """
         slots = request.slots_per_instance
         budget = (request.count + 1) * slots
-        return bool(
-            np.all(
-                store.load_slots[allowed] + budget <= store.capacity_slots[allowed]
-            )
-        )
+        feasible = store.load_slots[allowed] + budget <= store.capacity_slots[allowed]
+        return bool(feasible.all())
 
     def _place_vectorized(
         self,
@@ -278,24 +276,30 @@ class PlacementPolicy:
         n = allowed.size
 
         # Smallest level bound L with sum(max(0, L - c0)) >= count; every
-        # pick then sits strictly below level L.
-        lo, hi = int(c0.min()) + 1, int(c0.min()) + count
+        # pick then sits strictly below level L.  With sorted counts and
+        # prefix sums, sum(max(0, L - c0)) == L*k - prefix[k] for
+        # k = #{c0 < L}, so each probe is one scalar searchsorted.
+        c_sorted = np.sort(c0)
+        prefix = c_sorted.cumsum()
+        lo, hi = int(c_sorted[0]) + 1, int(c_sorted[0]) + count
         while lo < hi:
             mid = (lo + hi) // 2
-            if int(np.maximum(0, mid - c0).sum()) >= count:
+            k = int(c_sorted.searchsorted(mid))
+            below = int(prefix[k - 1]) if k else 0
+            if mid * k - below >= count:
                 hi = mid
             else:
                 lo = mid + 1
         levels_per_host = np.maximum(0, lo - c0)
 
-        host_rep = np.repeat(np.arange(n, dtype=np.int64), levels_per_host)
-        offsets = np.cumsum(levels_per_host) - levels_per_host
+        host_rep = np.arange(n, dtype=np.int64).repeat(levels_per_host)
+        offsets = levels_per_host.cumsum() - levels_per_host
         level = (
             np.arange(host_rep.size, dtype=np.int64)
-            - np.repeat(offsets, levels_per_host)
-            + np.repeat(c0, levels_per_host)
+            - offsets.repeat(levels_per_host)
+            + c0.repeat(levels_per_host)
         )
-        order = np.lexsort((np.repeat(tiebreaks, levels_per_host), level))[:count]
+        order = np.lexsort((tiebreaks.repeat(levels_per_host), level))[:count]
         chosen_local = host_rep[order]
 
         # Apply loads with the heap path's exact float semantics: each
@@ -303,11 +307,13 @@ class PlacementPolicy:
         # instance it received.
         slots = request.slots_per_instance
         picks = np.bincount(chosen_local, minlength=n)
-        remaining = picks.copy()
-        while True:
-            active = remaining > 0
-            if not active.any():
-                break
-            store.load_slots[allowed[active]] += slots
-            remaining[active] -= 1
+        live = np.flatnonzero(picks)
+        hosts_live = allowed[live]
+        remaining = picks[live]
+        while hosts_live.size:
+            store.load_slots[hosts_live] += slots
+            remaining -= 1
+            keep = remaining > 0
+            hosts_live = hosts_live[keep]
+            remaining = remaining[keep]
         return allowed[chosen_local]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import units
+from repro.analysis.aggregation import FootprintAccumulator
 from repro.cloud.api import FaaSClient
 from repro.cloud.services import ServiceConfig
 from repro.core.fingerprint import fingerprint_gen1_instances
@@ -60,7 +61,9 @@ def estimate_cluster_size(
     across launches is safe at a 1-second rounding precision.
     """
     result = CensusResult()
-    seen: set = set()
+    # Batched cumulative-unique reduction; pinned equal to the historical
+    # per-launch set union by the aggregation equivalence suites.
+    seen = FootprintAccumulator()
     for account_idx, client in enumerate(clients):
         names = [
             client.deploy(
@@ -76,10 +79,11 @@ def estimate_cluster_size(
                 round_start = client.now()
                 handles = client.connect(name, instances_per_launch)
                 tagged = fingerprint_gen1_instances(handles, p_boot=p_boot)
-                footprint = {fp for _, fp in tagged}
-                seen |= footprint
-                result.per_launch.append(len(footprint))
-                result.cumulative_unique.append(len(seen))
+                launch_unique, cumulative = seen.add_launch(
+                    fp for _, fp in tagged
+                )
+                result.per_launch.append(launch_unique)
+                result.cumulative_unique.append(cumulative)
                 client.disconnect(name)
                 if launch_round != launches_per_service - 1:
                     elapsed = client.now() - round_start

@@ -322,12 +322,23 @@ class ScalableVerifier:
 
         telemetry = current_telemetry()
         wave = 0
-        while any(not task.done() for task in tasks):
+        # Active-task scheduling: _next_test returns None exactly when a
+        # task has finished, so tasks drop out of the wave scan as they
+        # complete instead of being re-polled every wave — O(live groups)
+        # per wave, not O(all groups), which matters when a 64x wave
+        # carries tens of thousands of fingerprint groups.  Request order
+        # within a wave is unchanged (task insertion order), so batch
+        # planning and the RNG-free verdict sequence are identical.
+        active = list(tasks)
+        while active:
             requests: list[tuple[_GroupTask, list[InstanceHandle]]] = []
-            for task in tasks:
+            next_active: list[_GroupTask] = []
+            for task in active:
                 test = self._next_test(task)
                 if test is not None:
                     requests.append((task, test))
+                    next_active.append(task)
+            active = next_active
             if not requests:
                 break
             with telemetry.span(

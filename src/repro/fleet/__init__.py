@@ -18,7 +18,7 @@ regression tests).
 """
 
 from repro.fleet.service_state import ServiceStateStore
-from repro.fleet.store import FleetSnapshot, FleetStore
+from repro.fleet.store import FleetSnapshot, FleetStore, SparseServiceCounts
 from repro.fleet.view import FleetView, HostHandle
 
 __all__ = [
@@ -27,4 +27,5 @@ __all__ = [
     "FleetView",
     "HostHandle",
     "ServiceStateStore",
+    "SparseServiceCounts",
 ]

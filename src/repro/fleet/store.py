@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import overload
 
 import numpy as np
 from numpy.typing import NDArray
@@ -33,6 +34,200 @@ from repro.errors import CloudError
 FloatColumn = NDArray[np.float64]
 BoolColumn = NDArray[np.bool_]
 IndexArray = NDArray[np.int64]
+IntColumn = NDArray[np.int64]
+
+
+class SparseServiceCounts:
+    """Per-host instance counts for one service, stored sparsely.
+
+    A service only ever runs on the hosts placement gave it — a base
+    shard plus recruited helpers, a few hundred hosts at most — while the
+    fleet can hold 100k+.  Dense per-service columns therefore cost
+    O(hosts x services) resident memory once a background-traffic engine
+    deploys thousands of tenants; this structure keeps a *sorted* host
+    index array plus a parallel count array, so the store stays O(hosts)
+    plus O(touched hosts) per service (the scaling contract in
+    ``docs/DESIGN.md``).
+
+    Semantics are exactly a dense int64 column of zeros with the stored
+    entries overlaid: reads of untouched hosts return 0, and the batched
+    gather (``counts[index_array]``) is pinned equal to dense fancy
+    indexing by the twin-world and Hypothesis equivalence suites.  Counts
+    are pure bookkeeping — they never feed an RNG draw — so the
+    representation swap cannot perturb the byte-identity contract.
+
+    Entries whose count returns to zero are kept (a terminated service's
+    footprint is bounded by its lifetime placement, never by fleet size).
+    """
+
+    __slots__ = ("n_hosts", "_idx", "_cnt")
+
+    def __init__(
+        self,
+        n_hosts: int,
+        indices: IndexArray | None = None,
+        counts: IntColumn | None = None,
+    ) -> None:
+        self.n_hosts = n_hosts
+        if indices is None or counts is None:
+            self._idx: IndexArray = np.empty(0, dtype=np.int64)
+            self._cnt: IntColumn = np.empty(0, dtype=np.int64)
+        else:
+            self._idx = np.asarray(indices, dtype=np.int64)
+            self._cnt = np.asarray(counts, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def touched(self) -> int:
+        """Number of stored (ever-placed-on) host entries."""
+        return int(self._idx.size)
+
+    def get(self, index: int) -> int:
+        """Count on one host (0 when the host was never touched)."""
+        pos = int(np.searchsorted(self._idx, index))
+        if pos < self._idx.size and self._idx[pos] == index:
+            return int(self._cnt[pos])
+        return 0
+
+    def gather(self, indices: IndexArray) -> IntColumn:
+        """Counts for an index array — equals dense ``column[indices]``."""
+        wanted = np.asarray(indices, dtype=np.int64)
+        if self._idx.size == 0:
+            return np.zeros(wanted.size, dtype=np.int64)
+        # Clamp out-of-range positions to the last entry: a wanted index
+        # greater than every stored one can't equal _idx[-1] (searchsorted
+        # would have returned its exact position otherwise), so the
+        # equality test still reads False for misses.
+        pos = self._idx.searchsorted(wanted)
+        np.minimum(pos, self._idx.size - 1, out=pos)
+        out: IntColumn = np.where(self._idx[pos] == wanted, self._cnt[pos], 0)
+        return out
+
+    @overload
+    def __getitem__(self, key: int) -> int: ...
+
+    @overload
+    def __getitem__(self, key: IndexArray) -> IntColumn: ...
+
+    def __getitem__(self, key: int | IndexArray) -> int | IntColumn:
+        if isinstance(key, (int, np.integer)):
+            return self.get(int(key))
+        return self.gather(key)
+
+    def total(self) -> int:
+        """Sum of all counts."""
+        return int(self._cnt.sum())
+
+    def sum(self) -> int:
+        """Alias of :meth:`total`, mirroring ``ndarray.sum()``."""
+        return self.total()
+
+    def to_dense(self) -> IntColumn:
+        """Materialize the equivalent dense column (tests/diagnostics)."""
+        dense: IntColumn = np.zeros(self.n_hosts, dtype=np.int64)
+        dense[self._idx] = self._cnt
+        return dense
+
+    def tolist(self) -> list[int]:
+        """Dense list form, mirroring ``ndarray.tolist()`` (tests)."""
+        return [int(v) for v in self.to_dense()]
+
+    def nonzero_items(self) -> list[tuple[int, int]]:
+        """Sorted ``(host_index, count)`` pairs with count > 0."""
+        live = self._cnt > 0
+        return [
+            (int(i), int(c)) for i, c in zip(self._idx[live], self._cnt[live])
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation (orchestrator only)
+    # ------------------------------------------------------------------
+    def _ensure_entry(self, index: int) -> int:
+        """Position of ``index`` in the entry arrays, inserting a zero."""
+        pos = int(np.searchsorted(self._idx, index))
+        if pos == self._idx.size or self._idx[pos] != index:
+            self._idx = np.insert(self._idx, pos, index)
+            self._cnt = np.insert(self._cnt, pos, 0)
+        return pos
+
+    def __setitem__(self, key: int, value: int) -> None:
+        # _ensure_entry may rebind _cnt; resolve the position first.
+        pos = self._ensure_entry(int(key))
+        self._cnt[pos] = value
+
+    def inc(self, index: int, n: int = 1) -> None:
+        """Count ``n`` more instances on one host."""
+        pos = self._ensure_entry(int(index))
+        self._cnt[pos] += n
+
+    def dec(self, index: int) -> None:
+        """Count one fewer instance on one host; never goes negative."""
+        pos = int(np.searchsorted(self._idx, index))
+        if pos < self._idx.size and self._idx[pos] == index and self._cnt[pos] > 0:
+            self._cnt[pos] -= 1
+
+    def set_dense(self, values: IntColumn) -> None:
+        """Replace all entries from a dense length-``n_hosts`` column.
+
+        Test scaffolding for seeding uneven starting counts; only nonzero
+        hosts get entries.
+        """
+        dense = np.asarray(values, dtype=np.int64)
+        self._idx = np.flatnonzero(dense).astype(np.int64)
+        self._cnt = dense[self._idx]
+
+    def add_at(self, indices: IndexArray) -> None:
+        """Batched increment — equals dense ``np.add.at(column, indices, 1)``.
+
+        One sort + merge per launch batch instead of a Python-level
+        searchsorted per instance; the orchestrator's batched launch path
+        uses this to commit a whole placement decision at once.
+        """
+        placed = np.asarray(indices, dtype=np.int64)
+        if placed.size == 0:
+            return
+        if self._idx.size:
+            # Steady-state fast path: every placed host already has an
+            # entry (true for all but a service's first launch onto a
+            # host), so the whole batch is one searchsorted + add.at with
+            # no unique/merge work.
+            pos = self._idx.searchsorted(placed)
+            clamped = np.minimum(pos, self._idx.size - 1)
+            if bool((self._idx[clamped] == placed).all()):
+                np.add.at(self._cnt, pos, 1)
+                return
+        unique, add = np.unique(placed, return_counts=True)
+        pos = np.searchsorted(self._idx, unique)
+        in_range = pos < self._idx.size
+        hit = np.zeros(unique.size, dtype=bool)
+        hit[in_range] = self._idx[pos[in_range]] == unique[in_range]
+        self._cnt[pos[hit]] += add[hit]
+        fresh = ~hit
+        if fresh.any():
+            ins = np.searchsorted(self._idx, unique[fresh])
+            self._idx = np.insert(self._idx, ins, unique[fresh])
+            self._cnt = np.insert(self._cnt, ins, add[fresh])
+
+    # ------------------------------------------------------------------
+    # Copy / restore
+    # ------------------------------------------------------------------
+    def copy(self) -> "SparseServiceCounts":
+        """An isolated copy (snapshots)."""
+        return SparseServiceCounts(
+            self.n_hosts, self._idx.copy(), self._cnt.copy()
+        )
+
+    def restore_from(self, other: "SparseServiceCounts") -> None:
+        """Overwrite this instance's entries in place from ``other``.
+
+        In-place so references held by callers (placement requests, host
+        handles) stay valid across a snapshot/restore round trip.
+        """
+        self.n_hosts = other.n_hosts
+        self._idx = other._idx.copy()
+        self._cnt = other._cnt.copy()
 
 
 @dataclass(frozen=True)
@@ -51,7 +246,7 @@ class FleetSnapshot:
     pool_order: IndexArray
     rotated_order: IndexArray
     pool_version: int
-    service_counts: dict[str, NDArray[np.int64]]
+    service_counts: dict[str, SparseServiceCounts]
 
 
 class FleetStore:
@@ -93,11 +288,12 @@ class FleetStore:
             if self.problematic_timing.shape != (n,):
                 raise CloudError("problematic_timing length does not match fleet")
         self._all_indices: IndexArray = np.arange(n, dtype=np.int64)
+        self._ids_arr: NDArray[np.object_] = np.array(self._ids, dtype=object)
         self._pool_order: IndexArray = np.empty(0, dtype=np.int64)
         self._rotated_order: IndexArray = np.empty(0, dtype=np.int64)
         self._shard_orders: list[IndexArray] = []
         self._pool_version = 0
-        self._service_counts: dict[str, NDArray[np.int64]] = {}
+        self._service_counts: dict[str, SparseServiceCounts] = {}
 
     # ------------------------------------------------------------------
     # Identity
@@ -138,9 +334,16 @@ class FleetStore:
             raise CloudError(f"unknown host {exc.args[0]!r}") from None
 
     def ids_of(self, indices: IndexArray) -> tuple[str, ...]:
-        """Host ids for an index array, preserving order."""
-        ids = self._ids
-        return tuple(ids[int(i)] for i in indices)
+        """Host ids for an index array, preserving order.
+
+        One fancy-index gather over a cached object-dtype column instead
+        of a Python loop — at 64x fleet scale a serving-pool resolve is a
+        20k-element gather on every pool-version bump.
+        """
+        gathered: list[str] = self._ids_arr[
+            np.asarray(indices, dtype=np.int64)
+        ].tolist()
+        return tuple(gathered)
 
     def mask_for_ids(self, host_ids: Iterable[str]) -> BoolColumn:
         """Boolean membership mask over the fleet for a set of host ids."""
@@ -257,21 +460,33 @@ class FleetStore:
     # ------------------------------------------------------------------
     # Per-service instance counts
     # ------------------------------------------------------------------
-    def service_counts(self, service_key: str) -> NDArray[np.int64]:
-        """The per-host instance-count column for one service.
+    def service_counts(self, service_key: str) -> SparseServiceCounts:
+        """The sparse per-host instance counts for one service.
 
-        Allocated lazily (zeros) on first access; the orchestrator mutates
-        it through :class:`~repro.fleet.view.HostHandle`.
+        Allocated lazily (empty, reads as all-zero) on first access; the
+        orchestrator mutates it through
+        :class:`~repro.fleet.view.HostHandle` or the batched
+        :meth:`SparseServiceCounts.add_at`.  Sparse rather than a dense
+        column so total store memory is O(hosts), not O(hosts x services)
+        (the hyperscale scaling contract).
         """
         counts = self._service_counts.get(service_key)
         if counts is None:
-            counts = np.zeros(self.n_hosts, dtype=np.int64)
+            counts = SparseServiceCounts(self.n_hosts)
             self._service_counts[service_key] = counts
         return counts
 
-    def peek_service_counts(self, service_key: str) -> NDArray[np.int64] | None:
-        """The count column if it exists, else ``None`` (no allocation)."""
+    def peek_service_counts(self, service_key: str) -> SparseServiceCounts | None:
+        """The counts if they exist, else ``None`` (no allocation)."""
         return self._service_counts.get(service_key)
+
+    def service_counts_touched(self) -> int:
+        """Total stored (service, host) entries across all services.
+
+        Diagnostic for the memory-ceiling gate: grows with placement
+        footprints, never with ``n_hosts * n_services``.
+        """
+        return sum(c.touched for c in self._service_counts.values())
 
     # ------------------------------------------------------------------
     # Snapshot / restore
@@ -313,4 +528,4 @@ class FleetStore:
             if existing is None:
                 self._service_counts[key] = counts.copy()
             else:
-                existing[:] = counts
+                existing.restore_from(counts)

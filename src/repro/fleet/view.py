@@ -65,17 +65,17 @@ class HostHandle:
 
     def service_count(self, service_key: str) -> int:
         counts = self._store.peek_service_counts(service_key)
-        return int(counts[self.index]) if counts is not None else 0
+        return counts.get(self.index) if counts is not None else 0
 
     def inc_service(self, service_key: str) -> None:
         """Count one more instance of a service on this host."""
-        self._store.service_counts(service_key)[self.index] += 1
+        self._store.service_counts(service_key).inc(self.index)
 
     def dec_service(self, service_key: str) -> None:
         """Count one fewer instance of a service; never goes negative."""
         counts = self._store.peek_service_counts(service_key)
-        if counts is not None and counts[self.index] > 0:
-            counts[self.index] -= 1
+        if counts is not None:
+            counts.dec(self.index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HostHandle({self.host_id!r})"

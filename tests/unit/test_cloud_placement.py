@@ -155,7 +155,7 @@ class TestFastPathIdentity:
             store = make_store(ids, capacity=1e6)
             counts = store.service_counts("svc")
             # Uneven starting counts exercise the level-merge logic.
-            counts[:] = np.arange(n_hosts) % 3
+            counts.set_dense(np.arange(n_hosts) % 3)
             rng = np.random.default_rng(seed)
             policy = PlacementPolicy(rng)
             if heap_only:

@@ -1,0 +1,270 @@
+"""Twin-world identity suite for the hyperscale batched paths.
+
+PR 8 vectorized three more layers: the orchestrator launch path (vector
+sandbox-seed draws plus batched count commits), the helper-host recruiter
+(gathered id resolution), and the census aggregation
+(:class:`~repro.analysis.aggregation.FootprintAccumulator`).  Each test
+here builds two byte-identical worlds from one seed, runs the scalar
+reference in one and the batched engine in the other, and pins placements,
+sandbox RNG end states, the orchestrator RNG end state, service-count
+columns, and load columns exactly equal — the same contract the golden
+traces enforce end-to-end, exercised over a seed x shape matrix that
+includes mid-campaign instance deaths, ``InstanceGoneError`` handling, and
+fault-injected launch failures (where the batched path must fall back to
+the scalar loop on both sides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregation import FootprintAccumulator, census_reduce_scalar
+from repro.cloud.loadbalancer import HelperHostRecruiter
+from repro.cloud.services import Service, ServiceConfig
+from repro.errors import InstanceGoneError
+from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import FleetStore
+
+
+def forbid_scalar_launch(orchestrator) -> None:
+    """Make the orchestrator fail loudly if the batched launch path
+    falls back to the scalar loop (only the scalar loop calls
+    ``_attempt_launch``)."""
+
+    def fail(*_args, **_kwargs):  # pragma: no cover - only on regression
+        pytest.fail("batched launch path fell back to the scalar loop")
+
+    orchestrator._attempt_launch = fail
+
+
+def orch_rng_state(env) -> str:
+    return str(env.orchestrator._rng.bit_generator.state)
+
+
+def sandbox_rng_state(handle) -> str:
+    return handle.run(lambda sandbox: str(sandbox._rng.bit_generator.state))
+
+
+def run_campaign(
+    env, *, n, launches, kill_mid=False, idle_deaths=False, max_instances=100
+):
+    """One deploy/connect/disconnect campaign; returns its observable state.
+
+    ``idle_deaths`` waits into the idle-reap window between launches so
+    later launches top up a partially dead fleet; ``kill_mid`` terminates
+    one instance directly and asserts the handle raises
+    ``InstanceGoneError`` afterwards.
+    """
+    client = env.clients["account-1"]
+    orch = env.orchestrator
+    profile = env.datacenter.profile
+    name = client.deploy(ServiceConfig(name="svc", max_instances=max_instances))
+    qualified = client._service(name).qualified_name
+
+    hosts_per_launch = []
+    gone_raised = 0
+    last_handles = []
+    for launch_round in range(launches):
+        handles = client.connect(name, n)
+        hosts_per_launch.append(
+            [orch.true_host_of(h.instance_id) for h in handles]
+        )
+        if kill_mid and launch_round == 0:
+            victim = handles[0]
+            victim._instance.terminate(orch.clock.now())
+            with pytest.raises(InstanceGoneError):
+                victim.run(lambda sandbox: None)
+            gone_raised += 1
+        last_handles = handles
+        if launch_round != launches - 1:
+            client.disconnect(name)
+            if idle_deaths:
+                # Mid-window: some idle instances reap, some survive, so
+                # the next launch mixes reuse with fresh creation.
+                client.wait((profile.idle_grace + profile.idle_deadline) / 2)
+            else:
+                client.wait(profile.idle_grace / 2)
+
+    return {
+        "hosts": hosts_per_launch,
+        "gone_raised": gone_raised,
+        "sandbox_states": {
+            h.instance_id: sandbox_rng_state(h)
+            for h in last_handles
+            if h.alive
+        },
+        "orch_rng": orch_rng_state(env),
+        "service_counts": orch.fleet.service_counts(qualified).tolist(),
+        "load": orch.fleet.load_slots.tolist(),
+        "clock": orch.clock.now(),
+    }
+
+
+def run_twin_launch_worlds(
+    tiny_env_factory, seed, *, fault_plan_factory=None, **campaign_kwargs
+):
+    """Scalar-reference launch world vs batched launch world."""
+    worlds = {}
+    for label, scalar in (("scalar", True), ("batched", False)):
+        env = tiny_env_factory(
+            seed=seed,
+            fault_plan=None if fault_plan_factory is None else fault_plan_factory(),
+        )
+        env.orchestrator.force_scalar_launch = scalar
+        if not scalar and fault_plan_factory is None:
+            forbid_scalar_launch(env.orchestrator)
+        worlds[label] = run_campaign(env, **campaign_kwargs)
+    assert worlds["scalar"] == worlds["batched"]
+    return worlds["scalar"]
+
+
+# 4 seeds x 4 shapes = 16 identity cases (the PR's pinned matrix): a
+# single clean wave, a reconnect campaign with mid-campaign idle deaths, a
+# campaign with a killed instance (InstanceGoneError on both paths), and a
+# fault-injected campaign where launches fail and retry (the batched path
+# must decline and run the scalar loop on both sides).
+LAUNCH_SHAPES = [
+    pytest.param(dict(n=12, launches=1), None, id="single-wave"),
+    pytest.param(
+        dict(n=10, launches=3, idle_deaths=True), None, id="idle-deaths"
+    ),
+    pytest.param(
+        dict(n=8, launches=2, kill_mid=True), None, id="killed-instance"
+    ),
+    pytest.param(
+        dict(n=10, launches=2),
+        lambda seed: FaultPlan(FaultSpec(launch_error_rate=0.2, seed=seed)),
+        id="faulty-launches",
+    ),
+]
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13, 14])
+@pytest.mark.parametrize("shape,plan", LAUNCH_SHAPES)
+def test_launch_identity_matrix(tiny_env_factory, seed, shape, plan):
+    run_twin_launch_worlds(
+        tiny_env_factory,
+        seed,
+        fault_plan_factory=None if plan is None else (lambda: plan(seed)),
+        **shape,
+    )
+
+
+def test_batched_launch_engages_without_fault_plan(tiny_env_factory):
+    """Guard against silently losing the fast path: a clean environment
+    must never enter the scalar launch loop."""
+    env = tiny_env_factory(seed=21)
+    forbid_scalar_launch(env.orchestrator)
+    client = env.clients["account-1"]
+    name = client.deploy(ServiceConfig(name="svc"))
+    assert len(client.connect(name, 15)) == 15
+
+
+def test_fault_plan_forces_scalar_launch(tiny_env_factory):
+    """With a fault plan installed, identity is not provable (a mid-batch
+    LaunchError truncates the seed-draw sequence), so the orchestrator
+    must take the scalar loop."""
+    env = tiny_env_factory(
+        seed=22,
+        fault_plan=FaultPlan(FaultSpec(launch_error_rate=0.3, seed=22)),
+    )
+    calls = []
+    original = env.orchestrator._attempt_launch
+    env.orchestrator._attempt_launch = lambda iid: (
+        calls.append(iid), original(iid)
+    )[1]
+    client = env.clients["account-1"]
+    name = client.deploy(ServiceConfig(name="svc"))
+    client.connect(name, 6)
+    assert len(calls) == 6
+
+
+class TestRecruiterIdentity:
+    """The recruiter's gathered id resolve vs the historical per-pick loop."""
+
+    @staticmethod
+    def build(n_hosts, helper_cap=64):
+        store = FleetStore([f"h{i:05d}" for i in range(n_hosts)])
+        service = Service(
+            config=ServiceConfig(name="svc"),
+            account_id="account-1",
+            image_id="image-0",
+        )
+        return store, service
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "n_hosts,new_count,fraction",
+        [(40, 8, 0.25), (200, 64, 0.5), (500, 11, 0.1), (64, 64, 1.0)],
+    )
+    def test_matches_scalar_reference(
+        self, tiny_env_factory, seed, n_hosts, new_count, fraction
+    ):
+        profile = tiny_env_factory(seed=seed).datacenter.profile
+        profile = type(profile)(
+            **{
+                **{f: getattr(profile, f) for f in profile.__dataclass_fields__},
+                "name": "recruit-twin",
+                "helper_recruit_fraction": fraction,
+                "helper_pool_cap": n_hosts,
+            }
+        )
+        candidates = np.arange(n_hosts, dtype=np.int64)
+        np.random.default_rng(seed).shuffle(candidates)
+
+        store, service = self.build(n_hosts)
+        rng = np.random.default_rng(seed)
+        picked = HelperHostRecruiter(profile, rng).recruit(
+            service, new_count, candidates, store
+        )
+
+        # Scalar reference: the pre-PR-8 per-pick host_id loop.
+        store_ref, service_ref = self.build(n_hosts)
+        rng_ref = np.random.default_rng(seed)
+        import math
+
+        want = math.ceil(new_count * profile.helper_recruit_fraction)
+        count = min(want, profile.helper_pool_cap, candidates.size)
+        picked_pos = rng_ref.choice(candidates.size, size=count, replace=False)
+        reference = [
+            store_ref.host_id(int(candidates[pos])) for pos in picked_pos
+        ]
+
+        assert picked == reference
+        assert service.helper_host_ids == reference
+        assert str(rng.bit_generator.state) == str(rng_ref.bit_generator.state)
+
+
+class TestCensusAggregationIdentity:
+    """FootprintAccumulator vs the historical per-launch set reduction."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "launches,per_launch,universe",
+        [(1, 50, 20), (8, 120, 40), (20, 30, 600), (5, 0, 10)],
+    )
+    def test_matches_set_reference(self, seed, launches, per_launch, universe):
+        rng = np.random.default_rng(seed)
+        stream = [
+            [
+                ("cpu-model", int(bucket))
+                for bucket in rng.integers(universe, size=per_launch)
+            ]
+            for _ in range(launches)
+        ]
+        ref_per_launch, ref_cumulative = census_reduce_scalar(stream)
+
+        acc = FootprintAccumulator()
+        got = [acc.add_launch(launch) for launch in stream]
+        assert [g[0] for g in got] == ref_per_launch
+        assert [g[1] for g in got] == ref_cumulative
+        assert acc.unique_count == (ref_cumulative[-1] if ref_cumulative else 0)
+
+    def test_hashable_fingerprints_not_required_to_be_ints(self):
+        acc = FootprintAccumulator()
+        per, cum = acc.add_launch(["a", "b", "a", ("c", 1.5)])
+        assert (per, cum) == (3, 3)
+        per, cum = acc.add_launch(["b", "d"])
+        assert (per, cum) == (2, 4)
+        assert acc.add_launch([]) == (0, 4)
