@@ -34,7 +34,8 @@ import contextlib
 import sys
 from typing import Sequence
 
-from repro.errors import FaultSpecError
+from repro.cloud.platform import platform_profile
+from repro.errors import CloudError, FaultSpecError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.faults import FaultPlan
 from repro.runner import RunnerConfig
@@ -125,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retry budget for failed cells (default 1)",
     )
+    run.add_argument(
+        "--platform",
+        metavar="NAME",
+        default=None,
+        help="run under a platform profile ('default', 'aws_lambda_like', "
+        "'azure_functions_like'); non-default profiles disable the cell "
+        "cache for the run",
+    )
     return parser
 
 
@@ -152,6 +161,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             except FaultSpecError as error:
                 print(f"--faults: {error}", file=sys.stderr)
                 return 2
+        platform = None
+        if args.platform is not None and args.platform != "default":
+            try:
+                platform = platform_profile(args.platform)
+            except CloudError as error:
+                print(f"--platform: {error}", file=sys.stderr)
+                return 2
         telemetry = Telemetry() if (args.trace or args.metrics) else None
         scope = (
             telemetry_context(telemetry)
@@ -166,6 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     no_cache=args.no_cache,
                     fault_plan=fault_plan,
                     max_retries=args.max_retries,
+                    platform=platform,
                 )
                 try:
                     report = run_experiment(eid, scale=args.scale, runner=runner)

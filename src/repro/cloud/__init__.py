@@ -21,6 +21,13 @@ from repro.cloud.billing import BillingMeter, PricingRates
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.instance import ContainerInstance, InstanceState
 from repro.cloud.orchestrator import Orchestrator
+from repro.cloud.platform import (
+    PLATFORM_PROFILES,
+    PlatformProfile,
+    current_platform,
+    platform_context,
+    platform_profile,
+)
 from repro.cloud.services import ContainerSize, Service, ServiceConfig
 from repro.cloud.topology import REGION_PROFILES, RegionProfile, region_profile
 from repro.cloud.traffic import (
@@ -61,6 +68,11 @@ __all__ = [
     "REGION_PROFILES",
     "RegionProfile",
     "region_profile",
+    "PLATFORM_PROFILES",
+    "PlatformProfile",
+    "current_platform",
+    "platform_context",
+    "platform_profile",
     "BackgroundDriver",
     "TenantPopulation",
     "TrafficConfig",

@@ -22,6 +22,7 @@ import hashlib
 
 import numpy as np
 
+from repro.cloud.platform import PlatformProfile
 from repro.cloud.topology import RegionProfile
 from repro.errors import CloudError
 from repro.fleet import FleetStore, FleetView, HostHandle
@@ -40,13 +41,28 @@ class DataCenter:
         Shared simulated clock (drives serving-pool rotation).
     seed:
         Seed for fleet synthesis and rotation; fix it for reproducibility.
+    platform:
+        Optional :class:`~repro.cloud.platform.PlatformProfile`; its
+        per-channel noise multipliers shape every host's contention
+        domains.  ``None`` (and the neutral ``default`` profile) build a
+        byte-identical fleet.
     """
 
-    def __init__(self, profile: RegionProfile, clock: SimClock, seed: int = 0) -> None:
+    def __init__(
+        self,
+        profile: RegionProfile,
+        clock: SimClock,
+        seed: int = 0,
+        platform: PlatformProfile | None = None,
+    ) -> None:
         self.profile = profile
         self.clock = clock
+        self.platform = platform
         self._rng = np.random.default_rng(seed)
-        fleet_config = HostFleetConfig(n_hosts=profile.n_hosts)
+        fleet_config = HostFleetConfig(
+            n_hosts=profile.n_hosts,
+            channel_noise=platform.channel_noise if platform is not None else (),
+        )
         self.hosts: list[PhysicalHost] = build_fleet(
             fleet_config, clock.now(), self._rng, id_prefix=profile.name
         )

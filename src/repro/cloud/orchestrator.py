@@ -27,6 +27,7 @@ from repro.cloud.datacenter import DataCenter
 from repro.cloud.instance import ContainerInstance, InstanceState
 from repro.cloud.loadbalancer import DemandTracker, HelperHostRecruiter
 from repro.cloud.placement import PlacementPolicy, PlacementRequest
+from repro.cloud.platform import PlatformProfile
 from repro.cloud.services import Service, ServiceConfig
 from repro.errors import CloudError, LaunchError
 from repro.faults import DEFAULT_LAUNCH_RETRY, FaultPlan, RetryPolicy
@@ -54,6 +55,11 @@ class Orchestrator:
     retry_policy:
         Bounded retry-with-backoff for failed launch attempts (backoff is
         slept in simulated time).  Defaults to two retries.
+    platform:
+        Optional :class:`~repro.cloud.platform.PlatformProfile` shaping
+        the orchestrator personality (idle window, sandbox generation,
+        placement spread).  Defaults to the datacenter's profile, so
+        building the datacenter with one is enough.
     """
 
     def __init__(
@@ -62,19 +68,21 @@ class Orchestrator:
         tsc_policy: TscPolicy = TscPolicy.NATIVE,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        platform: PlatformProfile | None = None,
     ) -> None:
         self.datacenter = datacenter
         self.clock = datacenter.clock
         self.tsc_policy = tsc_policy
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_LAUNCH_RETRY
+        self.platform = platform if platform is not None else datacenter.platform
         self.scheduler = EventScheduler(self.clock)
         self.accounts: dict[str, Account] = {}
         self.services: dict[str, Service] = {}
         self.instances: dict[str, ContainerInstance] = {}
         self.fleet = datacenter.fleet
         self._rng = np.random.default_rng(datacenter.rng.integers(2**63))
-        self._placement = PlacementPolicy(self._rng)
+        self._placement = PlacementPolicy(self._rng, platform=self.platform)
         self._demand = DemandTracker(datacenter.profile)
         self._recruiter = HelperHostRecruiter(datacenter.profile, self._rng)
         self._billed_seconds: dict[str, float] = {}
@@ -309,15 +317,20 @@ class Orchestrator:
             self._svc_state.ensure(instance.service.qualified_name)
         )
         self._settle_billing(instance)
+        idle_grace, idle_deadline = profile.idle_grace, profile.idle_deadline
+        if self.platform is not None:
+            idle_grace, idle_deadline = self.platform.idle_window(
+                idle_grace, idle_deadline
+            )
         stream = self._idle_streams.get(instance.service.qualified_name)
         if stream is None:
-            deadline = now + self._rng.uniform(profile.idle_grace, profile.idle_deadline)
+            deadline = now + self._rng.uniform(idle_grace, idle_deadline)
         else:
             # Hashed per-instance draw: order-independent, and consumes
             # nothing from the shared RNG, so interleaved background
             # tenants cannot perturb foreground draw sequences.
-            span_s = profile.idle_deadline - profile.idle_grace
-            deadline = now + profile.idle_grace + stream(instance.instance_id) * span_s
+            span_s = idle_deadline - idle_grace
+            deadline = now + idle_grace + stream(instance.instance_id) * span_s
         self._schedule_idle_reap(instance, idle_epoch=instance.last_active_at, when=deadline)
 
     def set_idle_deadline_stream(
@@ -613,7 +626,7 @@ class Orchestrator:
             host_of = self.datacenter.host
             cls = (
                 GVisorSandbox
-                if service.config.generation == "gen1"
+                if self._generation(service) == "gen1"
                 else MicroVMSandbox
             )
             for host_index, seed in zip(chosen.tolist(), seeds.tolist()):
@@ -686,10 +699,17 @@ class Orchestrator:
             current_telemetry().count("faults.launch_retries")
             attempt += 1
 
+    def _generation(self, service: Service) -> str:
+        """A service's effective sandbox generation under the platform."""
+        generation = service.config.generation
+        if self.platform is not None:
+            generation = self.platform.generation_for(generation)
+        return generation
+
     def _make_sandbox(self, service: Service, host_id: str, instance_id: str) -> Sandbox:
         host = self.datacenter.host(host_id)
         sandbox_rng = np.random.default_rng(self._rng.integers(2**63))
-        cls = GVisorSandbox if service.config.generation == "gen1" else MicroVMSandbox
+        cls = GVisorSandbox if self._generation(service) == "gen1" else MicroVMSandbox
         return cls(host, self.clock, sandbox_rng, instance_id, tsc_policy=self.tsc_policy)
 
     #: Gen 2 microVMs have a larger resource footprint and boot slower
@@ -704,7 +724,7 @@ class Orchestrator:
             profile.baseline_startup
             + profile.per_instance_startup * new_count * slowdown
         )
-        if service.config.generation == "gen2":
+        if self._generation(service) == "gen2":
             seconds *= self.GEN2_STARTUP_FACTOR
         return seconds
 
@@ -747,10 +767,11 @@ class Orchestrator:
         # A destroyed container's guest loops stop executing, so any
         # hardware pressure it still held (an attacker killed mid-lock)
         # is released with it — otherwise a dead locker would pin its
-        # host's contention level forever.
+        # host's contention level forever.  ``release_pressure`` covers
+        # every channel domain the host has instantiated, not just the
+        # two eager ones.
         host = self.datacenter.host(instance.host_id)
-        host.rng_resource.stop_pressure(instance.instance_id)
-        host.memory_bus.stop_pressure(instance.instance_id)
+        host.release_pressure(instance.instance_id)
         handle = self.datacenter.host_handle(instance.host_id)
         handle.release_load(instance.service.config.size.slots)
         handle.dec_service(instance.service.qualified_name)

@@ -31,13 +31,18 @@ column operations.  Two equivalent execution paths exist:
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import NoCapacityError
 from repro.fleet import FleetStore, SparseServiceCounts
+
+if TYPE_CHECKING:  # import cycle: platform -> ... only at type-check time
+    from repro.cloud.platform import PlatformProfile
 
 #: Scatter-free batches up to this size take the repeated-argmin path;
 #: larger ones amortize better through the lexsort fast path.
@@ -79,10 +84,21 @@ class PlacementRequest:
 
 
 class PlacementPolicy:
-    """Least-loaded near-uniform placement over an allowed host set."""
+    """Least-loaded near-uniform placement over an allowed host set.
 
-    def __init__(self, rng: np.random.Generator) -> None:
+    An optional :class:`~repro.cloud.platform.PlatformProfile` scales the
+    per-request scatter probability (its ``placement_spread`` knob); the
+    neutral profile (and ``None``) leaves every request untouched, so the
+    heap/lexsort draw-order contract is unaffected.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        platform: "PlatformProfile | None" = None,
+    ) -> None:
         self._rng = rng
+        self._platform = platform
 
     def place(self, request: PlacementRequest, store: FleetStore) -> np.ndarray:
         """Choose a host index for each requested instance.
@@ -96,6 +112,14 @@ class PlacementPolicy:
         NoCapacityError
             If no feasible host remains for some instance.
         """
+        if self._platform is not None:
+            effective = self._platform.effective_scatter(
+                request.scatter_probability
+            )
+            if effective != request.scatter_probability:
+                request = dataclasses.replace(
+                    request, scatter_probability=effective
+                )
         allowed = np.asarray(request.allowed, dtype=np.int64)
         if allowed.size == 0:
             raise NoCapacityError("placement request has no allowed hosts")

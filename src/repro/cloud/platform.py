@@ -1,0 +1,212 @@
+"""Platform profiles: AWS/Azure-style orchestrator personalities.
+
+The paper's measurements target Google Cloud Run, but the methodology is
+platform-generic — what changes between FaaS providers is a small bundle
+of *placement and exposure* knobs: how aggressively instances spread over
+hosts, how long idle instances linger (Lambda keeps them minutes, Azure
+Functions tens of minutes), which sandbox generation serves the workload,
+whether instance identity leaks a Gen1-style bootable fingerprint or only
+a Gen2-style one, and how noisy each covert channel's background floor is
+on that provider's multi-tenancy mix.
+
+A :class:`PlatformProfile` bundles those knobs.  The ``default`` profile
+is the identity element: every knob at its neutral value, so a simulation
+built with it is byte-identical (same RNG draw order, same golden traces)
+to one built with no profile at all.  ``aws_lambda_like`` and
+``azure_functions_like`` are stylized non-Google personalities for the
+cross-platform sweeps (:mod:`repro.experiments.channel_matrix`).
+
+Profiles reach worker processes explicitly (the runner carries them next
+to fault plans — ambient contextvars do not survive a process pool), and
+an ambient :func:`platform_context` serves in-process composition.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import CloudError
+from repro.hardware.channels import channel_kind
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """One FaaS platform personality.
+
+    Attributes
+    ----------
+    name / description:
+        Registry key and one-line summary.
+    placement_spread:
+        Multiplier on the account's scatter probability (the placement
+        policy's host-spreading dynamism).  ``1.0`` is neutral; > 1
+        spreads new instances over more hosts (AWS-style fleet churn),
+        < 1 concentrates them (Azure-style packing).
+    idle_grace_s / idle_deadline_s:
+        Platform-specific idle-termination window, overriding the region
+        profile's; ``None`` keeps the region default.
+    sandbox_generation:
+        Force every service onto ``"gen1"`` or ``"gen2"`` sandboxes
+        regardless of service configuration; ``None`` respects the
+        service's own generation.
+    instance_id_exposure:
+        Which fingerprinting surface instance identity exposes:
+        ``"gen1"`` (boot-time + TSC fingerprints, Lambda-bare-metal
+        style) or ``"gen2"`` (virtualized, unique-ID style).
+    channel_noise:
+        ``(kind, multiplier)`` pairs scaling each covert channel's
+        background-contention rate on this platform's tenancy mix; kinds
+        absent from the tuple stay at registry defaults.  A tuple so the
+        profile stays frozen/hashable and cache-key canonicalizable.
+    """
+
+    name: str
+    description: str
+    placement_spread: float = 1.0
+    idle_grace_s: float | None = None
+    idle_deadline_s: float | None = None
+    sandbox_generation: str | None = None
+    instance_id_exposure: str = "gen1"
+    channel_noise: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.placement_spread <= 0.0:
+            raise CloudError(
+                f"{self.name}: placement_spread must be > 0, got "
+                f"{self.placement_spread!r}"
+            )
+        if (self.idle_grace_s is None) != (self.idle_deadline_s is None):
+            raise CloudError(
+                f"{self.name}: idle_grace_s and idle_deadline_s must be "
+                f"overridden together"
+            )
+        if self.idle_grace_s is not None and not (
+            0.0 <= self.idle_grace_s <= self.idle_deadline_s
+        ):
+            raise CloudError(
+                f"{self.name}: need 0 <= idle_grace_s <= idle_deadline_s, got "
+                f"{self.idle_grace_s!r}/{self.idle_deadline_s!r}"
+            )
+        if self.sandbox_generation not in (None, "gen1", "gen2"):
+            raise CloudError(
+                f"{self.name}: unknown sandbox_generation "
+                f"{self.sandbox_generation!r}; expected None, 'gen1' or 'gen2'"
+            )
+        if self.instance_id_exposure not in ("gen1", "gen2"):
+            raise CloudError(
+                f"{self.name}: unknown instance_id_exposure "
+                f"{self.instance_id_exposure!r}; expected 'gen1' or 'gen2'"
+            )
+        for kind_name, multiplier in self.channel_noise:
+            channel_kind(kind_name)  # unknown kinds raise, naming the registry
+            if multiplier <= 0.0:
+                raise CloudError(
+                    f"{self.name}: channel {kind_name!r} noise multiplier "
+                    f"must be > 0, got {multiplier!r}"
+                )
+
+    def effective_scatter(self, scatter_probability: float) -> float:
+        """Apply the platform's spread multiplier to a scatter probability.
+
+        Neutral spread (exactly 1.0) returns the input object unchanged —
+        no float round-trip — preserving byte-identity for the default
+        profile; zero stays zero so isolated placements stay isolated.
+        """
+        if self.placement_spread == 1.0 or scatter_probability <= 0.0:
+            return scatter_probability
+        return min(1.0, scatter_probability * self.placement_spread)
+
+    def idle_window(self, idle_grace: float, idle_deadline: float) -> tuple[float, float]:
+        """Resolve the idle-termination window over region defaults."""
+        if self.idle_grace_s is None:
+            return idle_grace, idle_deadline
+        return self.idle_grace_s, self.idle_deadline_s
+
+    def generation_for(self, service_generation: str) -> str:
+        """Resolve a service's sandbox generation under this platform."""
+        if self.sandbox_generation is None:
+            return service_generation
+        return self.sandbox_generation
+
+    def noise_multiplier(self, kind: str) -> float:
+        """The background-noise multiplier for one channel kind."""
+        for kind_name, multiplier in self.channel_noise:
+            if kind_name == kind:
+                return multiplier
+        return 1.0
+
+
+PLATFORM_PROFILES: dict[str, PlatformProfile] = {
+    profile.name: profile
+    for profile in (
+        PlatformProfile(
+            name="default",
+            description="neutral Cloud Run-style baseline (every knob inert)",
+        ),
+        PlatformProfile(
+            name="aws_lambda_like",
+            description=(
+                "Lambda-style: Firecracker microVMs, short idle reaping, "
+                "wide placement spread, busy cache hierarchy"
+            ),
+            placement_spread=1.4,
+            idle_grace_s=5 * units.MINUTE,
+            idle_deadline_s=10 * units.MINUTE,
+            sandbox_generation="gen2",
+            instance_id_exposure="gen2",
+            channel_noise=(("llc", 2.0), ("dvfs", 1.25)),
+        ),
+        PlatformProfile(
+            name="azure_functions_like",
+            description=(
+                "Azure Functions-style: process-level sandboxes, long idle "
+                "retention, packed placement, power-budget pressure"
+            ),
+            placement_spread=0.7,
+            idle_grace_s=20 * units.MINUTE,
+            idle_deadline_s=30 * units.MINUTE,
+            sandbox_generation="gen1",
+            instance_id_exposure="gen1",
+            channel_noise=(("dvfs", 2.0), ("llc", 1.25)),
+        ),
+    )
+}
+
+
+def platform_profile(name: str) -> PlatformProfile:
+    """Look up a platform profile; unknown names list what exists."""
+    try:
+        return PLATFORM_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORM_PROFILES))
+        raise CloudError(
+            f"unknown platform profile: {name!r}; known profiles: {known}"
+        ) from None
+
+
+_current_platform: ContextVar[PlatformProfile | None] = ContextVar(
+    "current_platform", default=None
+)
+
+
+def current_platform() -> PlatformProfile | None:
+    """The ambient platform profile, or ``None`` outside any context."""
+    return _current_platform.get()
+
+
+@contextlib.contextmanager
+def platform_context(platform: PlatformProfile | None):
+    """Ambiently scope a platform profile (in-process composition only).
+
+    Contextvars do not propagate into process-pool workers; the runner
+    carries the profile explicitly (like fault plans) and re-enters this
+    context inside each worker.
+    """
+    token = _current_platform.set(platform)
+    try:
+        yield platform
+    finally:
+        _current_platform.reset(token)

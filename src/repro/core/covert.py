@@ -18,14 +18,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import ClassVar, Sequence
 
 import numpy as np
 
 from repro.cloud.api import InstanceHandle
 from repro.errors import InstanceGoneError, VerificationError
 from repro.faults import FaultPlan, current_fault_plan
-from repro.hardware.rng_resource import RngContentionResource
+from repro.hardware.channels import DvfsFrequencyResource
+from repro.hardware.rng_resource import ContentionResource
 from repro.sandbox.base import ChannelPort, Sandbox
 from repro.telemetry import HistogramSummary, MetricSet, current_telemetry
 
@@ -173,6 +174,11 @@ class CovertChannel(abc.ABC):
 class RngCovertChannel(CovertChannel):
     """CTest over hardware-RNG contention (the paper's channel).
 
+    Also the concrete base of every registry-backed channel: subclasses
+    *declare* their :attr:`kind` (a :mod:`repro.hardware.channels` registry
+    name) instead of overriding the start/observe/stop/port hooks, and the
+    generic sandbox channel surface does the per-kind routing.
+
     Parameters
     ----------
     total_rounds / required_rounds:
@@ -198,6 +204,9 @@ class RngCovertChannel(CovertChannel):
         belt-and-braces debugging, not because results differ.
     """
 
+    #: Registry name of the covert-channel kind this class tests over.
+    kind: ClassVar[str] = "rng"
+
     def __init__(
         self,
         total_rounds: int = 60,
@@ -222,26 +231,23 @@ class RngCovertChannel(CovertChannel):
         #: window (diagnostics; the identity suite pins loop vs batched).
         self._last_hits: dict[str, int] = {}
 
-    # Resource hooks; subclasses pick a different shared resource.  The
-    # ``_observe``/``_port`` pair must stay consistent: ``_port`` names the
-    # host resource whose batched engine reproduces ``_observe``'s scalar
-    # stream, and the vectorized path refuses to run (falls back to the
-    # loop) when a subclass overrides one without the other.
-    @staticmethod
-    def _start(sandbox) -> None:
-        sandbox.start_rng_pressure()
+    # Resource hooks, routed through the generic sandbox channel surface
+    # by declared kind.  The ``_observe``/``_port`` pair must stay
+    # consistent: ``_port`` yields the host resource whose batched engine
+    # reproduces ``_observe``'s scalar stream, and the vectorized path
+    # refuses to run (falls back to the loop) when a subclass overrides
+    # one without the other.
+    def _start(self, sandbox) -> None:
+        sandbox.start_channel_pressure(self.kind)
 
-    @staticmethod
-    def _observe(sandbox) -> int:
-        return sandbox.observe_rng_contention()
+    def _observe(self, sandbox) -> int:
+        return sandbox.observe_channel_contention(self.kind)
 
-    @staticmethod
-    def _stop(sandbox) -> None:
-        sandbox.stop_rng_pressure()
+    def _stop(self, sandbox) -> None:
+        sandbox.stop_channel_pressure(self.kind)
 
-    @staticmethod
-    def _port(sandbox) -> ChannelPort | None:
-        return sandbox.rng_channel_port()
+    def _port(self, sandbox) -> ChannelPort | None:
+        return sandbox.channel_port(self.kind)
 
     def ctest_batch(
         self,
@@ -441,9 +447,9 @@ class RngCovertChannel(CovertChannel):
                 return None
             resource = port.resource
             if (
-                type(resource).observe is not RngContentionResource.observe
+                type(resource).observe is not ContentionResource.observe
                 or type(resource).observe_rounds
-                is not RngContentionResource.observe_rounds
+                is not ContentionResource.observe_rounds
             ):
                 return None
             ports[handle.instance_id] = port
@@ -509,6 +515,8 @@ class MemoryBusCovertChannel(RngCovertChannel):
     figure the paper quotes for this channel.
     """
 
+    kind: ClassVar[str] = "bus"
+
     def __init__(
         self,
         total_rounds: int = 60,
@@ -525,28 +533,143 @@ class MemoryBusCovertChannel(RngCovertChannel):
             vectorized=vectorized,
         )
 
-    @staticmethod
-    def _start(sandbox) -> None:
-        sandbox.start_bus_pressure()
 
-    @staticmethod
-    def _observe(sandbox) -> int:
-        return sandbox.observe_bus_contention()
+class LlcOccupancyChannel(RngCovertChannel):
+    """CTest over LLC cache-occupancy contention (Zhao & Fletcher).
 
-    @staticmethod
-    def _stop(sandbox) -> None:
-        sandbox.stop_bus_pressure()
+    The per-round signal is coarse — occupancy stops resolving individual
+    sweepers once the cache is fully thrashed (the resource's
+    ``saturation`` clamp) — and ordinary tenant working sets keep the
+    background-contention floor an order of magnitude above the RNG
+    channel's, so the default window integrates as long as the RNG test
+    but accepts a laxer hit quota.  Everything else (``observe_rounds``
+    batching, fault-death semantics, verdict noise) is the shared engine,
+    unchanged.
+    """
 
-    @staticmethod
-    def _port(sandbox) -> ChannelPort | None:
-        return sandbox.bus_channel_port()
+    kind: ClassVar[str] = "llc"
+
+    def __init__(
+        self,
+        total_rounds: int = 60,
+        required_rounds: int = 36,
+        seconds_per_test: float = 2.5,
+        fault_plan: FaultPlan | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(
+            total_rounds=total_rounds,
+            required_rounds=required_rounds,
+            seconds_per_test=seconds_per_test,
+            fault_plan=fault_plan,
+            vectorized=vectorized,
+        )
+
+
+class DvfsFingerprintChannel(RngCovertChannel):
+    """CTest over DVFS frequency-step contention (Dipta et al.).
+
+    Pressure here is *sustained CPU load*: ``_start`` registers a busy
+    period on the host's activity meter (visible to co-located probes like
+    any other work; consumes no sandbox randomness) before joining the
+    frequency-step contention domain.  What the guest physically records
+    is its own spin-loop frequency — the sustained-load frequency *trace*
+    exposed by :meth:`frequency_trace_hz` — but the level-to-frequency map
+    is strictly monotone decreasing
+    (:meth:`~repro.hardware.channels.DvfsFrequencyResource.frequency_of_level`),
+    so thresholding the level stream at ``m`` is the same verdict as
+    thresholding the frequency trace at :meth:`frequency_threshold_hz`,
+    and the CTest verdict machinery runs unchanged.
+    """
+
+    kind: ClassVar[str] = "dvfs"
+
+    def __init__(
+        self,
+        total_rounds: int = 40,
+        required_rounds: int = 24,
+        seconds_per_test: float = 3.0,
+        fault_plan: FaultPlan | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(
+            total_rounds=total_rounds,
+            required_rounds=required_rounds,
+            seconds_per_test=seconds_per_test,
+            fault_plan=fault_plan,
+            vectorized=vectorized,
+        )
+
+    def _start(self, sandbox) -> None:
+        # The pressurer *is* a sustained load: register the busy period
+        # first so co-located activity probes see it for the whole window,
+        # then join the frequency-step contention domain.
+        sandbox.run_busy(self.seconds_per_test)
+        sandbox.start_channel_pressure(self.kind)
+
+    def _frequency_resource(self, sandbox: Sandbox) -> DvfsFrequencyResource:
+        port = sandbox.channel_port(self.kind)
+        if port is None:
+            raise VerificationError(
+                "customized sandbox does not expose a dvfs channel port"
+            )
+        resource = port.resource
+        if not isinstance(resource, DvfsFrequencyResource):
+            raise VerificationError(
+                f"dvfs channel needs a DvfsFrequencyResource, got "
+                f"{type(resource).__name__}"
+            )
+        return resource
+
+    def frequency_trace_hz(self, sandbox: Sandbox, levels) -> np.ndarray:
+        """Map one window's contention levels to the guest-visible trace.
+
+        This is the raw measurement a real attacker records: one achieved
+        spin-loop frequency per round, via
+        :func:`repro.core.frequency.sustained_load_frequency_hz`.
+        """
+        from repro.core.frequency import sustained_load_frequency_hz
+
+        resource = self._frequency_resource(sandbox)
+        return np.asarray(sustained_load_frequency_hz(resource, levels))
+
+    def frequency_threshold_hz(self, sandbox: Sandbox, threshold_m: int) -> float:
+        """Frequency below which a round counts as contended at ``m``."""
+        return self._frequency_resource(sandbox).frequency_of_level(threshold_m)
+
+
+#: Channel kind -> CTest provider class: the construction-side mirror of
+#: the :mod:`repro.hardware.channels` resource registry.
+COVERT_CHANNEL_CLASSES: dict[str, type[RngCovertChannel]] = {
+    RngCovertChannel.kind: RngCovertChannel,
+    MemoryBusCovertChannel.kind: MemoryBusCovertChannel,
+    LlcOccupancyChannel.kind: LlcOccupancyChannel,
+    DvfsFingerprintChannel.kind: DvfsFingerprintChannel,
+}
+
+
+def covert_channel_for(kind: str, **kwargs) -> RngCovertChannel:
+    """Build the CTest provider for a channel kind.
+
+    Keyword arguments pass through to the class constructor (rounds,
+    window length, ``fault_plan``, ``vectorized``).
+    """
+    try:
+        cls = COVERT_CHANNEL_CLASSES[kind]
+    except KeyError:
+        known = ", ".join(sorted(COVERT_CHANNEL_CLASSES))
+        raise VerificationError(
+            f"no covert channel for kind {kind!r}; known kinds: {known}"
+        ) from None
+    return cls(**kwargs)
 
 
 #: Observe/port hook pairs proven stream-identical between the scalar and
 #: batched engines; subclasses that override either hook fall off this set
 #: and run the scalar loop (correct, just slower) until they register a
-#: consistent pair of their own.
+#: consistent pair of their own.  Every kind-declaring channel inherits
+#: the one generic pair — per-kind routing lives in the sandbox channel
+#: surface, not in the hooks — so the set has a single entry.
 _VECTOR_SAFE_ENGINES = {
     (RngCovertChannel._observe, RngCovertChannel._port),
-    (MemoryBusCovertChannel._observe, MemoryBusCovertChannel._port),
 }

@@ -14,6 +14,11 @@ from repro.cloud.accounts import Account
 from repro.cloud.api import FaaSClient
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.orchestrator import Orchestrator
+from repro.cloud.platform import (
+    PlatformProfile,
+    current_platform,
+    platform_profile,
+)
 from repro.cloud.topology import RegionProfile, region_profile
 from repro.cloud.traffic import BackgroundDriver, TenantPopulation, TrafficConfig
 from repro.faults import (
@@ -100,6 +105,7 @@ def default_env(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     background: TrafficConfig | None = None,
+    platform: PlatformProfile | str | None = None,
 ) -> SimulationEnv:
     """Build a fresh simulated region with the three evaluation accounts.
 
@@ -129,11 +135,22 @@ def default_env(
         autoscaling in the background of whatever the experiment does.
         ``None`` (the default) keeps the historical quiet region —
         byte-identical traces, guaranteed.
+    platform:
+        Optional :class:`~repro.cloud.platform.PlatformProfile` (or its
+        registry name) giving the region a non-Google orchestrator
+        personality.  ``None`` resolves the ambient profile
+        (:func:`~repro.cloud.platform.current_platform`) — set by the
+        runner under ``--platform`` — and falls back to the neutral
+        baseline, which builds a byte-identical environment.
     """
     clock = SimClock()
     current_telemetry().use_clock(clock)
     resolved = profile if profile is not None else region_profile(region)
-    datacenter = DataCenter(resolved, clock, seed=seed)
+    if isinstance(platform, str):
+        platform = platform_profile(platform)
+    if platform is None:
+        platform = current_platform()
+    datacenter = DataCenter(resolved, clock, seed=seed, platform=platform)
     if fault_plan is None:
         fault_plan = current_fault_plan()
     orchestrator = Orchestrator(

@@ -435,6 +435,39 @@ def _background_load(scale: str, runner: RunnerConfig | None = None) -> str:
     return table + "\n\n" + chart
 
 
+def _channel_matrix(scale: str, runner: RunnerConfig | None = None) -> str:
+    from repro.analysis.asciichart import render_series
+    from repro.experiments import channel_matrix
+
+    config = channel_matrix.MatrixConfig(repetitions=_reps(scale, 3, 1))
+    summary = channel_matrix.run(config, runner=runner)
+    short = {"aws_lambda_like": "aws-lambda", "azure_functions_like": "azure-func"}
+    table = format_series(
+        "Channel x platform matrix — co-location accuracy and cost (extension)",
+        ("channel", "platform", "fmi", "precision", "recall", "tests", "busy_s"),
+        [
+            (
+                p.channel,
+                short.get(p.platform, p.platform),
+                f"{p.mean_fmi:.3f}",
+                pct(p.mean_precision),
+                pct(p.mean_recall),
+                f"{p.mean_tests:.1f}",
+                f"{p.mean_busy_seconds:.1f}",
+            )
+            for p in summary.points
+        ],
+    )
+    chart = render_series(
+        [p.mean_busy_seconds for p in summary.points],
+        [100.0 * p.mean_fmi for p in summary.points],
+        title="accuracy (FMI %) vs channel busy time (s), all matrix cells",
+        x_label="busy_s",
+        y_label="FMI %",
+    )
+    return table + "\n\n" + chart
+
+
 def _cost(scale: str, runner: RunnerConfig | None = None) -> str:
     result = attack_cost.run(attack_cost.AttackCostConfig(repetitions=_reps(scale, 2)))
     return format_comparison(
@@ -470,6 +503,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "surveillance": ("all-day sustained co-location (extension)", _surveillance),
     "victim_locator": ("uncontrolled-victim localization (extension)", _victim_locator),
     "background_load": ("attack coverage vs background load (extension)", _background_load),
+    "channel_matrix": ("channel x platform accuracy/cost matrix (extension)", _channel_matrix),
     "defenses": ("§6 defense evaluation (extension)", _defenses),
 }
 

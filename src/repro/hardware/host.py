@@ -16,10 +16,12 @@ realistic diversity:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from repro import units
+from repro.hardware.channels import channel_kind
 from repro.hardware.cpu import CPUModel, DEFAULT_CPU_CATALOG
 from repro.hardware.noise import (
     SyscallNoiseModel,
@@ -28,7 +30,7 @@ from repro.hardware.noise import (
     quiet_noise_model,
 )
 from repro.hardware.cpu_activity import CpuActivityMeter
-from repro.hardware.rng_resource import RngContentionResource
+from repro.hardware.rng_resource import ContentionResource, RngContentionResource
 from repro.hardware.tsc import TimestampCounter
 
 
@@ -61,13 +63,19 @@ class PhysicalHost:
     capacity_slots:
         How many Small-sized container instances the host can hold; larger
         containers consume proportionally more slots.
+    channel_noise:
+        Per-channel-kind background-noise multipliers (a
+        :class:`~repro.cloud.platform.PlatformProfile` knob).  Kinds absent
+        from the mapping keep their registry-default rates; an empty
+        mapping (the default) leaves every eagerly-built resource object
+        untouched, preserving byte-identity.
     """
 
     host_id: str
     cpu: CPUModel
     tsc: TimestampCounter
-    rng_resource: RngContentionResource = field(default_factory=RngContentionResource)
-    memory_bus: RngContentionResource = field(
+    rng_resource: ContentionResource = field(default_factory=RngContentionResource)
+    memory_bus: ContentionResource = field(
         default_factory=lambda: RngContentionResource(
             background_rate=0.18, drop_rate=0.05
         )
@@ -76,26 +84,65 @@ class PhysicalHost:
     syscall_noise: SyscallNoiseModel = field(default_factory=quiet_noise_model)
     problematic_timing: bool = False
     capacity_slots: float = 160.0
+    channel_noise: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Platform noise on the two eagerly-built channels replaces the
+        # field object *before* anything registers pressure, so the field
+        # and the channel table always name the same resource.  With no
+        # multiplier (or exactly 1.0) the default-factory objects survive
+        # untouched — byte-identical to the pre-registry host.
+        for kind_name in ("rng", "bus"):
+            multiplier = float(self.channel_noise.get(kind_name, 1.0))
+            if multiplier != 1.0:
+                resource = channel_kind(kind_name).build_resource(multiplier)
+                if kind_name == "rng":
+                    self.rng_resource = resource
+                else:
+                    self.memory_bus = resource
+        #: kind name -> shared contention domain.  Seeded with the two
+        #: eager field resources; other registered kinds are built lazily
+        #: on first use (so merely *registering* a kind never perturbs any
+        #: existing resource or RNG stream).
+        self._channels: dict[str, ContentionResource] = {
+            "rng": self.rng_resource,
+            "bus": self.memory_bus,
+        }
 
     @property
     def boot_time(self) -> float:
         """Wall-clock boot time of this host."""
         return self.tsc.boot_time
 
-    def channel_resource(self, kind: str) -> RngContentionResource:
+    def channel_resource(self, kind: str) -> ContentionResource:
         """The shared contention domain for one covert-channel kind.
 
-        ``"rng"`` names the hardware-RNG domain and ``"bus"`` the
-        memory-bus domain (both share the contention model; they differ
-        only in background/drop rates).  The batched CTest engine resolves
-        its per-host observation target through this single lookup so new
-        channel kinds only need a new name here.
+        Kinds come from the :mod:`repro.hardware.channels` registry
+        (``"rng"``, ``"bus"``, ``"llc"``, ``"dvfs"``, plus anything
+        registered later); the batched CTest engine resolves its per-host
+        observation target through this single lookup, so a new channel
+        kind needs only a registry entry.  Unknown kinds raise a
+        ``ValueError`` naming the registered kinds.
         """
-        if kind == "rng":
-            return self.rng_resource
-        if kind == "bus":
-            return self.memory_bus
-        raise ValueError(f"unknown covert-channel resource kind: {kind!r}")
+        resource = self._channels.get(kind)
+        if resource is None:
+            descriptor = channel_kind(kind)
+            resource = descriptor.build_resource(
+                float(self.channel_noise.get(kind, 1.0))
+            )
+            self._channels[kind] = resource
+        return resource
+
+    def release_pressure(self, instance_id: str) -> None:
+        """Unregister an instance from every instantiated channel domain.
+
+        Termination-time cleanup: a destroyed container's guest loops stop
+        executing, so whatever hardware pressure it still held is released
+        with it.  Only channels this host has actually served are touched
+        (lazily-built kinds that never came up have no pressurers).
+        """
+        for resource in self._channels.values():
+            resource.stop_pressure(instance_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PhysicalHost({self.host_id!r}, cpu={self.cpu.name!r})"
@@ -124,6 +171,11 @@ class HostFleetConfig:
         Per-host capacity in Small-instance slots.
     cpu_catalog:
         ``(model, weight)`` pairs to draw CPU models from.
+    channel_noise:
+        ``(kind, multiplier)`` pairs applied to every host's channel
+        background rates (see :attr:`PhysicalHost.channel_noise`); a tuple
+        so the config stays frozen/hashable.  Empty means registry
+        defaults everywhere.
     """
 
     n_hosts: int
@@ -134,6 +186,7 @@ class HostFleetConfig:
     tsc_error: TscErrorModel = field(default_factory=TscErrorModel)
     capacity_slots: float = 160.0
     cpu_catalog: tuple[tuple[CPUModel, float], ...] = DEFAULT_CPU_CATALOG
+    channel_noise: tuple[tuple[str, float], ...] = ()
 
 
 def _sample_boot_times(
@@ -182,6 +235,7 @@ def build_fleet(
     weights /= weights.sum()
     model_idx = rng.choice(len(models), size=config.n_hosts, p=weights)
     boot_times = _sample_boot_times(config, now, rng)
+    channel_noise = dict(config.channel_noise)
 
     hosts: list[PhysicalHost] = []
     for i in range(config.n_hosts):
@@ -201,6 +255,7 @@ def build_fleet(
                 ),
                 problematic_timing=problematic,
                 capacity_slots=config.capacity_slots,
+                channel_noise=channel_noise,
             )
         )
     return hosts

@@ -10,10 +10,15 @@ registers itself here.  A pressuring instance observing the channel sees a
 contention level equal to the total number of co-located pressurers
 (including itself), occasionally perturbed by background activity.
 
+The same contention model backs every registered covert-channel kind (see
+:mod:`repro.hardware.channels`): the kinds differ in their background/drop
+rates and, for coarse channels like LLC occupancy, an optional observation
+``saturation`` — never in draw order.
+
 Draw-order contract
 -------------------
-Both the scalar :meth:`RngContentionResource.observe` path and the batched
-:meth:`RngContentionResource.observe_rounds` engine consume each observer's
+Both the scalar :meth:`ContentionResource.observe` path and the batched
+:meth:`ContentionResource.observe_rounds` engine consume each observer's
 ``numpy`` generator in exactly the same order, which is what keeps the two
 execution strategies byte-identical (the same guarantee the columnar fleet
 store gives for placement).  Per observation by one instance:
@@ -39,26 +44,40 @@ from typing import Sequence
 import numpy as np
 
 
-class RngContentionResource:
-    """Per-host RDRAND contention domain.
+class ContentionResource:
+    """Per-host shared-hardware contention domain.
 
     Parameters
     ----------
     background_rate:
         Per-observation probability that unrelated host activity adds one
-        unit of contention (paper: "less than 1%").
+        unit of contention (paper: "less than 1%" for the RNG).
     drop_rate:
         Per-observation probability that scheduling noise makes a pressurer
         miss the contention it should have seen (its own unit still counts).
+    saturation:
+        Optional upper bound on the *observed* contention level: a coarse
+        channel (e.g. LLC occupancy) cannot resolve more than this many
+        concurrent pressurers, so levels clamp to it.  The clamp is applied
+        after all draws, so ``None`` (no clamp, the default) and any
+        saturation consume byte-identical randomness.
     """
 
-    def __init__(self, background_rate: float = 0.005, drop_rate: float = 0.02) -> None:
+    def __init__(
+        self,
+        background_rate: float = 0.005,
+        drop_rate: float = 0.02,
+        saturation: int | None = None,
+    ) -> None:
         if not 0.0 <= background_rate < 1.0:
             raise ValueError(f"background_rate out of range: {background_rate!r}")
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate out of range: {drop_rate!r}")
+        if saturation is not None and saturation < 1:
+            raise ValueError(f"saturation must be >= 1, got {saturation!r}")
         self.background_rate = background_rate
         self.drop_rate = drop_rate
+        self.saturation = saturation
         self._pressurers: set[str] = set()
 
     def start_pressure(self, instance_id: str) -> None:
@@ -98,7 +117,10 @@ class RngContentionResource:
         others = len(self._pressurers) - 1
         seen_others = sum(1 for _ in range(others) if rng.random() >= self.drop_rate)
         background = 1 if rng.random() < self.background_rate else 0
-        return 1 + seen_others + background
+        level = 1 + seen_others + background
+        if self.saturation is not None:
+            level = min(level, self.saturation)
+        return level
 
     def observe_rounds(
         self,
@@ -195,7 +217,15 @@ class RngContentionResource:
             )
             seen_others = seen_prefix[ends - 1] - seen_prefix[starts]
             background = draws[ends - 1] < self.background_rate
-            levels.append(
-                (1 + seen_others + background).astype(np.int64, copy=False)
-            )
+            stream = (1 + seen_others + background).astype(np.int64, copy=False)
+            if self.saturation is not None:
+                stream = np.minimum(stream, self.saturation)
+            levels.append(stream)
         return levels
+
+
+#: Historical name of :class:`ContentionResource`, kept as an alias (not a
+#: subclass: the vectorized CTest engine proves stream identity by comparing
+#: ``type(resource).observe`` against this class's methods, and an alias
+#: keeps every existing identity check true by construction).
+RngContentionResource = ContentionResource

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.cloud.platform import PlatformProfile, platform_context
 from repro.errors import CellExecutionError
 from repro.faults import FaultPlan, fault_context
 from repro.runner.cache import CellCache
@@ -180,6 +181,14 @@ class RunnerConfig:
         structured error results; when False (default), ``run_cells``
         raises :class:`~repro.errors.CellExecutionError` naming them —
         after every completed sibling has been computed and cached.
+    platform:
+        Optional :class:`~repro.cloud.platform.PlatformProfile`
+        (``--platform`` on the CLI), activated as the ambient profile
+        around each cell execution — carried explicitly, like the fault
+        plan, because contextvars do not survive into pool workers.  A
+        non-``None`` profile disables the cache for the run: cell keys
+        do not encode the platform, so platform-shaped values must never
+        collide with baseline entries.
     stats:
         Mutable accumulator shared across every ``run_cells`` call made
         with this config.
@@ -192,6 +201,7 @@ class RunnerConfig:
     fault_plan: FaultPlan | None = None
     max_retries: int = 1
     isolate_errors: bool = False
+    platform: PlatformProfile | None = None
     stats: RunStats = field(default_factory=RunStats)
 
     @classmethod
@@ -200,6 +210,7 @@ class RunnerConfig:
         cache_dir: str | Path | None = None,
         fault_plan: FaultPlan | None = None,
         max_retries: int | None = None,
+        platform: PlatformProfile | None = None,
     ) -> "RunnerConfig":
         """The CLI mapping: caching on by default, ``--no-cache`` skips reads."""
         return cls(
@@ -209,6 +220,7 @@ class RunnerConfig:
             cache_dir=cache_dir,
             fault_plan=fault_plan,
             max_retries=max_retries if max_retries is not None else 1,
+            platform=platform,
         )
 
 
@@ -217,6 +229,7 @@ def _execute_cell(
     fault_plan: FaultPlan | None = None,
     attempt: int = 0,
     collect_trace: bool = False,
+    platform: PlatformProfile | None = None,
 ) -> CellResult:
     """Run one cell and time it (top-level so worker processes can load it).
 
@@ -224,7 +237,9 @@ def _execute_cell(
     ``error`` field rather than propagated, so one bad cell cannot abort
     a whole pooled run.  The fault plan (if any) is consulted for an
     injected failure and activated as the ambient plan so the cell's own
-    simulation picks up launch/CTest faults.
+    simulation picks up launch/CTest faults.  A platform profile (if any)
+    is likewise activated as the ambient profile, so ``default_env`` calls
+    inside the cell inherit it.
 
     With ``collect_trace`` the cell runs under a *fresh* child
     :class:`~repro.telemetry.Telemetry` — in the parent process and in
@@ -244,7 +259,7 @@ def _execute_cell(
                 raise CellExecutionError(
                     f"injected fault (attempt {attempt})"
                 )
-            with fault_context(fault_plan):
+            with fault_context(fault_plan), platform_context(platform):
                 value = spec.fn(spec.config, spec.seed)
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         error = f"{spec.label or spec.experiment}: {type(exc).__name__}: {exc}"
@@ -277,13 +292,21 @@ def run_cells(
     stats = runner.stats
     plan = runner.fault_plan
     faulted = plan is not None and plan.enabled
+    platform = runner.platform
     telemetry = current_telemetry()
     collect = telemetry.enabled
     # Fault-injected values are resilience-drill output, not clean
     # results: never read them from or write them to the shared cache.
+    # Platform-shaped values are excluded for the same reason — the cell
+    # key does not encode the profile, so they would collide with (and
+    # poison) baseline entries.
     cache = (
         CellCache(runner.cache_dir)
-        if (not faulted and (runner.cache_read or runner.cache_write))
+        if (
+            not faulted
+            and platform is None
+            and (runner.cache_read or runner.cache_write)
+        )
         else None
     )
 
@@ -326,7 +349,9 @@ def run_cells(
     if misses and runner.parallelism >= 1:
         with ProcessPoolExecutor(max_workers=runner.parallelism) as pool:
             pending = {
-                pool.submit(_execute_cell, spec, plan, 0, collect): (index, spec, 0)
+                pool.submit(
+                    _execute_cell, spec, plan, 0, collect, platform
+                ): (index, spec, 0)
                 for index, spec in misses
             }
             while pending:
@@ -339,7 +364,7 @@ def run_cells(
                         telemetry.count("runner.cell_retries")
                         absorb_superseded(result)
                         retry = pool.submit(
-                            _execute_cell, spec, plan, attempt + 1, collect
+                            _execute_cell, spec, plan, attempt + 1, collect, platform
                         )
                         pending[retry] = (index, spec, attempt + 1)
                     else:
@@ -347,7 +372,7 @@ def run_cells(
     elif misses:
         for index, spec in misses:
             for attempt in range(runner.max_retries + 1):
-                result = _execute_cell(spec, plan, attempt, collect)
+                result = _execute_cell(spec, plan, attempt, collect, platform)
                 if result.error is None or attempt == runner.max_retries:
                     break
                 stats.cell_retries += 1

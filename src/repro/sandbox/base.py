@@ -14,8 +14,9 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.hardware.channels import channel_kind
 from repro.hardware.host import PhysicalHost
-from repro.hardware.rng_resource import RngContentionResource
+from repro.hardware.rng_resource import ContentionResource
 from repro.sandbox.syscalls import SyscallLayer
 from repro.simtime.clock import SimClock
 
@@ -23,7 +24,7 @@ from repro.simtime.clock import SimClock
 class ChannelPort(NamedTuple):
     """Engine-side ingredients for batched covert-channel observation.
 
-    A port bundles what :meth:`~repro.hardware.rng_resource.RngContentionResource.observe_rounds`
+    A port bundles what :meth:`~repro.hardware.rng_resource.ContentionResource.observe_rounds`
     needs to reproduce one sandbox's scalar observation stream: the host's
     shared contention domain, the pressure-registration id, and the
     sandbox's private randomness source.  It is simulator plumbing — the
@@ -32,7 +33,7 @@ class ChannelPort(NamedTuple):
     which only ever sees the scalar observe results.
     """
 
-    resource: RngContentionResource
+    resource: ContentionResource
     sandbox_id: str
     rng: np.random.Generator
 
@@ -176,32 +177,73 @@ class Sandbox(abc.ABC):
         """
         return self._host.memory_bus.observe(self.sandbox_id, self._rng)
 
-    def rng_channel_port(self) -> ChannelPort | None:
-        """Batched-observation port for the RNG channel, or ``None``.
+    # -- generic registry-driven channel surface -----------------------
+    def start_channel_pressure(self, kind: str) -> None:
+        """Begin pressuring one registered covert-channel kind.
+
+        Kinds whose descriptor names a legacy per-kind method (``rng``,
+        ``bus``) dispatch through it, so subclasses customizing those
+        methods keep their behavior; registry-only kinds go straight to
+        the host's shared resource.
+        """
+        descriptor = channel_kind(kind)
+        if descriptor.sandbox_start is not None:
+            getattr(self, descriptor.sandbox_start)()
+        else:
+            self._host.channel_resource(kind).start_pressure(self.sandbox_id)
+
+    def stop_channel_pressure(self, kind: str) -> None:
+        """Stop pressuring one registered covert-channel kind."""
+        descriptor = channel_kind(kind)
+        if descriptor.sandbox_stop is not None:
+            getattr(self, descriptor.sandbox_stop)()
+        else:
+            self._host.channel_resource(kind).stop_pressure(self.sandbox_id)
+
+    def observe_channel_contention(self, kind: str) -> int:
+        """Sample one kind's contention level (must be pressuring it).
+
+        The single scalar-observation entry point of the generic channel
+        surface: per-kind draw semantics live entirely in the host's
+        :class:`~repro.hardware.rng_resource.ContentionResource`, so every
+        kind inherits the module-level draw-order contract unchanged.
+        """
+        descriptor = channel_kind(kind)
+        if descriptor.sandbox_observe is not None:
+            return getattr(self, descriptor.sandbox_observe)()
+        return self._host.channel_resource(kind).observe(self.sandbox_id, self._rng)
+
+    def channel_port(self, kind: str) -> ChannelPort | None:
+        """Batched-observation port for one channel kind, or ``None``.
 
         Returns ``None`` when this sandbox's scalar observation semantics
-        have been customized (a subclass overrides
-        :meth:`observe_rng_contention`), in which case the vectorized
+        have been customized — a subclass overrides the kind's legacy
+        observe method or the generic
+        :meth:`observe_channel_contention` — in which case the vectorized
         CTest engine cannot prove stream identity and must fall back to
         the scalar per-round loop.
         """
-        if type(self).observe_rng_contention is not Sandbox.observe_rng_contention:
+        descriptor = channel_kind(kind)
+        if (
+            type(self).observe_channel_contention
+            is not Sandbox.observe_channel_contention
+        ):
             return None
+        if descriptor.sandbox_observe is not None:
+            observer = descriptor.sandbox_observe
+            if getattr(type(self), observer) is not getattr(Sandbox, observer):
+                return None
         return ChannelPort(
-            self._host.channel_resource("rng"), self.sandbox_id, self._rng
+            self._host.channel_resource(kind), self.sandbox_id, self._rng
         )
+
+    def rng_channel_port(self) -> ChannelPort | None:
+        """Deprecated shim for ``channel_port("rng")`` (same guard)."""
+        return self.channel_port("rng")
 
     def bus_channel_port(self) -> ChannelPort | None:
-        """Batched-observation port for the memory-bus channel, or ``None``.
-
-        Same customization guard as :meth:`rng_channel_port`, keyed on
-        :meth:`observe_bus_contention`.
-        """
-        if type(self).observe_bus_contention is not Sandbox.observe_bus_contention:
-            return None
-        return ChannelPort(
-            self._host.channel_resource("bus"), self.sandbox_id, self._rng
-        )
+        """Deprecated shim for ``channel_port("bus")`` (same guard)."""
+        return self.channel_port("bus")
 
     # ------------------------------------------------------------------
     # Request serving (victim-side latency surface)

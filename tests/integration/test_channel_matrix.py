@@ -1,0 +1,62 @@
+"""Integration tests for the channel x platform matrix experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import channel_matrix
+from repro.experiments.channel_matrix import MatrixConfig, MatrixSummary
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def summary() -> MatrixSummary:
+    """One small full-matrix sweep shared by the assertions below."""
+    config = MatrixConfig(repetitions=1, n_hosts=18, instances_per_service=6)
+    return channel_matrix.run(config)
+
+
+class TestMatrixSweep:
+    def test_every_cell_present_in_channel_major_order(self, summary):
+        pairs = [(p.channel, p.platform) for p in summary.points]
+        assert pairs == [
+            (channel, platform)
+            for channel in ("rng", "bus", "llc", "dvfs")
+            for platform in ("default", "aws_lambda_like", "azure_functions_like")
+        ]
+
+    def test_new_channels_reach_nonzero_accuracy_on_multiple_platforms(
+        self, summary
+    ):
+        for channel in ("llc", "dvfs"):
+            platforms_with_signal = [
+                p.platform
+                for p in summary.points
+                if p.channel == channel and p.mean_fmi > 0.0
+            ]
+            assert len(platforms_with_signal) >= 2, (
+                f"{channel} found signal on {platforms_with_signal} only"
+            )
+
+    def test_scores_are_valid_rates(self, summary):
+        for point in summary.points:
+            for value in (point.mean_fmi, point.mean_precision, point.mean_recall):
+                assert 0.0 <= value <= 1.0
+            assert point.mean_tests > 0
+            assert point.mean_busy_seconds > 0.0
+
+    def test_point_lookup(self, summary):
+        point = summary.point("llc", "aws_lambda_like")
+        assert point.channel == "llc"
+        with pytest.raises(KeyError):
+            summary.point("llc", "gcp")
+
+
+class TestRegistryEntry:
+    def test_quick_channel_matrix_produces_report(self):
+        report = run_experiment("channel_matrix", scale="quick")
+        assert "channel" in report
+        assert "aws-lambda" in report
+        assert "azure-func" in report
+        for channel in ("rng", "bus", "llc", "dvfs"):
+            assert channel in report

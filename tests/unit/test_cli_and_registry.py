@@ -106,6 +106,27 @@ class TestCli:
         assert main(["run", "exp1", "--max-retries", "-1"]) == 2
         assert "--max-retries" in capsys.readouterr().err
 
+    def test_unknown_platform_rejected(self, capsys):
+        assert main(["run", "exp1", "--platform", "gcp"]) == 2
+        err = capsys.readouterr().err
+        assert "--platform" in err
+        assert "known profiles" in err
+
+    def test_platform_run_never_touches_cache(self, capsys):
+        assert main(["run", "exp1"]) == 0  # populate the cache
+        capsys.readouterr()
+        assert main(["run", "exp1", "--platform", "azure_functions_like"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment 1" in out
+        assert "0 cache hits" in out
+
+    def test_default_platform_name_is_neutral(self, capsys):
+        assert main(["run", "exp1"]) == 0  # populate the cache
+        capsys.readouterr()
+        assert main(["run", "exp1", "--platform", "default"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits (100%)" in out
+
 
 class TestChannelStats:
     def test_record_batch_accumulates(self):
@@ -186,6 +207,16 @@ class TestBuildParser:
         assert "surveillance" in EXPERIMENTS
         assert "defenses" in EXPERIMENTS
         assert "victim_locator" in EXPERIMENTS
+        assert "channel_matrix" in EXPERIMENTS
+
+    def test_parser_accepts_platform(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "exp1", "--platform", "aws_lambda_like"]
+        )
+        assert args.platform == "aws_lambda_like"
+        assert build_parser().parse_args(["run", "exp1"]).platform is None
 
 
 class TestCliTelemetry:

@@ -1,0 +1,215 @@
+"""Platform profiles: lookup, validation, knobs, and end-to-end wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.platform import (
+    PLATFORM_PROFILES,
+    PlatformProfile,
+    current_platform,
+    platform_context,
+    platform_profile,
+)
+from repro.cloud.services import ServiceConfig
+from repro.errors import CloudError
+from repro.experiments.base import default_env
+from repro.runner import CellSpec, RunnerConfig, run_cells
+from repro.sandbox.gvisor import GVisorSandbox
+from repro.sandbox.microvm import MicroVMSandbox
+from tests.conftest import tiny_profile
+from tests.unit.test_ctest_vectorized import launch, rng_state
+
+
+class TestLookup:
+    def test_known_profiles(self):
+        assert set(PLATFORM_PROFILES) == {
+            "default",
+            "aws_lambda_like",
+            "azure_functions_like",
+        }
+        for name in PLATFORM_PROFILES:
+            assert platform_profile(name) is PLATFORM_PROFILES[name]
+
+    def test_unknown_profile_names_known_profiles(self):
+        with pytest.raises(
+            CloudError,
+            match=r"unknown platform profile: 'gcp'; known profiles: "
+            r"aws_lambda_like, azure_functions_like, default",
+        ):
+            platform_profile("gcp")
+
+
+class TestValidation:
+    def test_nonpositive_spread_rejected(self):
+        with pytest.raises(CloudError, match="placement_spread must be > 0"):
+            PlatformProfile(name="bad", description="", placement_spread=0.0)
+
+    def test_idle_window_must_be_overridden_together(self):
+        with pytest.raises(CloudError, match="overridden together"):
+            PlatformProfile(name="bad", description="", idle_grace_s=10.0)
+
+    def test_idle_window_must_be_ordered(self):
+        with pytest.raises(CloudError, match="idle_grace_s <= idle_deadline_s"):
+            PlatformProfile(
+                name="bad",
+                description="",
+                idle_grace_s=20.0,
+                idle_deadline_s=10.0,
+            )
+
+    def test_unknown_sandbox_generation_rejected(self):
+        with pytest.raises(CloudError, match="unknown sandbox_generation"):
+            PlatformProfile(name="bad", description="", sandbox_generation="gen3")
+
+    def test_unknown_exposure_rejected(self):
+        with pytest.raises(CloudError, match="unknown instance_id_exposure"):
+            PlatformProfile(name="bad", description="", instance_id_exposure="gen0")
+
+    def test_unknown_noise_kind_names_registry(self):
+        with pytest.raises(
+            ValueError, match="unknown covert-channel resource kind: 'cache'"
+        ):
+            PlatformProfile(
+                name="bad", description="", channel_noise=(("cache", 2.0),)
+            )
+
+    def test_nonpositive_noise_multiplier_rejected(self):
+        with pytest.raises(CloudError, match="noise multiplier must be > 0"):
+            PlatformProfile(
+                name="bad", description="", channel_noise=(("llc", 0.0),)
+            )
+
+
+class TestKnobs:
+    def test_neutral_scatter_returns_input_unchanged(self):
+        default = platform_profile("default")
+        assert default.effective_scatter(0.37) == 0.37
+        assert default.effective_scatter(0.0) == 0.0
+
+    def test_scatter_scales_and_caps(self):
+        aws = platform_profile("aws_lambda_like")
+        assert aws.effective_scatter(0.5) == pytest.approx(0.7)
+        assert aws.effective_scatter(0.9) == 1.0
+        assert aws.effective_scatter(0.0) == 0.0
+        azure = platform_profile("azure_functions_like")
+        assert azure.effective_scatter(0.5) == pytest.approx(0.35)
+
+    def test_idle_window_resolution(self):
+        assert platform_profile("default").idle_window(60.0, 120.0) == (60.0, 120.0)
+        assert platform_profile("aws_lambda_like").idle_window(60.0, 120.0) == (
+            300.0,
+            600.0,
+        )
+
+    def test_generation_resolution(self):
+        assert platform_profile("default").generation_for("gen1") == "gen1"
+        assert platform_profile("aws_lambda_like").generation_for("gen1") == "gen2"
+        assert platform_profile("azure_functions_like").generation_for("gen2") == "gen1"
+
+    def test_noise_multiplier_lookup(self):
+        aws = platform_profile("aws_lambda_like")
+        assert aws.noise_multiplier("llc") == 2.0
+        assert aws.noise_multiplier("dvfs") == 1.25
+        assert aws.noise_multiplier("rng") == 1.0
+
+
+class TestAmbientContext:
+    def test_context_scopes_profile(self):
+        assert current_platform() is None
+        aws = platform_profile("aws_lambda_like")
+        with platform_context(aws):
+            assert current_platform() is aws
+        assert current_platform() is None
+
+    def test_default_env_picks_up_ambient_platform(self):
+        aws = platform_profile("aws_lambda_like")
+        with platform_context(aws):
+            env = default_env(profile=tiny_profile(), seed=5)
+        assert env.datacenter.platform is aws
+        assert env.orchestrator.platform is aws
+
+
+class TestEndToEnd:
+    def test_default_profile_is_byte_identical_to_no_profile(self):
+        bare = default_env(profile=tiny_profile(), seed=7)
+        profiled = default_env(
+            profile=tiny_profile(), seed=7, platform="default"
+        )
+        bare_handles = launch(bare, 10)
+        profiled_handles = launch(profiled, 10)
+        assert [h.instance_id for h in bare_handles] == [
+            h.instance_id for h in profiled_handles
+        ]
+        assert {
+            h.instance_id: bare.orchestrator.true_host_of(h.instance_id)
+            for h in bare_handles
+        } == {
+            h.instance_id: profiled.orchestrator.true_host_of(h.instance_id)
+            for h in profiled_handles
+        }
+        assert rng_state(bare_handles[0]) == rng_state(profiled_handles[0])
+
+    def test_aws_platform_forces_microvm_sandboxes(self):
+        env = default_env(
+            profile=tiny_profile(), seed=7, platform="aws_lambda_like"
+        )
+        client = env.clients["account-1"]
+        client.deploy(ServiceConfig(name="svc", generation="gen1"))
+        handle = client.connect("svc", 1)[0]
+        assert isinstance(handle._instance.sandbox, MicroVMSandbox)
+
+    def test_azure_platform_forces_gvisor_sandboxes(self):
+        env = default_env(
+            profile=tiny_profile(), seed=7, platform="azure_functions_like"
+        )
+        client = env.clients["account-1"]
+        client.deploy(ServiceConfig(name="svc", generation="gen2"))
+        handle = client.connect("svc", 1)[0]
+        assert isinstance(handle._instance.sandbox, GVisorSandbox)
+
+    def test_channel_noise_reaches_host_resources(self):
+        env = default_env(
+            profile=tiny_profile(), seed=7, platform="aws_lambda_like"
+        )
+        handle = launch(env, 1)[0]
+        host = env.datacenter.host(
+            env.orchestrator.true_host_of(handle.instance_id)
+        )
+        assert host.channel_resource("llc").background_rate == pytest.approx(0.24)
+        assert host.channel_resource("llc").drop_rate == pytest.approx(0.10)
+        assert host.channel_resource("dvfs").background_rate == pytest.approx(0.075)
+        # Kinds absent from the profile's noise tuple stay bit-exact.
+        assert host.channel_resource("rng").background_rate == 0.005
+
+
+def _probe_cell(params: dict, seed: int) -> dict:
+    return {"seed": seed}
+
+
+class TestRunnerIntegration:
+    def _spec(self) -> CellSpec:
+        return CellSpec(
+            experiment="platform-cache-probe",
+            fn=_probe_cell,
+            config={},
+            seed=1,
+        )
+
+    def test_platform_disables_cell_cache(self):
+        runner = RunnerConfig(
+            cache_read=True,
+            cache_write=True,
+            platform=platform_profile("aws_lambda_like"),
+        )
+        first = run_cells([self._spec()], runner)
+        second = run_cells([self._spec()], runner)
+        assert not first[0].cached
+        assert not second[0].cached  # would be a cache hit without a platform
+
+    def test_no_platform_still_caches(self):
+        runner = RunnerConfig(cache_read=True, cache_write=True)
+        first = run_cells([self._spec()], runner)
+        second = run_cells([self._spec()], runner)
+        assert not first[0].cached
+        assert second[0].cached
