@@ -14,6 +14,11 @@ Completed simulation cells are cached under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-runner``), so re-running a command reuses them; ``--jobs N``
 fans the remaining cells out over N worker processes.
 
+Within one run, cells that share a simulated world (same region, seed,
+platform, background traffic) build it once and fork warm snapshots of it
+(:mod:`repro.runner.worldcache`) — byte-identical to fresh builds.
+``--no-world-cache`` (or ``$REPRO_WORLD_CACHE_SIZE=0``) turns that off.
+
 ``--faults SPEC`` runs the experiment under a seeded deterministic fault
 schedule (launch errors/slow launches, CTest noise and mid-test deaths,
 cell failures — see :mod:`repro.faults`); ``--max-retries`` bounds the
@@ -131,8 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         default=None,
         help="run under a platform profile ('default', 'aws_lambda_like', "
-        "'azure_functions_like'); non-default profiles disable the cell "
-        "cache for the run",
+        "'azure_functions_like'); the profile joins the cell cache key, "
+        "so platform runs are cached separately from baseline runs",
+    )
+    run.add_argument(
+        "--no-world-cache",
+        action="store_true",
+        help="build every cell's simulated world fresh instead of forking "
+        "warm-world snapshots (see repro.runner.worldcache)",
     )
     return parser
 
@@ -183,6 +194,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     fault_plan=fault_plan,
                     max_retries=args.max_retries,
                     platform=platform,
+                    world_cache=not args.no_world_cache,
                 )
                 try:
                     report = run_experiment(eid, scale=args.scale, runner=runner)

@@ -16,7 +16,6 @@ behaviors of Observations 1-6 (§5.1):
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Callable
 
@@ -35,7 +34,7 @@ from repro.fleet import HostHandle, ServiceStateStore
 from repro.sandbox.base import Sandbox, TscPolicy
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.microvm import MicroVMSandbox
-from repro.simtime.scheduler import EventScheduler, ScheduledEvent
+from repro.simtime.scheduler import EventScheduler, ScheduledEvent, SequenceCounter
 from repro.telemetry import current_telemetry
 
 
@@ -102,8 +101,8 @@ class Orchestrator:
         self._base_idx: dict[str, np.ndarray] = {}
         self._route_counters: dict[str, int] = {}
         self._probe_counters: dict[str, int] = {}
-        self._instance_counter = itertools.count()
-        self._image_counter = itertools.count()
+        self._instance_counter = SequenceCounter()
+        self._image_counter = SequenceCounter()
         # Scalar-reference switch for the launch path (twin-world tests
         # pin the batched path against it); production code never sets it.
         self.force_scalar_launch = False
@@ -731,22 +730,12 @@ class Orchestrator:
     def _schedule_idle_reap(
         self, instance: ContainerInstance, idle_epoch: float, when: float
     ) -> None:
-        def reap() -> None:
-            if self._idle_reaps.get(instance.instance_id) is event:
-                del self._idle_reaps[instance.instance_id]
-            still_idle = (
-                instance.alive
-                and instance.state is InstanceState.IDLE
-                and instance.last_active_at == idle_epoch
-            )
-            if still_idle:
-                self._terminate(instance, self.clock.now())
-
         # Cancel any reap left from an earlier idle period: stale timers
         # would otherwise pile up in the scheduler for the whole campaign.
         self._cancel_idle_reap(instance.instance_id)
-        event = self.scheduler.call_at(when, reap)
-        self._idle_reaps[instance.instance_id] = event
+        reap = _IdleReap(self, instance, idle_epoch)
+        reap.event = self.scheduler.call_at(when, reap)
+        self._idle_reaps[instance.instance_id] = reap.event
 
     def _cancel_idle_reap(self, instance_id: str) -> None:
         event = self._idle_reaps.pop(instance_id, None)
@@ -783,3 +772,47 @@ class Orchestrator:
             size = instance.service.config.size
             account.billing.charge_active(size.vcpus, size.memory_gb, owed)
             self._billed_seconds[instance.instance_id] += owed
+
+
+class _IdleReap:
+    """The scheduled idle-termination action for one instance.
+
+    A plain callable object rather than a closure so the scheduler queue
+    stays picklable — world snapshots (:mod:`repro.runner.worldcache`)
+    serialize pending events, and a restored reap must keep pointing at
+    the restored orchestrator/instance pair.  ``event`` is backfilled
+    right after scheduling so the identity check below survives the
+    round-trip too.
+    """
+
+    __slots__ = ("orchestrator", "instance", "idle_epoch", "event")
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        instance: ContainerInstance,
+        idle_epoch: float,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.instance = instance
+        self.idle_epoch = idle_epoch
+        self.event: ScheduledEvent | None = None
+
+    def __getstate__(self):
+        return (self.orchestrator, self.instance, self.idle_epoch, self.event)
+
+    def __setstate__(self, state) -> None:
+        self.orchestrator, self.instance, self.idle_epoch, self.event = state
+
+    def __call__(self) -> None:
+        orch = self.orchestrator
+        instance = self.instance
+        if orch._idle_reaps.get(instance.instance_id) is self.event:
+            del orch._idle_reaps[instance.instance_id]
+        still_idle = (
+            instance.alive
+            and instance.state is InstanceState.IDLE
+            and instance.last_active_at == self.idle_epoch
+        )
+        if still_idle:
+            orch._terminate(instance, orch.clock.now())

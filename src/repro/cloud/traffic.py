@@ -49,6 +49,7 @@ utilization) is dropped and counted, not retried.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -77,6 +78,12 @@ PATTERN_KINDS = ("constant", "diurnal", "bursty", "poisson")
 def _tenant_seed(seed: int, name: str) -> int:
     """Per-tenant generator seed, hashed so tenants are independent."""
     return int(hashed_uniform(seed, "traffic-tenant", name) * 2**63)
+
+
+def _idle_stream(seed: int, instance_id: str) -> float:
+    """The population's idle-deadline stream (module-level + partial, not a
+    closure, so orchestrator state stays picklable for world snapshots)."""
+    return hashed_uniform(seed, "traffic-idle", instance_id)
 
 
 @dataclass(frozen=True)
@@ -371,10 +378,7 @@ class BackgroundDriver:
         self._started = True
         orch = self.orchestrator
         config = self.population.config
-        seed = config.seed
-
-        def idle_stream(instance_id: str) -> float:
-            return hashed_uniform(seed, "traffic-idle", instance_id)
+        idle_stream = functools.partial(_idle_stream, config.seed)
 
         for spec in self.population.specs:
             orch.register_account(Account(spec.account_id))
@@ -426,8 +430,10 @@ class BackgroundDriver:
         if not in_horizon:
             group.event = None
             return
+        # A partial of the bound method (not a lambda) keeps the pending
+        # event picklable for world snapshots.
         group.event = self.orchestrator.scheduler.call_at(
-            when, lambda: self._evaluate(group)
+            when, functools.partial(self._evaluate, group)
         )
 
     def _evaluate(self, group: _PhaseGroup) -> None:

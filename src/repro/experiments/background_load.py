@@ -27,7 +27,7 @@ from repro.cloud.traffic import TrafficConfig
 from repro.errors import NoCapacityError
 from repro.core.attack.strategies import optimized_launch
 from repro.experiments.base import default_env, host_coverage
-from repro.runner import CellSpec, RunnerConfig, run_cells
+from repro.runner import CellSpec, EnvSpec, RunnerConfig, run_cells
 from repro.telemetry import current_telemetry
 
 
@@ -101,19 +101,29 @@ def _pool_utilization(env) -> float:
     return float(fleet.load_slots[pool].sum()) / capacity
 
 
-def _load_cell(params: dict, seed: int) -> dict:
-    """One live-region attack; returns raw oracle-scored metrics."""
+def _cell_traffic(params: dict, seed: int) -> TrafficConfig | None:
+    """The cell's background population (``None`` for a quiet region).
+
+    Shared by the cell body and the declared
+    :class:`~repro.runner.EnvSpec` so the warm-world identity always
+    matches what the cell actually builds.
+    """
     n_tenants = params["n_tenants"]
+    if not n_tenants:
+        return None
     # Keep traffic flowing through warmup plus the whole attack window.
     attack_budget = (params["launches"] + 1) * params["interval_s"]
-    traffic = None
-    if n_tenants:
-        traffic = TrafficConfig(
-            n_tenants=n_tenants,
-            seed=seed + 1_000_003,
-            duration_s=params["warmup_s"] + attack_budget,
-            mean_concurrency=params["mean_concurrency"],
-        )
+    return TrafficConfig(
+        n_tenants=n_tenants,
+        seed=seed + 1_000_003,
+        duration_s=params["warmup_s"] + attack_budget,
+        mean_concurrency=params["mean_concurrency"],
+    )
+
+
+def _load_cell(params: dict, seed: int) -> dict:
+    """One live-region attack; returns raw oracle-scored metrics."""
+    traffic = _cell_traffic(params, seed)
     env = default_env(region=params["region"], seed=seed, background=traffic)
     env.clock.sleep(params["warmup_s"])
     utilization = _pool_utilization(env)
@@ -182,11 +192,21 @@ def run(
         CellSpec(
             experiment="background-load",
             fn=_load_cell,
-            config=_cell_params(config, n_tenants),
+            config=params,
             seed=config.base_seed + rep,
             label=f"tenants-{n_tenants}/rep{rep}",
+            # Worlds are distinct per (tenant count, rep) within one
+            # sweep, but re-running the sweep in-process (benchmarks, a
+            # second figure family) forks the warmed populations instead
+            # of regenerating them.
+            env=EnvSpec(
+                region=config.region,
+                seed=config.base_seed + rep,
+                background=_cell_traffic(params, config.base_seed + rep),
+            ),
         )
         for n_tenants in config.tenant_counts
+        for params in (_cell_params(config, n_tenants),)
         for rep in range(config.repetitions)
     ]
     with current_telemetry().span(

@@ -27,6 +27,7 @@ from repro.faults import (
     RetryPolicy,
     current_fault_plan,
 )
+from repro.runner.worldcache import EnvSpec, current_world_cache
 from repro.sandbox.base import TscPolicy
 from repro.simtime.clock import SimClock
 from repro.telemetry import current_telemetry
@@ -107,7 +108,7 @@ def default_env(
     background: TrafficConfig | None = None,
     platform: PlatformProfile | str | None = None,
 ) -> SimulationEnv:
-    """Build a fresh simulated region with the three evaluation accounts.
+    """Build (or warm-fork) a simulated region with the evaluation accounts.
 
     Parameters
     ----------
@@ -142,17 +143,67 @@ def default_env(
         (:func:`~repro.cloud.platform.current_platform`) — set by the
         runner under ``--platform`` — and falls back to the neutral
         baseline, which builds a byte-identical environment.
+
+    When an ambient :class:`~repro.runner.worldcache.WorldCache` is
+    active (the runner arms one around cells that declare an
+    :class:`~repro.runner.worldcache.EnvSpec`), the fully built world —
+    including the warmed background population — is checkpointed on
+    first construction and every later call with the same resolved
+    inputs *forks* the checkpoint instead of rebuilding.  Forked and
+    fresh worlds are byte-identical (state, traces, and every subsequent
+    RNG draw); see ``docs/DESIGN.md`` ("warm-world contract").  Worlds
+    shaped by an enabled fault plan are never forked: their injection
+    counters accumulate on the ambient plan object, which a restored
+    copy would detach from.
     """
-    clock = SimClock()
-    current_telemetry().use_clock(clock)
-    resolved = profile if profile is not None else region_profile(region)
     if isinstance(platform, str):
         platform = platform_profile(platform)
     if platform is None:
         platform = current_platform()
-    datacenter = DataCenter(resolved, clock, seed=seed, platform=platform)
     if fault_plan is None:
         fault_plan = current_fault_plan()
+
+    cache = current_world_cache()
+    if cache is not None:
+        spec = EnvSpec(
+            region=region,
+            seed=seed,
+            tsc_policy=tsc_policy.value,
+            profile=profile,
+            background=background,
+            platform=platform,
+            fault_spec=fault_plan.spec if fault_plan is not None else None,
+            retry_policy=retry_policy,
+        )
+        if spec.forkable:
+            return cache.build_or_fork(
+                spec,
+                lambda: _build_env(
+                    region, seed, tsc_policy, profile, fault_plan,
+                    retry_policy, background, platform,
+                ),
+            )
+    return _build_env(
+        region, seed, tsc_policy, profile, fault_plan,
+        retry_policy, background, platform,
+    )
+
+
+def _build_env(
+    region: str,
+    seed: int,
+    tsc_policy: TscPolicy,
+    profile: RegionProfile | None,
+    fault_plan: FaultPlan | None,
+    retry_policy: RetryPolicy | None,
+    background: TrafficConfig | None,
+    platform: PlatformProfile | None,
+) -> SimulationEnv:
+    """The fresh-construction path (fault plan and platform pre-resolved)."""
+    clock = SimClock()
+    current_telemetry().use_clock(clock)
+    resolved = profile if profile is not None else region_profile(region)
+    datacenter = DataCenter(resolved, clock, seed=seed, platform=platform)
     orchestrator = Orchestrator(
         datacenter,
         tsc_policy=tsc_policy,

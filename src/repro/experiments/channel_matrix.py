@@ -17,8 +17,10 @@ index of verified clusters vs true hosts; cost is the channel's CTest
 count and busy seconds.
 
 The platform *name* travels inside the cell params, so distinct platforms
-produce distinct cell cache keys — matrix cells are cache-safe even
-though platform profiles otherwise disable the runner cache.
+produce distinct cell cache keys.  Every cell also declares the
+:class:`~repro.runner.EnvSpec` of the world it builds: cells that share a
+(platform, seed) pair — every channel times every repetition — fork one
+warm snapshot of the region instead of rebuilding it per cell.
 """
 
 from __future__ import annotations
@@ -38,7 +40,7 @@ from repro.core.fingerprint import (
 )
 from repro.core.verification import ScalableVerifier, TaggedInstance
 from repro.experiments.base import default_env
-from repro.runner import CellSpec, RunnerConfig, run_cells
+from repro.runner import CellSpec, EnvSpec, RunnerConfig, run_cells
 from repro.telemetry import current_telemetry
 
 #: Matrix axes: registry channel kinds x platform profile names.
@@ -206,6 +208,14 @@ def run(
             config=_cell_params(config, channel, platform),
             seed=config.base_seed + rep,
             label=f"{channel}/{platform}/rep{rep}",
+            # Cells that differ only in channel share a (platform, seed)
+            # world: declare it so the runner warm-forks instead of
+            # rebuilding the region for every channel.
+            env=EnvSpec(
+                seed=config.base_seed + rep,
+                profile=_scaled_profile(config.n_hosts),
+                platform=platform_profile(platform),
+            ),
         )
         for channel in config.channels
         for platform in config.platforms

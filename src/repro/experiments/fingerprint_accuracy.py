@@ -22,7 +22,7 @@ from repro.cloud.services import ServiceConfig
 from repro.core import probes
 from repro.experiments.base import default_env
 from repro.experiments.ground_truth import truth_clusters
-from repro.runner import CellSpec, RunnerConfig, run_cells
+from repro.runner import CellSpec, EnvSpec, RunnerConfig, run_cells
 
 #: Paper's Fig. 4 sweet spot and headline number.
 PAPER_SWEET_SPOT = (0.1, 1.0)
@@ -137,6 +137,10 @@ def run(
                     },
                     seed=seed,
                     label=f"{region}/rep{rep}",
+                    # Each (region, rep) world is distinct in one sweep,
+                    # but a re-run in the same process forks the snapshot
+                    # instead of rebuilding the region.
+                    env=EnvSpec(region=region, seed=seed),
                 )
             )
             seed += 1

@@ -6,6 +6,12 @@ cells (:class:`CellSpec`), hand them to :func:`run_cells`, and get back
 cache reads/writes, where the cache lives — is a :class:`RunnerConfig`,
 threaded through from the CLI's ``--jobs`` / ``--no-cache`` flags or the
 benchmark harness.
+
+Cells that declare an :class:`EnvSpec` additionally opt into warm-world
+forking (:mod:`repro.runner.worldcache`): the first cell to need a
+simulated world builds it and a :class:`WorldSnapshot` checkpoints it;
+every sibling needing the same world forks the checkpoint instead of
+rebuilding — byte-identically.
 """
 
 from repro.errors import CellExecutionError
@@ -18,6 +24,17 @@ from repro.runner.cellspec import (
     canonicalize,
 )
 from repro.runner.pool import RunnerConfig, RunStats, run_cells
+from repro.runner.worldcache import (
+    DEFAULT_WORLD_CACHE_SIZE,
+    WORLD_CACHE_SIZE_ENV,
+    EnvSpec,
+    WorldCache,
+    WorldSnapshot,
+    current_world_cache,
+    process_world_cache,
+    reset_process_world_cache,
+    world_cache_context,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -26,10 +43,19 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "CellSpecError",
+    "DEFAULT_WORLD_CACHE_SIZE",
+    "EnvSpec",
     "RunStats",
     "RunnerConfig",
+    "WORLD_CACHE_SIZE_ENV",
+    "WorldCache",
+    "WorldSnapshot",
     "cache_key",
     "canonicalize",
+    "current_world_cache",
     "default_cache_dir",
+    "process_world_cache",
+    "reset_process_world_cache",
     "run_cells",
+    "world_cache_context",
 ]

@@ -9,8 +9,10 @@ run in worker processes (:mod:`repro.runner.pool`) and rest on disk
 (:mod:`repro.runner.cache`).
 
 The cache identity of a cell is the SHA-256 of ``(experiment id,
-canonicalized config, seed, package version)`` — see :func:`cache_key`.
-Changing any of the four recomputes the cell; nothing else does.
+canonicalized config, seed, package version)`` — see :func:`cache_key` —
+plus, when the runner executes under a platform profile or fault plan,
+those contexts' canonical forms.  Changing any of them recomputes the
+cell; nothing else does.
 """
 
 from __future__ import annotations
@@ -20,10 +22,13 @@ import hashlib
 import json
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro import _version
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runner.worldcache import EnvSpec
 
 
 class CellSpecError(ReproError):
@@ -83,6 +88,15 @@ class CellSpec:
         from it, which is what makes serial and pooled runs identical.
     label:
         Free-form display label (not part of the cache key).
+    env:
+        Optional :class:`~repro.runner.worldcache.EnvSpec` declaring the
+        simulated world the cell builds.  Declaring one opts the cell
+        into warm-world forking: the runner activates the process's
+        :class:`~repro.runner.worldcache.WorldCache` around the cell, so
+        its ``default_env`` call forks a checkpoint instead of rebuilding
+        when a sibling already built the same world.  Advisory — the
+        world's identity is always recomputed from the actual
+        ``default_env`` inputs — and not part of the cell cache key.
     """
 
     experiment: str
@@ -90,10 +104,22 @@ class CellSpec:
     config: Any
     seed: int
     label: str = ""
+    env: "EnvSpec | None" = None
 
-    def key(self) -> str:
-        """Content-addressed cache key for this cell."""
-        return cache_key(self.experiment, self.config, self.seed)
+    def key(self, platform: Any = None, faults: Any = None) -> str:
+        """Content-addressed cache key for this cell.
+
+        ``platform`` / ``faults`` are the runner's execution contexts
+        (:class:`~repro.cloud.platform.PlatformProfile`,
+        :class:`~repro.faults.FaultSpec`); when given they join the
+        hashed payload so context-shaped values can never collide with
+        baseline entries.  Omitted (``None``) they leave the key exactly
+        as it was before contexts existed.
+        """
+        return cache_key(
+            self.experiment, self.config, self.seed,
+            platform=platform, faults=faults,
+        )
 
 
 @dataclass
@@ -116,6 +142,10 @@ class CellResult:
     #: Telemetry snapshot (spans + metrics) captured while the cell ran;
     #: ``None`` when tracing was off.  Not part of the cell's identity.
     trace: dict | None = field(default=None, repr=False)
+    #: Warm-world cache counter deltas (``worldcache.*``) this cell's
+    #: execution produced; ``None`` when the cell did not run with the
+    #: world cache armed (or touched it not at all).
+    world: dict | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -127,13 +157,32 @@ class CellResult:
         return hashlib.sha256(pickle.dumps(self.value)).hexdigest()
 
 
-def cache_key(experiment: str, config: Any, seed: int) -> str:
-    """SHA-256 over (experiment id, canonical config, seed, version)."""
+def cache_key(
+    experiment: str,
+    config: Any,
+    seed: int,
+    *,
+    platform: Any = None,
+    faults: Any = None,
+) -> str:
+    """SHA-256 over (experiment id, canonical config, seed, version).
+
+    A non-``None`` ``platform`` (a profile dataclass) or ``faults`` (a
+    fault-spec dataclass) is canonicalized into the payload under its own
+    field, so runs under ``--platform`` / ``--faults`` are content-
+    addressed separately from baseline runs instead of bypassing the
+    cache.  ``None`` values are *omitted entirely*: keys computed before
+    these fields existed remain valid.
+    """
     payload = {
         "experiment": experiment,
         "config": canonicalize(config),
         "seed": int(seed),
         "version": _version.__version__,
     }
+    if platform is not None:
+        payload["platform"] = canonicalize(platform)
+    if faults is not None:
+        payload["faults"] = canonicalize(faults)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

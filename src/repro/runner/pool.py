@@ -22,7 +22,17 @@ An attached :class:`~repro.faults.FaultPlan` injects deterministic cell
 failures (and, through the ambient fault context, launch/CTest faults
 inside the cell's own simulation).  Fault-injected runs bypass the cache
 entirely: their values are not clean results and must never collide with
-a fault-free run's cache keys.
+a fault-free run's cache keys.  Platform-profile runs, by contrast, *are*
+cached — the profile's canonical form joins the cell cache key
+(:func:`~repro.runner.cellspec.cache_key`), so ``--platform`` values are
+content-addressed apart from baseline entries.
+
+Cells that declare an :class:`~repro.runner.worldcache.EnvSpec` execute
+with the process's warm-world cache armed: their ``default_env`` call
+checkpoints the built world once and forks it for every sibling cell
+that needs the same one (:mod:`repro.runner.worldcache`).  Workers
+persist across a pool's cells, so each worker's LRU warms once per
+distinct world, not once per cell.
 
 Per-cell timing, cache-hit, retry, and error counters accumulate on the
 :class:`RunnerConfig`'s :class:`RunStats`, so callers (the CLI, the
@@ -44,6 +54,7 @@ from repro.errors import CellExecutionError
 from repro.faults import FaultPlan, fault_context
 from repro.runner.cache import CellCache
 from repro.runner.cellspec import CellResult, CellSpec
+from repro.runner.worldcache import process_world_cache, world_cache_context
 from repro.telemetry import MetricSet, Telemetry, current_telemetry, telemetry_context
 
 
@@ -64,6 +75,11 @@ class RunStats:
         "computed_seconds",
         "saved_seconds",
         "wall_seconds",
+        "world_hits",
+        "world_misses",
+        "world_evictions",
+        "world_fork_seconds",
+        "world_build_seconds",
     )
 
     def __init__(self, **values: float) -> None:
@@ -107,6 +123,26 @@ class RunStats:
         lambda self: float(self._get("wall_seconds")),
         lambda self, v: self._set("wall_seconds", v),
     )
+    world_hits = property(
+        lambda self: int(self._get("world_hits")),
+        lambda self, v: self._set("world_hits", v),
+    )
+    world_misses = property(
+        lambda self: int(self._get("world_misses")),
+        lambda self, v: self._set("world_misses", v),
+    )
+    world_evictions = property(
+        lambda self: int(self._get("world_evictions")),
+        lambda self, v: self._set("world_evictions", v),
+    )
+    world_fork_seconds = property(
+        lambda self: float(self._get("world_fork_seconds")),
+        lambda self, v: self._set("world_fork_seconds", v),
+    )
+    world_build_seconds = property(
+        lambda self: float(self._get("world_build_seconds")),
+        lambda self, v: self._set("world_build_seconds", v),
+    )
 
     @property
     def parallelism(self) -> int:
@@ -141,6 +177,14 @@ class RunStats:
             text += (
                 f", {self.cell_errors} cell errors, "
                 f"{self.cell_retries} cell retries"
+            )
+        if self.world_hits or self.world_misses:
+            text += (
+                f", worldcache {self.world_hits} forks/"
+                f"{self.world_misses} builds/"
+                f"{self.world_evictions} evictions "
+                f"(fork {self.world_fork_seconds:.1f}s, "
+                f"build {self.world_build_seconds:.1f}s)"
             )
         return text
 
@@ -185,10 +229,14 @@ class RunnerConfig:
         Optional :class:`~repro.cloud.platform.PlatformProfile`
         (``--platform`` on the CLI), activated as the ambient profile
         around each cell execution — carried explicitly, like the fault
-        plan, because contextvars do not survive into pool workers.  A
-        non-``None`` profile disables the cache for the run: cell keys
-        do not encode the platform, so platform-shaped values must never
-        collide with baseline entries.
+        plan, because contextvars do not survive into pool workers.  The
+        profile's canonical form joins every cell cache key, so platform
+        runs share the cache with baseline runs without colliding.
+    world_cache:
+        Arm the per-process warm-world cache around cells that declare
+        an :class:`~repro.runner.worldcache.EnvSpec` (default).  False —
+        ``--no-world-cache`` on the CLI — builds every cell's world
+        fresh; ``$REPRO_WORLD_CACHE_SIZE=0`` disables it process-wide.
     stats:
         Mutable accumulator shared across every ``run_cells`` call made
         with this config.
@@ -202,6 +250,7 @@ class RunnerConfig:
     max_retries: int = 1
     isolate_errors: bool = False
     platform: PlatformProfile | None = None
+    world_cache: bool = True
     stats: RunStats = field(default_factory=RunStats)
 
     @classmethod
@@ -211,6 +260,7 @@ class RunnerConfig:
         fault_plan: FaultPlan | None = None,
         max_retries: int | None = None,
         platform: PlatformProfile | None = None,
+        world_cache: bool = True,
     ) -> "RunnerConfig":
         """The CLI mapping: caching on by default, ``--no-cache`` skips reads."""
         return cls(
@@ -221,6 +271,7 @@ class RunnerConfig:
             fault_plan=fault_plan,
             max_retries=max_retries if max_retries is not None else 1,
             platform=platform,
+            world_cache=world_cache,
         )
 
 
@@ -230,6 +281,7 @@ def _execute_cell(
     attempt: int = 0,
     collect_trace: bool = False,
     platform: PlatformProfile | None = None,
+    world_cache: bool = True,
 ) -> CellResult:
     """Run one cell and time it (top-level so worker processes can load it).
 
@@ -240,6 +292,11 @@ def _execute_cell(
     simulation picks up launch/CTest faults.  A platform profile (if any)
     is likewise activated as the ambient profile, so ``default_env`` calls
     inside the cell inherit it.
+
+    A cell that declares an :class:`~repro.runner.worldcache.EnvSpec`
+    additionally runs with the process's warm-world cache armed (unless
+    ``world_cache`` is off), and the cache's counter deltas travel back
+    on the result's ``world``.
 
     With ``collect_trace`` the cell runs under a *fresh* child
     :class:`~repro.telemetry.Telemetry` — in the parent process and in
@@ -253,8 +310,17 @@ def _execute_cell(
     scope = (
         telemetry_context(child) if child is not None else contextlib.nullcontext()
     )
+    worlds = (
+        process_world_cache() if (world_cache and spec.env is not None) else None
+    )
+    world_before = worlds.stats_snapshot() if worlds is not None else None
+    world_scope = (
+        world_cache_context(worlds)
+        if worlds is not None
+        else contextlib.nullcontext()
+    )
     try:
-        with scope:
+        with scope, world_scope:
             if fault_plan is not None and fault_plan.cell_fails(spec.key(), attempt):
                 raise CellExecutionError(
                     f"injected fault (attempt {attempt})"
@@ -264,15 +330,24 @@ def _execute_cell(
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         error = f"{spec.label or spec.experiment}: {type(exc).__name__}: {exc}"
     elapsed = time.perf_counter() - start
+    world = worlds.stats_since(world_before) if worlds is not None else None
     return CellResult(
         experiment=spec.experiment,
         seed=spec.seed,
         label=spec.label,
-        key=spec.key(),
+        key=spec.key(
+            platform=platform,
+            faults=(
+                fault_plan.spec
+                if fault_plan is not None and fault_plan.enabled
+                else None
+            ),
+        ),
         value=value,
         elapsed_s=elapsed,
         error=error,
         trace=child.snapshot_trace() if child is not None else None,
+        world=world or None,
     )
 
 
@@ -297,23 +372,20 @@ def run_cells(
     collect = telemetry.enabled
     # Fault-injected values are resilience-drill output, not clean
     # results: never read them from or write them to the shared cache.
-    # Platform-shaped values are excluded for the same reason — the cell
-    # key does not encode the profile, so they would collide with (and
-    # poison) baseline entries.
+    # Platform-shaped values, by contrast, are cached — the profile's
+    # canonical form joins the key below, so they are content-addressed
+    # apart from baseline entries instead of colliding with them.
     cache = (
         CellCache(runner.cache_dir)
-        if (
-            not faulted
-            and platform is None
-            and (runner.cache_read or runner.cache_write)
-        )
+        if (not faulted and (runner.cache_read or runner.cache_write))
         else None
     )
+    fault_key = plan.spec if faulted else None
 
     results: list[CellResult | None] = [None] * len(specs)
     misses: list[tuple[int, CellSpec]] = []
     for index, spec in enumerate(specs):
-        key = spec.key()
+        key = spec.key(platform=platform, faults=fault_key)
         if cache is not None and runner.cache_read:
             hit, value, stored_elapsed, stored_trace = cache.get(key)
             # An entry written by a trace-less run cannot reproduce the
@@ -350,7 +422,8 @@ def run_cells(
         with ProcessPoolExecutor(max_workers=runner.parallelism) as pool:
             pending = {
                 pool.submit(
-                    _execute_cell, spec, plan, 0, collect, platform
+                    _execute_cell, spec, plan, 0, collect, platform,
+                    runner.world_cache,
                 ): (index, spec, 0)
                 for index, spec in misses
             }
@@ -364,7 +437,8 @@ def run_cells(
                         telemetry.count("runner.cell_retries")
                         absorb_superseded(result)
                         retry = pool.submit(
-                            _execute_cell, spec, plan, attempt + 1, collect, platform
+                            _execute_cell, spec, plan, attempt + 1, collect,
+                            platform, runner.world_cache,
                         )
                         pending[retry] = (index, spec, attempt + 1)
                     else:
@@ -372,7 +446,9 @@ def run_cells(
     elif misses:
         for index, spec in misses:
             for attempt in range(runner.max_retries + 1):
-                result = _execute_cell(spec, plan, attempt, collect, platform)
+                result = _execute_cell(
+                    spec, plan, attempt, collect, platform, runner.world_cache
+                )
                 if result.error is None or attempt == runner.max_retries:
                     break
                 stats.cell_retries += 1
@@ -393,6 +469,18 @@ def run_cells(
         else:
             stats.computed_seconds += result.elapsed_s
             telemetry.observe("runner.cell_seconds", result.elapsed_s)
+        if result.world:
+            stats.world_hits += int(result.world.get("worldcache.hits", 0))
+            stats.world_misses += int(result.world.get("worldcache.misses", 0))
+            stats.world_evictions += int(
+                result.world.get("worldcache.evictions", 0)
+            )
+            stats.world_fork_seconds += result.world.get(
+                "worldcache.fork_seconds", 0.0
+            )
+            stats.world_build_seconds += result.world.get(
+                "worldcache.build_seconds", 0.0
+            )
         if result.error is not None:
             failed.append(result)
         if result.trace is not None:

@@ -13,7 +13,6 @@ idle-timer events, so without compaction the heap grows without bound.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -23,6 +22,40 @@ from repro.telemetry import current_telemetry
 #: Dead entries tolerated before compaction is even considered; keeps tiny
 #: queues from re-heapifying constantly.
 _COMPACT_MIN_DEAD = 64
+
+
+class SequenceCounter:
+    """A picklable ``itertools.count`` stand-in.
+
+    ``itertools.count`` objects cannot be pickled, which would exclude the
+    scheduler (and anything holding one, e.g. the orchestrator) from
+    world snapshots (:mod:`repro.runner.worldcache`).  This counter
+    exposes the same ``next(...)`` protocol with its position as plain
+    state, so a restored world resumes numbering exactly where the
+    snapshot left off.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = int(start)
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value += 1
+        return value
+
+    def __iter__(self) -> "SequenceCounter":
+        return self
+
+    def __getstate__(self) -> int:
+        return self.value
+
+    def __setstate__(self, state: int) -> None:
+        self.value = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SequenceCounter({self.value})"
 
 
 @dataclass(order=True)
@@ -72,7 +105,7 @@ class EventScheduler:
     def __init__(self, clock: SimClock) -> None:
         self._clock = clock
         self._queue: list[ScheduledEvent] = []
-        self._counter = itertools.count()
+        self._counter = SequenceCounter()
         self._dead = 0
         clock.add_tick_hook(self._on_tick)
 

@@ -162,6 +162,9 @@ class NullTelemetry:
     def splice(self, trace: dict | None, name: str = "cell", **attrs) -> None:
         pass
 
+    def graft(self, trace: dict | None) -> None:
+        pass
+
 
 #: The process-wide disabled handle (also the ambient default).
 NULL_TELEMETRY = NullTelemetry()
@@ -283,23 +286,46 @@ class Telemetry:
         if trace is None:
             return
         with self.wall_span(name, **attrs) as wrapper:
-            id_map: dict[int, int] = {}
-            for rec in trace.get("spans", ()):
-                span = Span(
-                    self,
-                    self._next_id,
-                    id_map.get(rec["parent"], wrapper.span_id),
-                    rec["name"],
-                    rec["kind"],
-                    dict(rec["attrs"]),
-                )
-                self._next_id += 1
-                span.t0 = rec["t0"]
-                span.t1 = rec["t1"]
-                span.wall_s = rec["wall_s"]
-                id_map[rec["id"]] = span.span_id
-                self._records.append(span)
+            self._append_trace(trace, wrapper.span_id)
         self.metrics.merge(MetricSet.from_state(trace.get("metrics", {})))
+
+    def graft(self, trace: dict | None) -> None:
+        """Append a child trace *without* a wrapper span.
+
+        Every record gets a freshly assigned id in trace order and root
+        records attach to the currently open span (or become roots) — in
+        other words, the resulting records are byte-identical to what
+        direct recording on this handle would have produced.  That is the
+        primitive the warm-world cache (:mod:`repro.runner.worldcache`)
+        uses to make a restored environment's trace indistinguishable
+        from a freshly built one: the build-time spans are captured once
+        on a child handle and re-emitted on every fork.  Metrics merge in
+        exactly as :meth:`splice` does.
+        """
+        if trace is None:
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        self._append_trace(trace, parent)
+        self.metrics.merge(MetricSet.from_state(trace.get("metrics", {})))
+
+    def _append_trace(self, trace: dict, root_parent: int | None) -> None:
+        """Re-id and append a serialized trace's spans under ``root_parent``."""
+        id_map: dict[int, int] = {}
+        for rec in trace.get("spans", ()):
+            span = Span(
+                self,
+                self._next_id,
+                id_map.get(rec["parent"], root_parent),
+                rec["name"],
+                rec["kind"],
+                dict(rec["attrs"]),
+            )
+            self._next_id += 1
+            span.t0 = rec["t0"]
+            span.t1 = rec["t1"]
+            span.wall_s = rec["wall_s"]
+            id_map[rec["id"]] = span.span_id
+            self._records.append(span)
 
 
 _ACTIVE: ContextVar[Telemetry | NullTelemetry] = ContextVar(

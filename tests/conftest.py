@@ -23,6 +23,21 @@ def _isolated_cell_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cell-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_world_cache():
+    """Drop the per-process warm-world cache around every test.
+
+    Warm worlds are content-addressed, so carryover would be *correct*,
+    but hit/miss counters leaking between tests would make assertions
+    order-dependent.
+    """
+    from repro.runner import reset_process_world_cache
+
+    reset_process_world_cache()
+    yield
+    reset_process_world_cache()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator."""

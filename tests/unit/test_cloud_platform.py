@@ -196,7 +196,7 @@ class TestRunnerIntegration:
             seed=1,
         )
 
-    def test_platform_disables_cell_cache(self):
+    def test_platform_runs_cache_under_their_own_key(self):
         runner = RunnerConfig(
             cache_read=True,
             cache_write=True,
@@ -205,7 +205,13 @@ class TestRunnerIntegration:
         first = run_cells([self._spec()], runner)
         second = run_cells([self._spec()], runner)
         assert not first[0].cached
-        assert not second[0].cached  # would be a cache hit without a platform
+        assert second[0].cached  # the profile name is in the cell key
+        # ...but a baseline run never reads a platform-shaped entry.
+        baseline = run_cells(
+            [self._spec()], RunnerConfig(cache_read=True, cache_write=True)
+        )
+        assert not baseline[0].cached
+        assert baseline[0].key != first[0].key
 
     def test_no_platform_still_caches(self):
         runner = RunnerConfig(cache_read=True, cache_write=True)
